@@ -1,0 +1,93 @@
+"""Ablation — feature components of the probabilistic model.
+
+DESIGN.md calls out two feature choices this reproduction makes on top
+of the paper's union-of-path-tokens encoding:
+
+* **conjunction (pair) features** — c1×c2 token products, letting the
+  linear model express co-occurrence of a producer-side path with a
+  consumer-side path;
+* **bare-name tokens** — method-name-only path variants bridging
+  qualified and unqualified identifiers.
+
+This benchmark retrains ϕ with each component disabled and compares
+the specification-ordering AUC against the full model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from conftest import LanguageSetup, emit
+from repro.eval import spec_ordering_auc
+from repro.eval.tables import format_table
+from repro.model.dataset import collect_training_samples
+from repro.model.features import FeatureConfig
+from repro.model.model import EventPairModel
+from repro.specs.candidates import extract_candidates
+from repro.specs.scoring import score_candidates
+
+VARIANTS = [
+    ("full (pair + name tokens)", FeatureConfig()),
+    ("no pair features", FeatureConfig(pair_features=False)),
+    ("no name tokens", FeatureConfig(name_tokens=False)),
+    ("neither", FeatureConfig(pair_features=False, name_tokens=False)),
+]
+
+
+def _auc_with(setup: LanguageSetup, feature_config: FeatureConfig) -> float:
+    pipeline = setup.pipeline
+    samples = collect_training_samples(
+        setup.bundles, feature_config,
+        pipeline.config.max_positives_per_graph,
+        pipeline.config.negative_ratio, pipeline.config.seed,
+    )
+    model = EventPairModel(feature_config, pipeline.config.train)
+    model.fit(samples)
+    extraction = extract_candidates(
+        setup.bundles, model, feature_config,
+        pipeline.config.max_receiver_distance,
+    )
+    scores = score_candidates(extraction)
+    return spec_ordering_auc(scores, setup.registry.is_true_spec)
+
+
+def test_ablation_features_java(benchmark, java_setup):
+    def evaluate():
+        return {name: _auc_with(java_setup, cfg) for name, cfg in VARIANTS}
+
+    aucs = benchmark.pedantic(evaluate, rounds=1, iterations=1)
+    rows = [[name, f"{auc:.3f}"] for name, auc in aucs.items()]
+    emit("ablation_features_java", format_table(
+        ["feature variant", "ordering AUC"], rows,
+        title="Ablation (Java) — feature components",
+    ))
+    full = aucs["full (pair + name tokens)"]
+    # the finding on statically-typed Java: the paper's plain union
+    # encoding alone is already excellent — qualified method identifiers
+    # carry the type information our extra feature families reconstruct
+    # for Python.  The full configuration must stay serviceable.
+    assert aucs["neither"] >= 0.75, "the paper's plain encoding must work"
+    assert full >= 0.7, "the default (Python-oriented) config must stay usable"
+
+
+def test_ablation_features_python(benchmark, python_setup):
+    """For dynamically-typed Python the extra feature families are
+    load-bearing: bare-name tokens bridge qualified/unqualified method
+    identifiers and conjunctions recover co-occurrence — removing them
+    must cost ordering quality."""
+
+    def evaluate():
+        return {name: _auc_with(python_setup, cfg) for name, cfg in VARIANTS}
+
+    aucs = benchmark.pedantic(evaluate, rounds=1, iterations=1)
+    rows = [[name, f"{auc:.3f}"] for name, auc in aucs.items()]
+    emit("ablation_features_python", format_table(
+        ["feature variant", "ordering AUC"], rows,
+        title="Ablation (Python) — feature components",
+    ))
+    full = aucs["full (pair + name tokens)"]
+    # the robust effect across seeds: bare-name tokens bridge the
+    # qualified/unqualified identifier gap of dynamic typing.  (The
+    # pair-feature direction is seed-dependent; the table reports it.)
+    assert full > aucs["no name tokens"], \
+        "name tokens must help on Python"

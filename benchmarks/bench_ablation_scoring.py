@@ -1,0 +1,84 @@
+"""Ablation — alternative scoring functions (paper §7.2).
+
+The paper compares its average-top-10 score against the maximum, the
+95-percentile and the raw match count, finding that the proposed score
+performs best: "when instead using the number of matches as scoring
+function, higher precision can only be achieved at the price of
+strictly lower recall".  This benchmark regenerates that comparison as
+an ordering-AUC and a PR table per scorer.
+"""
+
+from __future__ import annotations
+
+from functools import partial
+
+from conftest import LanguageSetup, emit
+from repro.eval import precision_recall_curve, spec_ordering_auc
+from repro.eval.tables import format_table
+from repro.specs.scoring import (
+    average_top_k,
+    match_count_score,
+    max_score,
+    percentile_score,
+    score_candidates,
+)
+
+SCORERS = [
+    ("avg-top-10 (paper)", partial(average_top_k, k=10)),
+    ("max", max_score),
+    ("95-percentile", partial(percentile_score, pct=95.0)),
+    ("match count", match_count_score),
+]
+
+
+def _evaluate(setup: LanguageSetup):
+    rows = []
+    stats = {}
+    for name, scorer in SCORERS:
+        scores = score_candidates(setup.extraction, scorer)
+        auc = spec_ordering_auc(scores, setup.registry.is_true_spec)
+        points = precision_recall_curve(scores, setup.registry.is_true_spec,
+                                        taus=(0.4, 0.6, 0.8))
+        stats[name] = (auc, points)
+        rows.append([
+            name, f"{auc:.3f}",
+            *(f"{p.precision:.2f}/{p.recall:.2f}" for p in points),
+        ])
+    return rows, stats
+
+
+def _paper_claim(stats):
+    """§7.2: with match-count scoring, "higher precision can only be
+    achieved at the price of strictly lower recall" — at the working
+    threshold τ=0.6 the paper's scorer must retain far more recall."""
+    _, avg_points = stats["avg-top-10 (paper)"]
+    _, count_points = stats["match count"]
+    avg_at_06 = next(p for p in avg_points if p.tau == 0.6)
+    count_at_06 = next(p for p in count_points if p.tau == 0.6)
+    return avg_at_06, count_at_06
+
+
+def test_ablation_scoring_java(benchmark, java_setup):
+    rows, stats = benchmark.pedantic(lambda: _evaluate(java_setup),
+                                     rounds=3, iterations=1)
+    table = format_table(
+        ["scorer", "AUC", "P/R @0.4", "P/R @0.6", "P/R @0.8"],
+        rows, title="Ablation (Java) — scoring functions",
+    )
+    emit("ablation_scoring_java", table)
+    avg, count = _paper_claim(stats)
+    assert avg.recall > count.recall, \
+        "match-count scoring must pay in recall (paper §7.2)"
+    assert stats["avg-top-10 (paper)"][0] >= 0.6
+
+
+def test_ablation_scoring_python(benchmark, python_setup):
+    rows, stats = benchmark.pedantic(lambda: _evaluate(python_setup),
+                                     rounds=3, iterations=1)
+    table = format_table(
+        ["scorer", "AUC", "P/R @0.4", "P/R @0.6", "P/R @0.8"],
+        rows, title="Ablation (Python) — scoring functions",
+    )
+    emit("ablation_scoring_python", table)
+    avg, count = _paper_claim(stats)
+    assert avg.recall > count.recall

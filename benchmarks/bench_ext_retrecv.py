@@ -1,0 +1,105 @@
+"""Extension — the RetRecv pattern and the paper's §5.3 negative result.
+
+The paper: "We also experimented with different patterns, but the
+results were modest and hence we focused on the two that perform
+empirically well."  This benchmark implements one such extra pattern —
+``RetRecv(s)``: *s returns its receiver* (fluent/builder APIs) — and
+measures both sides of that statement:
+
+* the pattern *does* find real specifications
+  (``StringBuilder.append``, ``Request.Builder.addHeader``), and the
+  augmented analysis uses them;
+* its candidate precision is clearly below the paper's two pair
+  patterns (single-site matches carry far less structure than
+  receiver-pair matches), reproducing why the paper dropped it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from conftest import LanguageSetup, emit
+from repro.eval.tables import format_table
+from repro.specs import RetRecv, USpecPipeline
+from repro.specs.patterns import RetArg, RetSame
+
+
+def _learn_with_retrecv(setup: LanguageSetup):
+    pipeline = USpecPipeline(replace(setup.pipeline.config,
+                                     enable_retrecv=True))
+    model = setup.learned.model  # reuse the trained ϕ
+    extraction = pipeline.extract_candidates(setup.bundles, model)
+    scores = pipeline.score(extraction)
+    specs = pipeline.select(scores)
+    return scores, specs
+
+
+def _precision(scores, specs, registry, kind) -> float:
+    selected = [s for s in specs if isinstance(s, kind) and s in scores]
+    if not selected:
+        return float("nan")
+    valid = sum(1 for s in selected if registry.is_true_spec(s))
+    return valid / len(selected)
+
+
+def test_ext_retrecv_java(benchmark, java_setup):
+    scores, specs = benchmark.pedantic(
+        lambda: _learn_with_retrecv(java_setup), rounds=1, iterations=1
+    )
+    registry = java_setup.registry
+    retrecv_rows = sorted(
+        ((s, sc) for s, sc in scores.items() if isinstance(s, RetRecv)),
+        key=lambda kv: -kv[1],
+    )[:10]
+    rows = [
+        [str(s), f"{sc:.3f}",
+         "" if registry.is_true_spec(s) else "incorrect"]
+        for s, sc in retrecv_rows
+    ]
+    pair_precision = _precision(scores, specs, registry, (RetArg, RetSame))
+    recv_precision = _precision(scores, specs, registry, RetRecv)
+    table = format_table(
+        ["RetRecv candidate", "score", ""], rows,
+        title="Extension — RetRecv pattern (fluent APIs), top candidates",
+    )
+    emit("ext_retrecv_java", table + (
+        f"\nselected-candidate precision: pair patterns "
+        f"{pair_precision:.2f} vs RetRecv {recv_precision:.2f}"
+        "\n(the paper's §5.3: additional patterns give 'modest' results)"
+    ))
+    # the real fluent specifications are learned ...
+    assert RetRecv("java.lang.StringBuilder.append") in specs
+    assert RetRecv("okhttp3.Request.Builder.addHeader") in specs
+    # ... but the pattern is notably less precise than the paper's two
+    assert recv_precision < pair_precision
+
+
+def test_ext_retrecv_improves_analysis(benchmark, java_setup):
+    """A learned RetRecv spec makes the fluent chain's aliasing visible."""
+    from repro.frontend.minijava import parse_minijava
+    from repro.frontend.signatures import ApiSignatures, MethodSig
+    from repro.pointsto import analyze
+    from repro.events.events import RET
+    from repro.specs import SpecSet
+
+    sigs = ApiSignatures()
+    sigs.register(MethodSig("java.lang.StringBuilder", "append",
+                            "java.lang.StringBuilder", ("?",)))
+    program = parse_minijava(
+        "import java.lang.StringBuilder;\n"
+        "StringBuilder sb = new StringBuilder();\n"
+        'x = sb.append("a");\n',
+        sigs, "fluent.java",
+    )
+    specs = SpecSet([RetRecv("java.lang.StringBuilder.append")])
+
+    def check():
+        plain = analyze(program)
+        aware = analyze(program, specs=specs)
+        site = plain.api_sites[0]
+        return (plain.events_may_alias(site, RET, site, 0),
+                aware.events_may_alias(site, RET, site, 0))
+
+    before, after = benchmark.pedantic(check, rounds=3, iterations=1)
+    assert not before, "baseline: append's return is a fresh object"
+    assert after, "RetRecv: append's return aliases its receiver"

@@ -1,0 +1,75 @@
+"""Fig. 7 — precision vs. recall of selected specifications.
+
+Regenerates both subfigures: the labelled (τ, precision, recall)
+series for Java (Fig. 7a) and Python (Fig. 7b).  Paper shape to match:
+precision is already high at τ = 0 and grows towards 1.0 as τ rises
+while recall falls; the Python curve sits above the Java curve.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import LanguageSetup, emit
+from repro.eval import precision_recall_curve, sample_candidates, spec_ordering_auc
+from repro.eval.precision_recall import FIG7_TAUS
+from repro.eval.tables import format_table
+
+
+def _curve_rows(setup: LanguageSetup):
+    scores = sample_candidates(setup.learned.scores, n=120, seed=0)
+    points = precision_recall_curve(scores, setup.registry.is_true_spec,
+                                    FIG7_TAUS)
+    rows = [
+        [f"{p.tau:.1f}", f"{p.precision:.3f}", f"{p.recall:.3f}",
+         p.n_selected, p.n_valid_selected]
+        for p in points
+    ]
+    auc = spec_ordering_auc(scores, setup.registry.is_true_spec)
+    return rows, auc
+
+
+def test_fig7a_java_curve(benchmark, java_setup):
+    rows, auc = benchmark.pedantic(
+        lambda: _curve_rows(java_setup), rounds=3, iterations=1
+    )
+    table = format_table(
+        ["tau", "precision", "recall", "#selected", "#valid"],
+        rows, title="Fig. 7a — Java precision vs recall",
+    )
+    emit("fig7a_java_precision_recall", table + f"\nordering AUC: {auc:.3f}")
+    # shape checks: precision never terrible, recall monotonically falls
+    precisions = [float(r[1]) for r in rows]
+    recalls = [float(r[2]) for r in rows]
+    assert precisions[0] >= 0.6  # already decent at tau=0 (paper: ~0.8)
+    assert recalls == sorted(recalls, reverse=True)
+    assert max(precisions) >= 0.85
+
+
+def test_fig7b_python_curve(benchmark, python_setup):
+    rows, auc = benchmark.pedantic(
+        lambda: _curve_rows(python_setup), rounds=3, iterations=1
+    )
+    table = format_table(
+        ["tau", "precision", "recall", "#selected", "#valid"],
+        rows, title="Fig. 7b — Python precision vs recall",
+    )
+    emit("fig7b_python_precision_recall", table + f"\nordering AUC: {auc:.3f}")
+    precisions = [float(r[1]) for r in rows]
+    recalls = [float(r[2]) for r in rows]
+    assert precisions[0] >= 0.6  # paper: ~0.9 at tau=0
+    assert recalls == sorted(recalls, reverse=True)
+    assert max(precisions) >= 0.9
+
+
+def test_fig7_python_above_java(benchmark, java_setup, python_setup):
+    """Paper: the Python curve dominates the Java curve (higher
+    precision at comparable recall)."""
+    jrows, _ = benchmark.pedantic(lambda: _curve_rows(java_setup),
+                                  rounds=1, iterations=1)
+    prows, _ = _curve_rows(python_setup)
+    j_at_0 = float(jrows[0][1])
+    p_at_0 = float(prows[0][1])
+    # same-threshold baseline comparison with slack: the shape claim is
+    # about the low-τ end of the curves
+    assert p_at_0 >= j_at_0 - 0.05

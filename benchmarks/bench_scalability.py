@@ -1,0 +1,63 @@
+"""§7.1/§7.2 — runtime characteristics of the learning pipeline.
+
+The paper: "the runtime of our system depends on the size of the input
+dataset, but not on the number of API classes."  This benchmark
+measures end-to-end learning time at two corpus sizes and two registry
+sizes and checks that claim's shape: time grows roughly linearly in
+files, and halving the API-class registry does not cut the runtime
+proportionally.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import replace
+
+from conftest import emit
+from repro.corpus import ApiRegistry, CorpusConfig, CorpusGenerator, java_registry
+from repro.eval.tables import format_table
+from repro.specs import USpecPipeline
+
+
+def _learn_time(registry: ApiRegistry, n_files: int, seed: int = 9) -> float:
+    programs = CorpusGenerator(
+        registry, CorpusConfig(n_files=n_files, seed=seed)
+    ).programs()
+    start = time.perf_counter()
+    USpecPipeline().learn(programs)
+    return time.perf_counter() - start
+
+
+def _half_registry() -> ApiRegistry:
+    full = java_registry()
+    half = ApiRegistry("java", full.classes[: len(full.classes) // 2],
+                       list(full.value_types.values()))
+    return half
+
+
+def test_scalability(benchmark):
+    def measure():
+        full = java_registry()
+        rows = []
+        t_small = _learn_time(full, 60)
+        t_large = _learn_time(full, 180)
+        t_half_classes = _learn_time(_half_registry(), 180)
+        rows.append(["60 files, full registry", f"{t_small:.2f}s"])
+        rows.append(["180 files, full registry", f"{t_large:.2f}s"])
+        rows.append(["180 files, half registry", f"{t_half_classes:.2f}s"])
+        return rows, t_small, t_large, t_half_classes
+
+    rows, t_small, t_large, t_half = benchmark.pedantic(
+        measure, rounds=1, iterations=1
+    )
+    emit("scalability", format_table(
+        ["configuration", "learning time"], rows,
+        title="§7.1 — pipeline runtime scales with corpus size, "
+              "not API-class count",
+    ))
+    # 3× the files should cost noticeably more than 1× ...
+    assert t_large > t_small * 1.5
+    # ... while halving the registry must NOT halve the runtime (the
+    # cost driver is the dataset, as the paper states).  Generous slack:
+    # wall-clock noise.
+    assert t_half > t_large * 0.4

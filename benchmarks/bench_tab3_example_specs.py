@@ -1,0 +1,87 @@
+"""Tab. 3 — example inferred specifications with #matches and score.
+
+Regenerates the table for both languages at τ = 0.6, flagging
+incorrect-but-learned specifications (the paper shows two: the antlr
+RetArg and Python's RetSame(pop)).  Also reports the §7.2 aggregate
+characteristics: #candidates → #selected and spanned API classes.
+"""
+
+from __future__ import annotations
+
+from conftest import LanguageSetup, emit
+from repro.eval.tables import format_table, tab3_rows
+from repro.specs.patterns import RetArg, RetSame, api_class_of
+
+
+def _aggregates(setup: LanguageSetup) -> str:
+    learned = setup.learned
+    candidate_classes = {
+        api_class_of(s.method if isinstance(s, RetSame) else s.source)
+        for s in learned.scores
+    }
+    selected = [s for s in learned.specs]
+    selected_classes = {
+        api_class_of(s.method if isinstance(s, RetSame) else s.source)
+        for s in selected
+    }
+    non_getset = [
+        s for s in selected
+        if not any(word in str(s).lower() for word in ("get", "put", "set"))
+    ]
+    return (
+        f"candidates: {len(learned.scores)} over "
+        f"{len(candidate_classes)} API classes; "
+        f"selected at tau={learned.config.tau}: {len(selected)} over "
+        f"{len(selected_classes)} classes; "
+        f"specs without get/put/set in any name: "
+        f"{len(non_getset)}/{len(selected)}"
+    )
+
+
+def test_tab3_java(benchmark, java_setup):
+    rows = benchmark.pedantic(
+        lambda: tab3_rows(java_setup.learned.scores, java_setup.extraction,
+                          java_setup.registry, n=14),
+        rounds=3, iterations=1,
+    )
+    table = format_table(
+        ["API class", "specification", "#matches", "score", ""],
+        rows, title="Tab. 3 (Java rows) — example inferred specifications",
+    )
+    emit("tab3_java_example_specs", table + "\n" + _aggregates(java_setup))
+    # the flagship specs must rank high
+    text = "\n".join(str(r) for r in rows)
+    assert "java.util.HashMap.get" in text
+    # the paper's table contains incorrect specs too — so can ours, but
+    # the top entries must be dominated by correct ones
+    correct_top = sum(1 for r in rows[:8] if r[4] == "")
+    assert correct_top >= 6
+
+
+def test_tab3_python(benchmark, python_setup):
+    rows = benchmark.pedantic(
+        lambda: tab3_rows(python_setup.learned.scores,
+                          python_setup.extraction,
+                          python_setup.registry, n=14),
+        rounds=3, iterations=1,
+    )
+    table = format_table(
+        ["API class", "specification", "#matches", "score", ""],
+        rows, title="Tab. 3 (Python rows) — example inferred specifications",
+    )
+    emit("tab3_python_example_specs", table + "\n" + _aggregates(python_setup))
+    text = "\n".join(str(r) for r in rows)
+    assert "Dict.SubscriptLoad" in text
+
+
+def test_tab3_antlr_false_positive_reproduced(benchmark, java_setup):
+    """The paper's incorrect antlr RetArg is *learned* (score ≥ τ) —
+    reproducing a failure is part of reproducing the system."""
+    spec = RetArg("org.antlr.runtime.tree.TreeAdaptor.rulePostProcessing",
+                  "org.antlr.runtime.tree.TreeAdaptor.addChild", 2)
+    score = benchmark.pedantic(
+        lambda: java_setup.learned.scores.get(spec, 0.0),
+        rounds=1, iterations=1,
+    )
+    assert score >= 0.5, "the misleading usage pattern should score high"
+    assert not java_setup.registry.is_true_spec(spec)

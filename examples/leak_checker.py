@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Resource-leak scenario: every open() must be closed — through containers.
+
+The obligation client demands that each acquired resource (``open``)
+is provably released (``close``) on an aliasing object.  Handles that
+travel through a dict are invisible to the API-unaware analysis: the
+retrieval returns a "fresh" object, so the close never discharges the
+open and a *false leak* is reported.  The learned dict specifications
+fix it, while the genuinely leaked handle stays reported.
+
+Run:  python examples/leak_checker.py
+"""
+
+from repro.clients import check_obligations
+from repro.corpus import CorpusConfig, CorpusGenerator, python_registry
+from repro.frontend.pyfront import parse_python
+from repro.specs import SpecSet, USpecPipeline, extend_with_retsame
+
+MODULE = '''
+registry = {}
+
+def stash(name):
+    handle = open(name)
+    registry[name] = handle
+
+stash("config.toml")
+later = registry["config.toml"]
+later.close()              # closes the stashed handle — no leak
+
+leaked = open("audit.log") # never closed — a real leak
+leaked.read()
+'''
+
+
+def main() -> None:
+    registry = python_registry()
+    programs = CorpusGenerator(registry,
+                               CorpusConfig(n_files=150, seed=31)).programs()
+    learned = USpecPipeline().learn(programs)
+    dict_specs = extend_with_retsame(SpecSet(
+        s for s in learned.specs if str(s).startswith(("RetArg(Dict",
+                                                       "RetSame(Dict"))
+    ))
+    print(f"learned {len(learned.specs)} specifications "
+          f"({len(dict_specs)} dict-related)")
+
+    program = parse_python(MODULE, source="resource_module.py")
+
+    unaware = check_obligations(program)
+    aware = check_obligations(program, specs=dict_specs)
+
+    print(f"\nAPI-unaware verifier: {len(unaware)} leaks "
+          "(the dict-stashed handle is a false positive)")
+    print(f"with learned specs:   {len(aware)} leak(s)")
+    for violation in aware:
+        print(f"  REAL LEAK: {violation.acquire_site.method_id}() "
+              "result is never closed")
+    assert len(unaware) == 2 and len(aware) == 1
+
+
+if __name__ == "__main__":
+    main()

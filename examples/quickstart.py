@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Quickstart: learn API aliasing specifications from a tiny corpus.
+
+Runs the full USpec pipeline (paper Fig. 1) end to end:
+
+1. generate a small synthetic Java-like corpus (the stand-in for the
+   paper's millions of GitHub files),
+2. analyse every file with the API-unaware points-to analysis and
+   build event graphs (§3),
+3. train the probabilistic edge model ϕ (§4),
+4. extract, score and select candidate specifications (§5),
+5. use a learned specification to make an aliasing relation visible
+   to the augmented points-to analysis (§6).
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.corpus import CorpusConfig, CorpusGenerator, java_registry
+from repro.events import RET
+from repro.frontend.minijava import parse_minijava
+from repro.pointsto import analyze
+from repro.specs import USpecPipeline
+
+
+def main() -> None:
+    # ------------------------------------------------------------------
+    # 1. corpus
+    registry = java_registry()
+    generator = CorpusGenerator(registry, CorpusConfig(n_files=150, seed=7))
+    programs = generator.programs()
+    print(f"corpus: {len(programs)} files "
+          f"({registry.language}, {len(registry.classes)} API classes)")
+
+    # ------------------------------------------------------------------
+    # 2.–4. the learning pipeline
+    pipeline = USpecPipeline()
+    learned = pipeline.learn(programs)
+    print(f"candidates scored: {len(learned.scores)}; "
+          f"selected at tau={learned.config.tau}: {len(learned.specs)}")
+    print("\ntop learned specifications:")
+    for spec in learned.top(8):
+        marker = "" if registry.is_true_spec(spec) else "   <-- incorrect!"
+        print(f"  {learned.scores[spec]:.3f}  {spec}{marker}")
+
+    # ------------------------------------------------------------------
+    # 5. use the specifications: the paper's Fig. 2 example
+    snippet = """
+        import java.util.HashMap;
+        import example.db.Database;
+        Database db = new Database();
+        HashMap<String, java.io.File> map = new HashMap<>();
+        map.put("x", db.getFile());
+        db.close();
+        String s = map.get("x").getName();
+    """
+    program = parse_minijava(snippet, registry.signatures(), "fig2.java")
+    get_site = put_site = None
+
+    unaware = analyze(program)
+    aware = analyze(program, specs=learned.specs)
+    for result, label in ((unaware, "API-unaware"), (aware, "with specs")):
+        get_site = next(s for s in result.api_sites
+                        if s.method_id.endswith(".get"))
+        put_site = next(s for s in result.api_sites
+                        if s.method_id.endswith(".put"))
+        aliases = result.events_may_alias(get_site, RET, put_site, 2)
+        print(f"\n{label}: map.get(\"x\") may-alias the stored file? "
+              f"{aliases}")
+
+    print("\nThe learned RetArg(get, put, 2) specification makes the "
+          "flow through the HashMap visible —\nexactly the history "
+          "merge of paper §3.3.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,6 @@
+"""Legacy shim so `python setup.py develop` works without build
+isolation (offline environments); configuration lives in pyproject.toml."""
+
+from setuptools import setup
+
+setup(entry_points={"console_scripts": ["uspec = repro.cli:main"]})

@@ -1,0 +1,52 @@
+"""USpec — unsupervised learning of API aliasing specifications.
+
+A complete reproduction of Eberhardt, Steffen, Raychev & Vechev,
+*Unsupervised Learning of API Aliasing Specifications* (PLDI 2019).
+
+Typical entry points::
+
+    from repro import USpecPipeline, analyze, java_registry
+    from repro.corpus import CorpusConfig, CorpusGenerator
+
+    programs = CorpusGenerator(java_registry(), CorpusConfig()).programs()
+    learned = USpecPipeline().learn(programs)      # paper Fig. 1
+    result = analyze(program, specs=learned.specs) # paper §6
+
+See README.md for the architecture overview and DESIGN.md for the
+system inventory and per-experiment index.
+"""
+
+__version__ = "1.0.0"
+
+from repro.pointsto.analysis import PointsToOptions, analyze
+from repro.specs.patterns import RetArg, RetRecv, RetSame, SpecSet
+
+__all__ = [
+    "PointsToOptions",
+    "RetArg",
+    "RetRecv",
+    "RetSame",
+    "SpecSet",
+    "USpecPipeline",
+    "analyze",
+    "java_registry",
+    "python_registry",
+]
+
+_LAZY = {
+    "USpecPipeline": "repro.specs.pipeline",
+    "java_registry": "repro.corpus.apis",
+    "python_registry": "repro.corpus.apis",
+}
+
+
+def __getattr__(name: str):
+    module_name = _LAZY.get(name)
+    if module_name is None:
+        raise AttributeError(f"module 'repro' has no attribute {name!r}")
+    import importlib
+
+    module = importlib.import_module(module_name)
+    value = getattr(module, name)
+    globals()[name] = value
+    return value

@@ -1,0 +1,36 @@
+"""Baselines USpec is compared against (paper §7.5).
+
+:mod:`atlas` re-implements the *Atlas* approach of Bastani et al.
+(PLDI 2018) in spirit: it synthesizes unit tests against executable
+API models (:mod:`dynamic_api`), observes aliasing between return
+values and earlier arguments dynamically, and infers *key-insensitive*
+points-to specifications.  Its characteristic failure modes from the
+paper's comparison are reproduced faithfully:
+
+* classes without an accessible constructor (ResultSet, KeyStore,
+  NodeList) yield no specification at all;
+* ``java.util.Properties`` (whose reads return defensive copies in the
+  model, mirroring Atlas' observed behaviour) is learned *unsoundly*
+  as always-fresh;
+* exception-throwing accessors (``JSONObject.get`` on a missing key)
+  abort tests and leave methods uncovered;
+* all inferred specifications ignore argument keys, unlike USpec's
+  RetSame/RetArg which are argument-precise.
+"""
+
+from repro.baselines.dynamic_api import DynamicClass, default_dynamic_registry
+from repro.baselines.atlas import (
+    AtlasConfig,
+    AtlasResult,
+    AtlasSpec,
+    run_atlas,
+)
+
+__all__ = [
+    "AtlasConfig",
+    "AtlasResult",
+    "AtlasSpec",
+    "DynamicClass",
+    "default_dynamic_registry",
+    "run_atlas",
+]

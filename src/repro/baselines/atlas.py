@@ -1,0 +1,141 @@
+"""The Atlas baseline: active learning of points-to specs from tests.
+
+Re-implementation in the spirit of Bastani et al. (PLDI 2018) as
+described and evaluated in USpec §7.5:
+
+1. for each API class with an accessible no-argument constructor,
+   synthesize random call sequences, passing fresh sentinel objects
+   (and small ints/strings as likely keys);
+2. execute them against the dynamic model and observe, via object
+   identity, whether a return value aliases an argument passed earlier;
+3. infer coarse specifications: *"method r may return any value ever
+   passed to method w at position x"* — **without** conditioning on
+   key arguments (Atlas' specifications "do not take arguments into
+   account").
+
+Classes that cannot be constructed produce no specification; methods
+whose calls keep throwing stay uncovered; models that return defensive
+copies are (unsoundly) classified as always-fresh.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from repro.baselines.dynamic_api import DynamicClass, _Value
+
+#: Inference outcome statuses.
+STATUS_OK = "ok"
+STATUS_NO_CONSTRUCTOR = "no-constructor"
+STATUS_FRESH = "always-fresh"  # no aliasing observed: unsound for stores
+
+
+@dataclass(frozen=True)
+class AtlasSpec:
+    """A coarse, key-insensitive flow: reader may return writer's arg."""
+
+    cls: str
+    reader: str
+    writer: str
+    arg_index: int  # 1-based position of the stored value in the writer
+
+    #: Atlas specifications never condition on key arguments
+    key_sensitive: bool = False
+
+    def __str__(self) -> str:
+        return (f"AtlasFlow({self.cls}: {self.reader} ← "
+                f"{self.writer}[{self.arg_index}])")
+
+
+@dataclass
+class AtlasResult:
+    """Inference outcome for one class."""
+
+    cls: str
+    status: str
+    specs: List[AtlasSpec] = field(default_factory=list)
+    covered_methods: Set[str] = field(default_factory=set)
+    uncovered_methods: Set[str] = field(default_factory=set)
+    tests_run: int = 0
+    tests_crashed: int = 0
+
+
+@dataclass(frozen=True)
+class AtlasConfig:
+    n_tests: int = 60
+    max_sequence: int = 5
+    seed: int = 11
+
+
+def _random_arg(rng: random.Random, values: List[_Value]) -> object:
+    """Arguments Atlas-style test synthesis would pass."""
+    choice = rng.randrange(4)
+    if choice == 0:
+        return rng.randrange(3)  # small int key
+    if choice == 1:
+        return rng.choice(["k0", "k1", "k2"])  # string key
+    value = _Value()
+    values.append(value)
+    return value
+
+
+def _infer_class(cls: DynamicClass, config: AtlasConfig) -> AtlasResult:
+    result = AtlasResult(cls.fqn, STATUS_OK)
+    if cls.factory is None:
+        result.status = STATUS_NO_CONSTRUCTOR
+        result.uncovered_methods = set(cls.methods)
+        return result
+
+    rng = random.Random(config.seed)
+    flows: Set[Tuple[str, str, int]] = set()
+    returned_anything: Dict[str, bool] = {m: False for m in cls.methods}
+
+    for _ in range(config.n_tests):
+        result.tests_run += 1
+        instance = cls.factory()
+        values: List[_Value] = []
+        #: every (method, 1-based position, value) passed so far
+        passed: List[Tuple[str, int, object]] = []
+        try:
+            for _ in range(rng.randrange(1, config.max_sequence + 1)):
+                method_name = rng.choice(list(cls.methods))
+                method = getattr(instance, method_name)
+                nargs = method.__code__.co_argcount - 1
+                args = [_random_arg(rng, values) for _ in range(nargs)]
+                for i, arg in enumerate(args, start=1):
+                    passed.append((method_name, i, arg))
+                out = method(*args)
+                result.covered_methods.add(method_name)
+                if out is None:
+                    continue
+                returned_anything[method_name] = True
+                for writer, pos, arg in passed:
+                    # identity evidence only counts for sentinel objects:
+                    # ints and strings are interned by the runtime and
+                    # would fake aliasing
+                    if isinstance(arg, _Value) and out is arg:
+                        flows.add((method_name, writer, pos))
+        except Exception:
+            result.tests_crashed += 1
+            continue
+
+    result.uncovered_methods = set(cls.methods) - result.covered_methods
+    result.specs = [
+        AtlasSpec(cls.fqn, reader, writer, pos)
+        for reader, writer, pos in sorted(flows)
+    ]
+    if not result.specs:
+        # a reader returning values that never alias any input: Atlas
+        # concludes "always fresh" — unsound for stateful containers
+        result.status = STATUS_FRESH if any(returned_anything.values()) \
+            else STATUS_OK
+    return result
+
+
+def run_atlas(classes: Sequence[DynamicClass],
+              config: Optional[AtlasConfig] = None) -> List[AtlasResult]:
+    """Run the Atlas baseline over a set of executable API classes."""
+    config = config or AtlasConfig()
+    return [_infer_class(cls, config) for cls in classes]

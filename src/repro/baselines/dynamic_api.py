@@ -1,0 +1,160 @@
+"""Executable models of Java APIs for the Atlas baseline.
+
+Each model behaves like the real library as far as aliasing is
+concerned (that is all Atlas observes).  A few deliberately encode the
+behaviours behind the failure modes reported in §7.5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+
+class _Value:
+    """An opaque sentinel object passed into APIs by synthesized tests."""
+
+    _counter = 0
+
+    def __init__(self) -> None:
+        _Value._counter += 1
+        self.uid = _Value._counter
+
+    def __repr__(self) -> str:
+        return f"<value #{self.uid}>"
+
+
+class DynHashMap:
+    """java.util.HashMap — returns the stored reference."""
+
+    def __init__(self) -> None:
+        self._data: Dict[object, object] = {}
+
+    def put(self, key: object, value: object) -> Optional[object]:
+        old = self._data.get(key)
+        self._data[key] = value
+        return old
+
+    def get(self, key: object) -> Optional[object]:
+        return self._data.get(key)
+
+
+class DynHashtable(DynHashMap):
+    """java.util.Hashtable — same aliasing as HashMap."""
+
+
+class DynArrayList:
+    """java.util.ArrayList — set/get return stored references."""
+
+    def __init__(self) -> None:
+        self._items: List[object] = []
+
+    def add(self, value: object) -> bool:
+        self._items.append(value)
+        return True
+
+    def set(self, index: object, value: object) -> Optional[object]:
+        i = index if isinstance(index, int) else 0
+        while len(self._items) <= i:
+            self._items.append(None)
+        old = self._items[i]
+        self._items[i] = value
+        return old
+
+    def get(self, index: object) -> Optional[object]:
+        i = index if isinstance(index, int) else 0
+        if 0 <= i < len(self._items):
+            return self._items[i]
+        return None
+
+
+class DynProperties:
+    """java.util.Properties — reads return *defensive copies*.
+
+    This mirrors the §7.5 finding: Atlas observed no aliasing between
+    ``setProperty`` and ``getProperty`` and unsoundly concluded the
+    reader always returns a fresh object.
+    """
+
+    def __init__(self) -> None:
+        self._data: Dict[object, object] = {}
+
+    def setProperty(self, key: object, value: object) -> None:
+        self._data[key] = value
+
+    def getProperty(self, key: object) -> Optional[object]:
+        value = self._data.get(key)
+        if value is None:
+            return None
+        if isinstance(value, _Value):
+            copy = _Value()
+            copy.copied_from = value.uid  # type: ignore[attr-defined]
+            return copy
+        return value
+
+
+class DynJSONObject:
+    """org.json.JSONObject — ``get`` throws on a missing key.
+
+    Random test sequences that read before writing abort, so Atlas'
+    coverage of the class stays partial (§7.5: "inferred correct
+    specification only for some of the methods").
+    """
+
+    def __init__(self) -> None:
+        self._data: Dict[object, object] = {}
+
+    def put(self, key: object, value: object) -> "DynJSONObject":
+        self._data[key] = value
+        return self
+
+    def get(self, key: object) -> object:
+        if key not in self._data:
+            raise KeyError(f"JSONObject[{key!r}] not found")
+        return self._data[key]
+
+    def opt(self, key: object) -> Optional[object]:
+        return self._data.get(key)
+
+
+class DynSparseArray:
+    """android.util.SparseArray."""
+
+    def __init__(self) -> None:
+        self._data: Dict[object, object] = {}
+
+    def put(self, key: object, value: object) -> None:
+        self._data[key] = value
+
+    def get(self, key: object) -> Optional[object]:
+        return self._data.get(key)
+
+
+@dataclass(frozen=True)
+class DynamicClass:
+    """One executable API class for the synthesizer."""
+
+    fqn: str
+    #: None = no accessible constructor (the ResultSet/KeyStore case)
+    factory: Optional[Callable[[], object]]
+    methods: Sequence[str] = ()
+
+
+def default_dynamic_registry() -> List[DynamicClass]:
+    """The classes §7.5 discusses, constructible or not."""
+    return [
+        DynamicClass("java.util.HashMap", DynHashMap, ("put", "get")),
+        DynamicClass("java.util.Hashtable", DynHashtable, ("put", "get")),
+        DynamicClass("java.util.ArrayList", DynArrayList,
+                     ("add", "set", "get")),
+        DynamicClass("java.util.Properties", DynProperties,
+                     ("setProperty", "getProperty")),
+        DynamicClass("org.json.JSONObject", DynJSONObject,
+                     ("put", "get", "opt")),
+        DynamicClass("android.util.SparseArray", DynSparseArray,
+                     ("put", "get")),
+        # no public constructor — Atlas cannot instantiate these (§7.5)
+        DynamicClass("java.sql.ResultSet", None, ("getString",)),
+        DynamicClass("java.security.KeyStore", None, ("getKey",)),
+        DynamicClass("org.w3c.dom.NodeList", None, ("item",)),
+    ]

@@ -1,0 +1,245 @@
+"""Command-line interface.
+
+::
+
+    uspec learn  --language java --files 250 --out specs.json
+    uspec show   specs.json
+    uspec analyze path/to/file.py --specs specs.json
+    uspec taint  path/to/file.py --specs specs.json \\
+                 --source request_arg --sink html_params
+
+``learn`` trains on the synthetic corpus (the repository's stand-in
+for a GitHub crawl); ``analyze``/``taint`` run the augmented may-alias
+analysis and the taint client on real source files (Python via the
+``ast`` frontend, ``.java``-suffixed files via the MiniJava frontend).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.clients.taint import TaintConfig, find_taint_flows
+from repro.corpus import CorpusConfig, CorpusGenerator, java_registry, python_registry
+from repro.events import RET
+from repro.events.graph import build_event_graph
+from repro.events.history import HistoryBuilder
+from repro.frontend.minijava import parse_minijava
+from repro.frontend.pyfront import parse_python
+from repro.pointsto import analyze
+from repro.specs import USpecPipeline
+from repro.specs.serialize import specs_from_json, specs_to_json
+
+
+def _cmd_learn(args: argparse.Namespace) -> int:
+    registry = java_registry() if args.language == "java" else python_registry()
+    if args.from_dir:
+        from repro.corpus import mine_directory
+
+        report = mine_directory(Path(args.from_dir),
+                                registry.signatures())
+        print(f"mined {args.from_dir}: {report.n_parsed} files parsed, "
+              f"{len(report.skipped)} skipped")
+        for path, reason in report.skipped[:5]:
+            print(f"  skipped {path}: {reason}")
+        programs = report.programs
+        if not programs:
+            print("error: nothing to learn from", file=sys.stderr)
+            return 2
+    else:
+        generator = CorpusGenerator(
+            registry, CorpusConfig(n_files=args.files, seed=args.seed)
+        )
+        print(f"generating and parsing {args.files} {args.language} files...")
+        programs = generator.programs()
+    print("learning specifications (analysis → model → candidates → "
+          "selection)...")
+    learned = USpecPipeline().learn(programs)
+    print(f"scored {len(learned.scores)} candidates; "
+          f"selected {len(learned.specs)} specifications")
+    text = specs_to_json(learned.specs, learned.scores)
+    if args.out:
+        Path(args.out).write_text(text)
+        print(f"wrote {args.out}")
+    else:
+        print(text)
+    return 0
+
+
+def _cmd_show(args: argparse.Namespace) -> int:
+    specs, scores = specs_from_json(Path(args.specs).read_text())
+    for spec in sorted(specs, key=lambda s: -scores.get(s, 0.0)):
+        score = scores.get(spec)
+        prefix = f"{score:.3f}  " if score is not None else "       "
+        print(f"{prefix}{spec}")
+    print(f"\n{len(specs)} specifications over "
+          f"{len(specs.api_classes())} API classes")
+    return 0
+
+
+def _load_program(path: Path):
+    text = path.read_text()
+    if path.suffix == ".java":
+        return parse_minijava(text, source=str(path))
+    return parse_python(text, source=str(path))
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    program = _load_program(Path(args.file))
+    specs = None
+    if args.specs:
+        specs, _ = specs_from_json(Path(args.specs).read_text())
+    result = analyze(program, specs=specs)
+    graph = build_event_graph(HistoryBuilder(program, result).build())
+    print(f"{args.file}: {len(result.api_sites)} API call sites, "
+          f"{len(graph.events)} events, {graph.edge_count} edges")
+    shown = 0
+    for i, s1 in enumerate(result.api_sites):
+        if s1.instr.dst is None:
+            continue
+        for s2 in result.api_sites[:i]:
+            if s2.instr.dst is None or s1.method_id == s2.method_id:
+                continue
+            if result.events_may_alias(s1, RET, s2, RET):
+                print(f"  may-alias: {s1.method_id}() ~ {s2.method_id}()")
+                shown += 1
+                if shown >= args.limit:
+                    return 0
+    if not shown:
+        print("  no cross-method return aliasing found")
+    return 0
+
+
+def _cmd_taint(args: argparse.Namespace) -> int:
+    program = _load_program(Path(args.file))
+    specs = None
+    if args.specs:
+        specs, _ = specs_from_json(Path(args.specs).read_text())
+    config = TaintConfig.of(args.source, args.sink, args.sanitizer)
+    flows = find_taint_flows(program, config, specs=specs)
+    if not flows:
+        print("no flows found")
+        return 0
+    for flow in flows:
+        print(f"FLOW: {flow.source_site.method_id} → "
+              f"{flow.sink_site.method_id} (argument {flow.sink_arg})")
+    return 1
+
+
+def _cmd_reproduce(args: argparse.Namespace) -> int:
+    """A scaled-down, single-command tour of the paper's evaluation."""
+    from repro.baselines import default_dynamic_registry, run_atlas
+    from repro.baselines.atlas import STATUS_FRESH, STATUS_NO_CONSTRUCTOR
+    from repro.eval import precision_recall_curve
+    from repro.eval.tables import format_table, tab3_rows
+
+    out: List[str] = []
+    for language, registry in (("java", java_registry()),
+                               ("python", python_registry())):
+        print(f"[{language}] learning from {args.files} files ...")
+        programs = CorpusGenerator(
+            registry, CorpusConfig(n_files=args.files, seed=args.seed)
+        ).programs()
+        learned = USpecPipeline().learn(programs)
+        points = precision_recall_curve(learned.scores,
+                                        registry.is_true_spec,
+                                        taus=(0.0, 0.4, 0.6, 0.8))
+        out.append(format_table(
+            ["tau", "precision", "recall"],
+            [[f"{p.tau:.1f}", f"{p.precision:.3f}", f"{p.recall:.3f}"]
+             for p in points],
+            title=f"Fig. 7 ({language}) — precision vs recall",
+        ))
+        out.append(format_table(
+            ["API class", "specification", "#matches", "score", ""],
+            tab3_rows(learned.scores, learned.extraction, registry, n=8),
+            title=f"Tab. 3 ({language}) — top inferred specifications",
+        ))
+
+    print("[atlas] running the dynamic baseline ...")
+    atlas_rows = []
+    for result in run_atlas(default_dynamic_registry()):
+        status = {STATUS_NO_CONSTRUCTOR: "no constructor",
+                  STATUS_FRESH: "UNSOUND (always fresh)"}.get(
+                      result.status, f"{len(result.specs)} key-insensitive flows")
+        atlas_rows.append([result.cls, status])
+    out.append(format_table(["API class", "Atlas outcome"], atlas_rows,
+                            title="§7.5 — Atlas baseline"))
+
+    report = "\n\n".join(out)
+    print("\n" + report)
+    if args.out:
+        Path(args.out).write_text(report + "\n")
+        print(f"\nwrote {args.out}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="uspec",
+        description="Unsupervised learning of API aliasing specifications "
+                    "(PLDI 2019 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    learn = sub.add_parser("learn", help="learn specifications from a corpus")
+    learn.add_argument("--language", choices=("java", "python"),
+                       default="java")
+    learn.add_argument("--files", type=int, default=250,
+                       help="corpus size (default 250)")
+    learn.add_argument("--seed", type=int, default=42)
+    learn.add_argument("--out", help="write specs JSON here")
+    learn.add_argument("--from-dir",
+                       help="mine an existing directory tree instead of "
+                            "generating a synthetic corpus")
+    learn.set_defaults(func=_cmd_learn)
+
+    show = sub.add_parser("show", help="pretty-print a specs file")
+    show.add_argument("specs")
+    show.set_defaults(func=_cmd_show)
+
+    an = sub.add_parser("analyze", help="may-alias analysis of one file")
+    an.add_argument("file")
+    an.add_argument("--specs", help="specs JSON from 'uspec learn'")
+    an.add_argument("--limit", type=int, default=20)
+    an.set_defaults(func=_cmd_analyze)
+
+    taint = sub.add_parser("taint", help="taint-scan one file")
+    taint.add_argument("file")
+    taint.add_argument("--specs")
+    taint.add_argument("--source", action="append", default=[],
+                       help="source method name (repeatable)")
+    taint.add_argument("--sink", action="append", default=[],
+                       help="sink method name (repeatable)")
+    taint.add_argument("--sanitizer", action="append", default=[])
+    taint.set_defaults(func=_cmd_taint)
+
+    repro = sub.add_parser(
+        "reproduce",
+        help="run a scaled-down version of the paper's evaluation",
+    )
+    repro.add_argument("--files", type=int, default=120)
+    repro.add_argument("--seed", type=int, default=42)
+    repro.add_argument("--out", help="also write the report here")
+    repro.set_defaults(func=_cmd_reproduce)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except BrokenPipeError:  # e.g. `uspec show … | head`
+        return 0
+    except FileNotFoundError as err:
+        print(f"error: {err.filename}: no such file", file=sys.stderr)
+        return 2
+    except (SyntaxError, ValueError) as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,34 @@
+"""Client analyses consuming may-alias results (paper §7.4).
+
+Both clients show why points-to coverage matters downstream:
+
+* :mod:`typestate` — verifies call-protocol properties such as
+  *"Iterator.next only after Iterator.hasNext"* (Fig. 8a).  Without
+  the ``List.get`` aliasing specification, the guard and the use are
+  seen on unrelated objects and a false positive is reported.
+* :mod:`taint` — tracks source→sink flows through containers
+  (Fig. 8b).  Without the dict aliasing specification the flow through
+  ``setdefault``/``pop``/subscripts is lost and a real vulnerability is
+  missed (false negative).
+"""
+
+from repro.clients.typestate import (
+    ObligationProperty,
+    ObligationViolation,
+    TypestateProperty,
+    TypestateViolation,
+    check_obligations,
+    check_typestate,
+)
+from repro.clients.taint import TaintConfig, TaintFlow, find_taint_flows
+
+__all__ = [
+    "ObligationProperty",
+    "ObligationViolation",
+    "TaintConfig",
+    "TaintFlow",
+    "TypestateProperty",
+    "TypestateViolation",
+    "check_obligations",
+    "check_typestate",
+]

@@ -1,0 +1,568 @@
+"""API registry: signatures, usage roles and ground-truth specifications.
+
+Each :class:`ApiClassModel` describes one API class the corpus
+exercises.  Its *role* tells the generator how client code uses it:
+
+* :class:`ContainerRole` — a store method and a load method with a
+  value position (``HashMap.put``/``get``); ground truth is
+  ``RetArg(load, store, pos)`` + ``RetSame(load)``;
+* :class:`ReaderRole` — a keyed reader of internal state
+  (``findViewById``); ground truth is ``RetSame(method)``;
+* :class:`TrapRole` — a method that *looks* like a reader but is not
+  (``Iterator.next``, ``SecureRandom.nextInt``): pattern matches arise
+  but every instantiated specification is wrong.
+
+The generic markers of :class:`~repro.frontend.signatures.MethodSig`
+(``<0>``, ``<1>``) refer to the declared generic arguments of the
+receiver, letting the MiniJava frontend type chained calls.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple, Union
+
+from repro.frontend.signatures import ApiSignatures, MethodSig
+from repro.specs.patterns import RetArg, RetRecv, RetSame, Spec
+
+
+@dataclass(frozen=True)
+class ValueType:
+    """A type that flows through containers, with its consumer methods."""
+
+    fqn: str
+    consumers: Tuple[str, ...]
+    #: producer: (api class fqn, method) returning this type, if any
+    producer: Optional[Tuple[str, str]] = None
+
+    @property
+    def short(self) -> str:
+        return self.fqn.rsplit(".", 1)[-1]
+
+
+@dataclass(frozen=True)
+class ContainerRole:
+    store: str
+    load: str
+    value_pos: int  # 1-based position of the value among store args
+    store_nargs: int
+    key_kind: str = "str"  # "str" | "int"
+    #: number of generic type parameters in declarations (Java)
+    generic_arity: int = 0
+    #: subscript syntax instead of method calls (Python dicts/lists)
+    subscript: bool = False
+
+
+@dataclass(frozen=True)
+class ReaderRole:
+    method: str
+    nargs: int
+    key_kind: str = "str"
+    generic_arity: int = 0
+
+
+@dataclass(frozen=True)
+class TrapRole:
+    method: str
+    nargs: int
+    kind: str  # "iterator" | "random" | "pop" | "copy"
+    generic_arity: int = 0
+
+
+@dataclass(frozen=True)
+class FluentRole:
+    """A builder-style method returning its receiver (RetRecv)."""
+
+    method: str
+    nargs: int = 1
+    finisher: str = "toString"  # terminal call ending the chain
+
+
+Role = Union[ContainerRole, ReaderRole, TrapRole, FluentRole]
+
+
+@dataclass(frozen=True)
+class ApiClassModel:
+    fqn: str
+    package: str
+    language: str  # "java" | "python"
+    role: Role
+    #: value type(s) this API yields/stores; the generator picks one
+    value_types: Tuple[str, ...]
+    sigs: Tuple[MethodSig, ...] = ()
+    #: relative sampling weight in the generator
+    weight: float = 1.0
+    #: how the generator obtains an instance ("new" | "producer:<cls>.<m>"
+    #: | "builtin" for python displays | "none" for unconstructibles)
+    construction: str = "new"
+    #: usage *looks* container/reader-like but the specification the
+    #: pattern instantiates is semantically wrong (the antlr case of
+    #: Tab. 3) — such classes contribute no ground-truth specs
+    spurious: bool = False
+    #: additional ground-truth specifications not derivable from the
+    #: role (e.g. ``RetArg(List.pop, List.append, 1)``: a trap for
+    #: RetSame, but the LIFO RetArg relation *is* correct may-aliasing)
+    extra_true_specs: Tuple[Spec, ...] = ()
+
+    @property
+    def short(self) -> str:
+        return self.fqn.rsplit(".", 1)[-1]
+
+    def true_specs(self) -> FrozenSet[Spec]:
+        if self.spurious:
+            return frozenset(self.extra_true_specs)
+        role = self.role
+        if isinstance(role, ContainerRole):
+            return frozenset({
+                RetArg(f"{self.fqn}.{role.load}", f"{self.fqn}.{role.store}",
+                       role.value_pos),
+                RetSame(f"{self.fqn}.{role.load}"),
+            } | set(self.extra_true_specs))
+        if isinstance(role, ReaderRole):
+            return frozenset(
+                {RetSame(f"{self.fqn}.{role.method}")}
+                | set(self.extra_true_specs)
+            )
+        if isinstance(role, FluentRole):
+            return frozenset(
+                {RetRecv(f"{self.fqn}.{role.method}")}
+                | set(self.extra_true_specs)
+            )
+        return frozenset(self.extra_true_specs)
+
+
+class ApiRegistry:
+    """All API classes and value types of one language's corpus."""
+
+    def __init__(self, language: str, classes: Sequence[ApiClassModel],
+                 value_types: Sequence[ValueType]) -> None:
+        self.language = language
+        self.classes: List[ApiClassModel] = list(classes)
+        self.value_types: Dict[str, ValueType] = {v.fqn: v for v in value_types}
+
+    # ------------------------------------------------------------------
+
+    def value_type(self, fqn: str) -> ValueType:
+        return self.value_types[fqn]
+
+    def signatures(self) -> ApiSignatures:
+        """Frontend signature registry covering every modelled method."""
+        sigs = ApiSignatures()
+        for cls in self.classes:
+            sigs.register_class(cls.fqn)
+            for sig in cls.sigs:
+                sigs.register(sig)
+            if cls.construction.startswith("producer:"):
+                producer = cls.construction.split(":", 1)[1]
+                pcls, pmethod = producer.rsplit(".", 1)
+                sigs.register(MethodSig(pcls, pmethod, cls.fqn))
+        for vt in self.value_types.values():
+            sigs.register_class(vt.fqn)
+            for consumer in vt.consumers:
+                sigs.register(MethodSig(vt.fqn, consumer, "java.lang.String"))
+            if vt.producer is not None:
+                pcls, pmethod = vt.producer
+                sigs.register(MethodSig(pcls, pmethod, vt.fqn))
+        return sigs
+
+    def all_true_specs(self) -> FrozenSet[Spec]:
+        out = set()
+        for cls in self.classes:
+            out |= cls.true_specs()
+        return frozenset(out)
+
+    def is_true_spec(self, spec: Spec) -> bool:
+        """Ground-truth oracle used instead of manual labelling (§7.2)."""
+        return spec in self.all_true_specs()
+
+    def classes_by_package(self) -> Dict[str, List[ApiClassModel]]:
+        grouped: Dict[str, List[ApiClassModel]] = {}
+        for cls in self.classes:
+            grouped.setdefault(cls.package, []).append(cls)
+        return grouped
+
+    def __repr__(self) -> str:
+        return (f"<ApiRegistry {self.language}: {len(self.classes)} classes, "
+                f"{len(self.value_types)} value types>")
+
+
+# ======================================================================
+# Java registry
+# ======================================================================
+
+
+def _java_container(fqn: str, package: str, store: str, load: str,
+                    value_pos: int, store_nargs: int, *,
+                    key_kind: str = "str", generic_arity: int = 0,
+                    value_types: Tuple[str, ...],
+                    weight: float = 1.0,
+                    construction: str = "new",
+                    load_returns: Optional[str] = None,
+                    key_type: str = "java.lang.String") -> ApiClassModel:
+    if generic_arity == 2:
+        store_params = ("<0>", "<1>")[:store_nargs]
+        load_ret = "<1>"
+    elif generic_arity == 1:
+        store_params = ("int", "<0>") if key_kind == "int" else ("java.lang.String", "<0>")
+        load_ret = "<0>"
+    else:
+        store_params = tuple([key_type] * (store_nargs - 1) + ["?"])
+        load_ret = load_returns or value_types[0]
+    sigs = (
+        MethodSig(fqn, store, "void", store_params),
+        MethodSig(fqn, load, load_ret),
+    )
+    return ApiClassModel(
+        fqn, package, "java",
+        ContainerRole(store, load, value_pos, store_nargs, key_kind,
+                      generic_arity),
+        value_types, sigs, weight, construction,
+    )
+
+
+def _java_reader(fqn: str, package: str, method: str, nargs: int, *,
+                 key_kind: str = "str", returns: str,
+                 weight: float = 1.0,
+                 construction: str = "new") -> ApiClassModel:
+    sigs = (MethodSig(fqn, method, returns),)
+    return ApiClassModel(
+        fqn, package, "java", ReaderRole(method, nargs, key_kind),
+        (returns,), sigs, weight, construction,
+    )
+
+
+_JAVA_VALUE_TYPES = [
+    ValueType("java.io.File", ("getName", "getPath", "exists"),
+              ("example.db.Database", "getFile")),
+    ValueType("example.model.User", ("getEmail", "getId", "isActive"),
+              ("example.db.Database", "getUser")),
+    ValueType("example.net.Connection", ("send", "status", "close"),
+              ("example.net.ConnectionPool", "open")),
+    ValueType("example.model.Document", ("title", "render", "length"),
+              ("example.db.Database", "getDocument")),
+    ValueType("android.view.View", ("invalidate", "getTag", "isShown"), None),
+    ValueType("java.security.Key", ("getAlgorithm", "getFormat"), None),
+    ValueType("com.fasterxml.jackson.databind.JsonNode",
+              ("asText", "isNull", "size"), None),
+    ValueType("org.w3c.dom.Node", ("getNodeName", "getNodeValue"), None),
+    ValueType("java.lang.String", ("length", "trim", "isEmpty"), None),
+    ValueType("org.antlr.runtime.tree.Tree", ("getText", "getChildCount"),
+              None),
+]
+
+
+def java_registry() -> ApiRegistry:
+    """API classes of the Java corpus, spanning the Tab. 5 packages."""
+    obj_values = ("java.io.File", "example.model.User",
+                  "example.model.Document", "example.net.Connection")
+    classes = [
+        # --- java.util (the dominant package of Tab. 5) ---------------
+        _java_container("java.util.HashMap", "java.util", "put", "get", 2, 2,
+                        generic_arity=2, value_types=obj_values, weight=6.0),
+        _java_container("java.util.Hashtable", "java.util", "put", "get", 2, 2,
+                        generic_arity=2, value_types=obj_values, weight=1.5),
+        _java_container("java.util.TreeMap", "java.util", "put", "get", 2, 2,
+                        generic_arity=2, value_types=obj_values, weight=1.5),
+        _java_container("java.util.ArrayList", "java.util", "set", "get", 2, 2,
+                        key_kind="int", generic_arity=1,
+                        value_types=obj_values, weight=3.0),
+        _java_container("java.util.Properties", "java.util",
+                        "setProperty", "getProperty", 2, 2,
+                        load_returns="java.lang.String",
+                        value_types=("java.lang.String",), weight=2.0),
+        ApiClassModel(
+            "java.util.Iterator", "java.util", "java",
+            TrapRole("next", 0, "iterator", generic_arity=1),
+            obj_values,
+            (MethodSig("java.util.Iterator", "next", "<0>"),
+             MethodSig("java.util.Iterator", "hasNext", "boolean")),
+            weight=2.0, construction="none",
+        ),
+        # --- java.security / java.sql / org.w3c (constructor-less) ----
+        _java_reader("java.security.KeyStore", "java.security",
+                     "getKey", 2, returns="java.security.Key",
+                     construction="none", weight=1.6),
+        ApiClassModel(
+            "java.security.SecureRandom", "java.security", "java",
+            TrapRole("nextInt", 0, "random"),
+            ("int",),
+            (MethodSig("java.security.SecureRandom", "nextInt", "int"),),
+            weight=0.8,
+        ),
+        _java_reader("java.sql.ResultSet", "java.sql",
+                     "getString", 1, returns="java.lang.String",
+                     construction="producer:java.sql.Statement.executeQuery",
+                     weight=3.0),
+        _java_reader("org.w3c.dom.NodeList", "org.w3c",
+                     "item", 1, key_kind="int", returns="org.w3c.dom.Node",
+                     construction="producer:org.w3c.dom.Document.getElementsByTagName",
+                     weight=2.2),
+        _java_reader("org.w3c.dom.Element", "org.w3c",
+                     "getAttribute", 1, returns="java.lang.String",
+                     weight=0.8),
+        # --- android ---------------------------------------------------
+        _java_container("android.util.SparseArray", "android.util",
+                        "put", "get", 2, 2, key_kind="int", generic_arity=1,
+                        value_types=obj_values, weight=1.5),
+        _java_reader("android.view.ViewGroup", "android.view",
+                     "findViewById", 1, key_kind="int",
+                     returns="android.view.View", weight=2.2),
+        _java_container("android.content.Intent", "android.content",
+                        "putExtra", "getStringExtra", 2, 2,
+                        load_returns="java.lang.String",
+                        value_types=("java.lang.String",), weight=1.5),
+        _java_container("android.content.ContentValues", "android.content",
+                        "put", "getAsString", 2, 2,
+                        load_returns="java.lang.String",
+                        value_types=("java.lang.String",), weight=0.8),
+        # --- org.json / jackson ----------------------------------------
+        _java_container("org.json.JSONObject", "org.json", "put", "get", 2, 2,
+                        value_types=obj_values, weight=2.0,
+                        load_returns="java.lang.Object"),
+        _java_reader("com.fasterxml.jackson.databind.JsonNode", "com.fasterxml",
+                     "path", 1,
+                     returns="com.fasterxml.jackson.databind.JsonNode",
+                     construction="producer:com.fasterxml.jackson.databind.ObjectMapper.readTree",
+                     weight=1.2),
+        # --- the long tail of Tab. 5 ------------------------------------
+        _java_container("com.google.common.cache.Cache", "com.google",
+                        "put", "getIfPresent", 2, 2, generic_arity=2,
+                        value_types=obj_values, weight=1.5),
+        _java_container("org.eclipse.swt.widgets.Widget", "org.eclipse",
+                        "setData", "getData", 2, 2,
+                        load_returns="java.lang.Object",
+                        value_types=obj_values, weight=1.5),
+        _java_container("org.apache.commons.collections.map.MultiKeyMap",
+                        "org.apache", "put", "get", 2, 2,
+                        load_returns="java.lang.Object",
+                        value_types=obj_values, weight=1.0),
+        _java_reader("javax.swing.JTabbedPane", "javax.swing",
+                     "getComponentAt", 1, key_kind="int",
+                     returns="android.view.View", weight=1.0),
+        _java_container("net.minecraft.nbt.NBTTagCompound", "net.minecraft",
+                        "setTag", "getTag", 2, 2,
+                        load_returns="java.lang.Object",
+                        value_types=obj_values, weight=1.0),
+        _java_container("org.codehaus.jettison.json.JSONObject",
+                        "org.codehaus", "put", "get", 2, 2,
+                        load_returns="java.lang.Object",
+                        value_types=obj_values, weight=0.7),
+        # --- more java.util / collections (Tab. 5's breadth) ------------
+        _java_container("java.util.LinkedHashMap", "java.util", "put", "get",
+                        2, 2, generic_arity=2, value_types=obj_values,
+                        weight=0.9),
+        _java_container("java.util.WeakHashMap", "java.util", "put", "get",
+                        2, 2, generic_arity=2, value_types=obj_values,
+                        weight=0.5),
+        _java_container("java.util.concurrent.ConcurrentHashMap",
+                        "java.util", "put", "get", 2, 2, generic_arity=2,
+                        value_types=obj_values, weight=0.9),
+        _java_container("java.util.Vector", "java.util", "set", "get", 2, 2,
+                        key_kind="int", generic_arity=1,
+                        value_types=obj_values, weight=0.5),
+        # --- more android / swing / eclipse / google --------------------
+        _java_container("android.os.Bundle", "android.os",
+                        "putString", "getString", 2, 2,
+                        load_returns="java.lang.String",
+                        value_types=("java.lang.String",), weight=0.9),
+        _java_reader("android.content.SharedPreferences", "android.content",
+                     "getString", 2, returns="java.lang.String", weight=0.7),
+        _java_container("javax.swing.JComponent", "javax.swing",
+                        "putClientProperty", "getClientProperty", 2, 2,
+                        load_returns="java.lang.Object",
+                        value_types=obj_values, weight=0.7),
+        _java_container("com.google.gson.JsonObject", "com.google",
+                        "add", "get", 2, 2,
+                        load_returns="java.lang.Object",
+                        value_types=obj_values, weight=0.8),
+        _java_container("org.eclipse.jface.preference.PreferenceStore",
+                        "org.eclipse", "putValue", "getString", 2, 2,
+                        load_returns="java.lang.String",
+                        value_types=("java.lang.String",), weight=0.6),
+        # --- more w3c / jackson ------------------------------------------
+        _java_reader("org.w3c.dom.NamedNodeMap", "org.w3c",
+                     "getNamedItem", 1, returns="org.w3c.dom.Node",
+                     construction="producer:org.w3c.dom.Node.getAttributes",
+                     weight=0.5),
+        _java_container("com.fasterxml.jackson.databind.node.ObjectNode",
+                        "com.fasterxml", "set", "get", 2, 2,
+                        load_returns="com.fasterxml.jackson.databind.JsonNode",
+                        value_types=("com.fasterxml.jackson.databind.JsonNode",),
+                        weight=0.6),
+        # --- fluent builders (RetRecv extension pattern) -----------------
+        ApiClassModel(
+            "java.lang.StringBuilder", "java.lang", "java",
+            FluentRole("append", 1),
+            ("java.lang.String",),
+            (MethodSig("java.lang.StringBuilder", "append",
+                       "java.lang.StringBuilder", ("?",)),
+             MethodSig("java.lang.StringBuilder", "toString",
+                       "java.lang.String"),),
+            weight=1.8,
+        ),
+        ApiClassModel(
+            "okhttp3.Request.Builder", "okhttp3", "java",
+            FluentRole("addHeader", 2, finisher="build"),
+            ("java.lang.String",),
+            (MethodSig("okhttp3.Request.Builder", "addHeader",
+                       "okhttp3.Request.Builder",
+                       ("java.lang.String", "java.lang.String")),
+             MethodSig("okhttp3.Request.Builder", "build", "?"),),
+            weight=0.9,
+        ),
+        ApiClassModel(
+            "java.lang.String", "java.lang", "java",
+            TrapRole("concat", 1, "copy"),
+            ("java.lang.String",),
+            (MethodSig("java.lang.String", "concat", "java.lang.String",
+                       ("java.lang.String",)),),
+            weight=1.0,
+        ),
+        # --- the antlr false-positive of Tab. 3 -------------------------
+        ApiClassModel(
+            "org.antlr.runtime.tree.TreeAdaptor", "org.antlr", "java",
+            ContainerRole("addChild", "rulePostProcessing", 2, 2),
+            ("org.antlr.runtime.tree.Tree",),
+            (MethodSig("org.antlr.runtime.tree.TreeAdaptor", "addChild",
+                       "void", ("org.antlr.runtime.tree.Tree",
+                                "org.antlr.runtime.tree.Tree")),
+             MethodSig("org.antlr.runtime.tree.TreeAdaptor",
+                       "rulePostProcessing", "org.antlr.runtime.tree.Tree"),),
+            weight=0.8,
+            spurious=True,
+        ),
+    ]
+    return ApiRegistry("java", classes, _JAVA_VALUE_TYPES)
+
+
+# ======================================================================
+# Python registry
+# ======================================================================
+
+
+_PY_VALUE_TYPES = [
+    ValueType("example.Widget", ("render", "hide", "refresh"), None),
+    ValueType("example.Record", ("save", "validate", "serialize"), None),
+    ValueType("example.Session", ("commit", "rollback", "close"), None),
+    ValueType("file", ("read", "readline", "close"), None),
+    ValueType("str", ("strip", "lower", "upper"), None),
+]
+
+
+def _py_container(fqn: str, package: str, store: str, load: str,
+                  value_pos: int, store_nargs: int, *,
+                  subscript: bool = False, weight: float = 1.0,
+                  construction: str = "new",
+                  value_types: Tuple[str, ...] = ()) -> ApiClassModel:
+    sigs = (
+        MethodSig(fqn, store, "void"),
+        MethodSig(fqn, load, "?"),
+    )
+    return ApiClassModel(
+        fqn, package, "python",
+        ContainerRole(store, load, value_pos, store_nargs,
+                      subscript=subscript),
+        value_types or ("example.Widget", "example.Record", "file"),
+        sigs, weight, construction,
+    )
+
+
+def _py_reader(fqn: str, package: str, method: str, nargs: int, *,
+               weight: float = 1.0, construction: str = "new",
+               returns: str = "example.Record") -> ApiClassModel:
+    return ApiClassModel(
+        fqn, package, "python", ReaderRole(method, nargs),
+        (returns,), (MethodSig(fqn, method, returns),), weight, construction,
+    )
+
+
+def python_registry() -> ApiRegistry:
+    """API classes of the Python corpus, spanning the Tab. 6 libraries."""
+    classes = [
+        # --- builtins ---------------------------------------------------
+        _py_container("Dict", "builtins", "SubscriptStore", "SubscriptLoad",
+                      2, 2, subscript=True, weight=6.0,
+                      construction="builtin"),
+        _py_container("Dict", "builtins", "setdefault", "SubscriptLoad",
+                      2, 2, weight=0.0, construction="builtin"),
+        _py_container("List", "builtins", "SubscriptStore", "SubscriptLoad",
+                      2, 2, subscript=True, weight=2.0,
+                      construction="builtin"),
+        ApiClassModel(
+            "file", "builtins", "python",
+            TrapRole("readline", 0, "iterator"),
+            ("str",),
+            (MethodSig("file", "readline", "str"),), weight=1.5,
+            construction="open",
+        ),
+        ApiClassModel(
+            "List", "builtins", "python", TrapRole("pop", 0, "pop"),
+            ("example.Widget", "example.Record"),
+            (MethodSig("List", "pop", "?"),), weight=1.5,
+            construction="builtin",
+            # LIFO: pop *may* return the argument of a preceding append —
+            # correct as a may-alias fact; only RetSame(pop) is wrong
+            extra_true_specs=(RetArg("List.pop", "List.append", 1),),
+        ),
+        # --- numpy (dominant library of Tab. 6) -------------------------
+        _py_container("numpy.ndarray", "numpy", "SubscriptStore",
+                      "SubscriptLoad", 2, 2, subscript=True, weight=3.0,
+                      construction="producer:numpy.zeros"),
+        _py_reader("numpy.ndarray", "numpy", "item", 1, weight=0.0),
+        _py_container("numpy.lib.npyio.NpzFile", "numpy", "SubscriptStore",
+                      "SubscriptLoad", 2, 2, subscript=True, weight=1.0,
+                      construction="producer:numpy.load"),
+        _py_reader("numpy.random.RandomState", "numpy", "get_state", 0,
+                   weight=0.6),
+        _py_container("numpy.matrix", "numpy", "SubscriptStore",
+                      "SubscriptLoad", 2, 2, subscript=True, weight=1.0,
+                      construction="new"),
+        _py_container("numpy.ma.MaskedArray", "numpy", "SubscriptStore",
+                      "SubscriptLoad", 2, 2, subscript=True, weight=1.0,
+                      construction="producer:numpy.ma.masked_array"),
+        _py_container("numpy.recarray", "numpy", "SubscriptStore",
+                      "SubscriptLoad", 2, 2, subscript=True, weight=0.8,
+                      construction="producer:numpy.rec.array"),
+        # --- stdlib ------------------------------------------------------
+        _py_container("configparser.ConfigParser", "configparser",
+                      "set", "get", 3, 3, weight=1.5),
+        _py_container("collections.OrderedDict", "collections",
+                      "SubscriptStore", "SubscriptLoad", 2, 2,
+                      subscript=True, weight=1.5),
+        _py_container("collections.defaultdict", "collections",
+                      "SubscriptStore", "SubscriptLoad", 2, 2,
+                      subscript=True, weight=1.0),
+        _py_container("os.environ", "os", "SubscriptStore", "SubscriptLoad",
+                      2, 2, subscript=True, weight=1.2,
+                      construction="none"),
+        _py_reader("re.Match", "re", "group", 1, weight=1.2,
+                   construction="producer:re.match", returns="str"),
+        _py_container("shelve.Shelf", "os", "SubscriptStore", "SubscriptLoad",
+                      2, 2, subscript=True, weight=0.5,
+                      construction="producer:shelve.open"),
+        # --- third-party libraries of Tab. 6 ----------------------------
+        _py_container("pandas.DataFrame", "pandas", "SubscriptStore",
+                      "SubscriptLoad", 2, 2, subscript=True, weight=1.8,
+                      construction="new"),
+        _py_reader("pandas.DataFrame", "pandas", "head", 0, weight=0.0),
+        _py_container("django.http.HttpRequest", "django",
+                      "SubscriptStore", "SubscriptLoad", 2, 2,
+                      subscript=True, weight=1.2, construction="new"),
+        _py_reader("django.db.models.Manager", "django", "get", 1,
+                   weight=0.8, returns="example.Record"),
+        _py_container("yaml.YAMLObject", "yaml", "SubscriptStore",
+                      "SubscriptLoad", 2, 2, subscript=True, weight=1.0,
+                      construction="producer:yaml.safe_load"),
+        _py_container("json.JSONDecoder", "json", "SubscriptStore",
+                      "SubscriptLoad", 2, 2, subscript=True, weight=1.0,
+                      construction="producer:json.loads"),
+        _py_reader("copy.Copier", "copy", "deepcopy", 1, weight=0.9),
+        _py_container("flask.Session", "flask", "SubscriptStore",
+                      "SubscriptLoad", 2, 2, subscript=True, weight=0.9,
+                      construction="new"),
+        _py_container("xml.etree.ElementTree.Element", "xml",
+                      "set", "get", 2, 2, weight=0.8,
+                      construction="producer:xml.etree.ElementTree.fromstring"),
+    ]
+    classes = [c for c in classes if c.weight > 0]
+    return ApiRegistry("python", classes, _PY_VALUE_TYPES)

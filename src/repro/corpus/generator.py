@@ -1,0 +1,714 @@
+"""Synthetic corpus generator.
+
+Emits randomized but idiomatic source files (MiniJava or Python) whose
+API-usage statistics mirror what USpec mines from GitHub:
+
+* **direct chains** — ``File f = db.getFile(); f.getName();`` — real
+  event-graph edges that teach the probabilistic model which
+  producer→consumer flows exist;
+* **container round-trips** — ``map.put(k, v); … map.get(k).use()`` —
+  the RetArg usage idiom.  Retrieved values are used consistently with
+  their type (the generator knows the true aliasing), which is exactly
+  the signal that makes the induced edge of the correct candidate
+  specification probable under the model;
+* **repeated readers** — ``vg.findViewById(id)`` twice with the same
+  id, results used like one object (the RetSame idiom);
+* **traps** — ``Iterator.next`` twice, ``SecureRandom.nextInt`` —
+  pattern matches whose induced edges connect *differently used*
+  objects, giving the model the evidence to reject them;
+* **noise** — unrelated calls, branches, loops, helper functions.
+
+The generator is fully deterministic given a seed.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.corpus.apis import (
+    ApiClassModel,
+    ApiRegistry,
+    ContainerRole,
+    FluentRole,
+    ReaderRole,
+    TrapRole,
+    ValueType,
+)
+from repro.frontend.minijava import parse_minijava
+from repro.frontend.pyfront import parse_python
+from repro.ir.program import Program
+
+_STR_KEYS = ["cfg", "name", "user", "id", "path", "data", "cache", "token",
+             "value", "item", "host", "port"]
+_SECTIONS = ["core", "net", "ui", "db"]
+
+
+@dataclass(frozen=True)
+class CorpusConfig:
+    """Shape of the generated corpus."""
+
+    n_files: int = 200
+    seed: int = 42
+    min_scenarios: int = 1
+    max_scenarios: int = 4
+    #: probability that a round-trip uses a non-matching key (noise)
+    mismatch_key_prob: float = 0.15
+    #: probability of routing a store through a helper function
+    helper_prob: float = 0.15
+    #: probability of wrapping a scenario fragment in a branch
+    branch_prob: float = 0.2
+    #: probability that a stored value keeps being used after the store
+    post_store_use_prob: float = 0.5
+    #: max consumer calls on a read/looked-up value (min is always 1)
+    max_reuse: int = 2
+    #: probability that a store uses a key the analysis cannot resolve
+    #: (exercises the §6.4 ⊤/⊥ coverage machinery)
+    unknown_key_prob: float = 0.08
+
+
+@dataclass
+class GeneratedFile:
+    """One synthetic corpus file."""
+
+    name: str
+    text: str
+    language: str
+    #: API classes exercised (for evaluation bookkeeping)
+    classes: Tuple[str, ...] = ()
+
+
+# ======================================================================
+# emission helpers
+# ======================================================================
+
+
+class _Writer:
+    """Line buffer with indentation and fresh-name management."""
+
+    def __init__(self) -> None:
+        self.lines: List[str] = []
+        self.indent = 0
+        self._counter = 0
+        self.helpers: List[str] = []
+
+    def fresh(self, hint: str) -> str:
+        self._counter += 1
+        return f"{hint}{self._counter}"
+
+    def emit(self, line: str) -> None:
+        self.lines.append("    " * self.indent + line)
+
+    def text(self) -> str:
+        return "\n".join(self.helpers + [""] + self.lines) + "\n"
+
+
+# ======================================================================
+# Java generation
+# ======================================================================
+
+
+class _JavaGen:
+    def __init__(self, registry: ApiRegistry, config: CorpusConfig,
+                 rng: random.Random) -> None:
+        self.registry = registry
+        self.config = config
+        self.rng = rng
+        self.writer = _Writer()
+        self.used_classes: List[str] = []
+
+    # ------------------------------------------------------------------
+
+    def value_expr(self, vt: ValueType) -> Tuple[str, List[str]]:
+        """An expression producing a value of ``vt`` plus setup lines."""
+        w = self.writer
+        if vt.producer is not None and self.rng.random() < 0.7:
+            pcls, pmethod = vt.producer
+            pvar = w.fresh("src")
+            setup = [f"{pcls} {pvar} = new {pcls}();"]
+            return f"{pvar}.{pmethod}()", setup
+        if vt.fqn == "java.lang.String":
+            return f'"{self.rng.choice(_STR_KEYS)}"', []
+        return f"new {vt.fqn}()", []
+
+    def key_literal(self, kind: str) -> str:
+        if kind == "int":
+            return str(self.rng.randrange(100))
+        return f'"{self.rng.choice(_STR_KEYS)}"'
+
+    def consume(self, var: str, vt: ValueType, times: int = 1) -> None:
+        consumers = list(vt.consumers)
+        self.rng.shuffle(consumers)
+        for consumer in consumers[:times]:
+            self.writer.emit(f"{var}.{consumer}();")
+
+    def instance(self, cls: ApiClassModel, generics: str = "") -> Optional[str]:
+        """Emit code obtaining an instance of ``cls``; returns its var."""
+        w = self.writer
+        var = w.fresh(cls.short[:1].lower() + cls.short[1:3])
+        if cls.construction == "new":
+            w.emit(f"{cls.fqn}{generics} {var} = new {cls.fqn}{generics and '<>'}();")
+            return var
+        if cls.construction.startswith("producer:"):
+            producer = cls.construction.split(":", 1)[1]
+            pcls, pmethod = producer.rsplit(".", 1)
+            pvar = w.fresh("src")
+            w.emit(f"{pcls} {pvar} = new {pcls}();")
+            arg = '"query"' if cls.fqn == "java.sql.ResultSet" else '"node"'
+            if cls.fqn == "com.fasterxml.jackson.databind.JsonNode":
+                arg = '"{}"'
+            w.emit(f"{cls.fqn} {var} = {pvar}.{pmethod}({arg});")
+            return var
+        if cls.construction == "none":
+            if cls.fqn == "java.security.KeyStore":
+                w.emit(f'java.security.KeyStore {var} = KeyStore.getInstance("JKS");')
+                return var
+            return None
+        return None
+
+    # ------------------------------------------------------------------
+    # scenarios
+
+    def container_roundtrip(self, cls: ApiClassModel) -> None:
+        role = cls.role
+        assert isinstance(role, ContainerRole)
+        w, rng = self.writer, self.rng
+        vt = self.registry.value_type(rng.choice(cls.value_types))
+        generics = self._generics(cls, vt)
+        recv = self.instance(cls, generics)
+        if recv is None:
+            return
+        self.used_classes.append(cls.fqn)
+        if (rng.random() < self.config.helper_prob
+                and not getattr(role, "subscript", False)
+                and role.key_kind == "str"):
+            self._roundtrip_via_helper(cls, role, vt, recv)
+            return
+        value_expr, setup = self.value_expr(vt)
+        for line in setup:
+            w.emit(line)
+        vvar = w.fresh("v")
+        w.emit(f"{vt.fqn} {vvar} = {value_expr};")
+        if rng.random() < 0.4:
+            self.consume(vvar, vt, 1)
+        if rng.random() < self.config.unknown_key_prob and role.key_kind == "str":
+            # key computed through an opaque API: only the §6.4 ⊤/⊥
+            # extension can track this store
+            kvar = w.fresh("key")
+            w.emit(f"String {kvar} = computeKey();")
+            key = kvar
+        else:
+            key = self.key_literal(role.key_kind)
+        w.emit(f"{recv}.{role.store}({self._store_args(role, key, vvar)});")
+        if rng.random() < self.config.post_store_use_prob:
+            # values stay in use after being stored — the crucial
+            # positive evidence linking store-side allocations to
+            # downstream consumers
+            self.consume(vvar, vt, rng.randrange(1, self.config.max_reuse + 1))
+        self._noise_lines(rng.randrange(0, 3))
+        load_key = key
+        if rng.random() < self.config.mismatch_key_prob:
+            load_key = self.key_literal(role.key_kind)
+        load_expr = f"{recv}.{role.load}({self._load_args(role, load_key)})"
+        if self._load_needs_cast(cls, vt):
+            load_expr = f"(({vt.fqn}) {load_expr})"
+        if rng.random() < 0.5:
+            # direct chained use
+            consumer = rng.choice(vt.consumers)
+            w.emit(f"{load_expr}.{consumer}();")
+        else:
+            out = w.fresh("out")
+            w.emit(f"{vt.fqn} {out} = {load_expr};")
+            self.consume(out, vt, rng.randrange(1, 3))
+
+    def _roundtrip_via_helper(self, cls: ApiClassModel, role: ContainerRole,
+                              vt: ValueType, recv: str) -> None:
+        """Store through a helper function: exercises the
+        interprocedural analysis and calling contexts."""
+        w, rng = self.writer, self.rng
+        helper = w.fresh("store")
+        value_expr, setup = self.value_expr(vt)
+        body = [f"void {helper}({cls.fqn} target, {vt.fqn} item) {{"]
+        key = self.key_literal(role.key_kind)
+        body.append(
+            f"    target.{role.store}({self._store_args(role, key, 'item')});"
+        )
+        body.append("}")
+        w.helpers.extend(body)
+        for line in setup:
+            w.emit(line)
+        vvar = w.fresh("v")
+        w.emit(f"{vt.fqn} {vvar} = {value_expr};")
+        w.emit(f"{helper}({recv}, {vvar});")
+        self._noise_lines(rng.randrange(0, 2))
+        load_expr = f"{recv}.{role.load}({self._load_args(role, key)})"
+        if self._load_needs_cast(cls, vt):
+            load_expr = f"(({vt.fqn}) {load_expr})"
+        out = w.fresh("out")
+        w.emit(f"{vt.fqn} {out} = {load_expr};")
+        self.consume(out, vt, rng.randrange(1, 3))
+
+    def _load_needs_cast(self, cls: ApiClassModel, vt: ValueType) -> bool:
+        """Raw-Object loads are cast to the expected type, as real Java
+        code does — this keeps chained consumer calls correctly typed."""
+        role = cls.role
+        sig = next((s for s in cls.sigs if s.name == role.load), None)
+        if sig is None:
+            return False
+        return sig.returns in ("java.lang.Object", "?") \
+            and sig.returns != vt.fqn
+
+    def reader_repeat(self, cls: ApiClassModel) -> None:
+        role = cls.role
+        assert isinstance(role, ReaderRole)
+        w, rng = self.writer, self.rng
+        recv = self.instance(cls)
+        if recv is None:
+            return
+        self.used_classes.append(cls.fqn)
+        vt = self.registry.value_type(cls.value_types[0])
+        keys = [self.key_literal(role.key_kind) for _ in range(role.nargs)]
+        args = ", ".join(keys)
+        a = w.fresh("a")
+        w.emit(f"{vt.fqn} {a} = {recv}.{role.method}({args});")
+        # looked-up values are typically reused — the signal that makes
+        # repeated reads of the same key "explainable" by the model
+        self.consume(a, vt, rng.randrange(1, self.config.max_reuse + 1))
+        self._noise_lines(rng.randrange(0, 2))
+        same_key = rng.random() >= self.config.mismatch_key_prob
+        args2 = args if same_key else ", ".join(
+            self.key_literal(role.key_kind) for _ in range(role.nargs)
+        )
+        b = w.fresh("b")
+        w.emit(f"{vt.fqn} {b} = {recv}.{role.method}({args2});")
+        self.consume(b, vt, rng.randrange(1, 3))
+        if rng.random() < 0.5:
+            c = w.fresh("c")
+            w.emit(f"{vt.fqn} {c} = {recv}.{role.method}({args});")
+            self.consume(c, vt, 1)
+
+    def direct_chain(self) -> None:
+        """Var-reuse producer→consumer chains: the training signal."""
+        rng, w = self.rng, self.writer
+        vt = rng.choice([v for v in self.registry.value_types.values()
+                         if v.producer is not None])
+        expr, setup = self.value_expr(vt)
+        for line in setup:
+            w.emit(line)
+        var = w.fresh("obj")
+        w.emit(f"{vt.fqn} {var} = {expr};")
+        self.consume(var, vt, rng.randrange(1, 3))
+
+    def trap(self, cls: ApiClassModel) -> None:
+        role = cls.role
+        assert isinstance(role, TrapRole)
+        w, rng = self.writer, self.rng
+        self.used_classes.append(cls.fqn)
+        if role.kind == "iterator":
+            vt = self.registry.value_type(rng.choice(cls.value_types))
+            lst = w.fresh("items")
+            w.emit(f"java.util.ArrayList<{vt.fqn}> {lst} = new java.util.ArrayList<>();")
+            w.emit(f'{lst}.set(0, new {vt.fqn}());')
+            if rng.random() < 0.5:
+                # foreach: single-use loop elements
+                elem = w.fresh("e")
+                w.emit(f"for ({vt.fqn} {elem} : {lst}) {{")
+                w.indent += 1
+                self.consume(elem, vt, 1)
+                w.indent -= 1
+                w.emit("}")
+            else:
+                # two next() calls: results used *differently*
+                it = w.fresh("it")
+                w.emit(f"java.util.Iterator<{vt.fqn}> {it} = {lst}.iterator();")
+                a, b = w.fresh("first"), w.fresh("second")
+                w.emit(f"{vt.fqn} {a} = {it}.next();")
+                w.emit(f"{a}.{vt.consumers[0]}();")
+                w.emit(f"{vt.fqn} {b} = {it}.next();")
+                w.emit(f"{b}.{vt.consumers[-1]}();")
+        elif role.kind == "random":
+            recv = self.instance(cls)
+            if recv is None:
+                return
+            a, b = w.fresh("r"), w.fresh("r")
+            w.emit(f"int {a} = {recv}.{role.method}();")
+            w.emit(f"int {b} = {recv}.{role.method}();")
+            lst = w.fresh("xs")
+            w.emit(f"java.util.ArrayList<java.io.File> {lst} = new java.util.ArrayList<>();")
+            w.emit(f"{lst}.get({a});")
+            w.emit(f"int sum = {a} + {b};")
+
+    def fluent_chain(self, cls: ApiClassModel) -> None:
+        """Builder usage: plain re-use plus a fluent chain — the idiom
+        the RetRecv extension pattern learns from."""
+        role = cls.role
+        assert isinstance(role, FluentRole)
+        w, rng = self.writer, self.rng
+        recv = self.instance(cls)
+        if recv is None:
+            return
+        self.used_classes.append(cls.fqn)
+        args = lambda: ", ".join(  # noqa: E731 - tiny local helper
+            self.key_literal("str") for _ in range(role.nargs)
+        )
+        # non-chained re-use: the training signal for "ret acts like recv"
+        w.emit(f"{recv}.{role.method}({args()});")
+        w.emit(f"{recv}.{role.method}({args()});")
+        if rng.random() < 0.7:
+            # fluent chain: creates the scored RetRecv occurrences
+            chain = f"{recv}.{role.method}({args()}).{role.method}({args()})"
+            w.emit(f"{chain};")
+        w.emit(f"{recv}.{role.finisher}();")
+
+    def copy_trap(self, cls: ApiClassModel) -> None:
+        """Methods returning a *fresh* object (String.concat): receiver
+        and result live separate lives afterwards."""
+        role = cls.role
+        w, rng = self.writer, self.rng
+        self.used_classes.append(cls.fqn)
+        vt = self.registry.value_type(cls.value_types[0])
+        a = w.fresh("s")
+        w.emit(f'{vt.fqn} {a} = "{rng.choice(_STR_KEYS)}";')
+        b = w.fresh("s")
+        w.emit(f'{vt.fqn} {b} = {a}.{role.method}("{rng.choice(_STR_KEYS)}");')
+        self.consume(b, vt, 1)
+        self.consume(a, vt, 1)
+
+    def noise(self) -> None:
+        self._noise_lines(self.rng.randrange(1, 4))
+
+    def _noise_lines(self, n: int) -> None:
+        w, rng = self.writer, self.rng
+        for _ in range(n):
+            choice = rng.randrange(4)
+            if choice == 0:
+                s = w.fresh("s")
+                w.emit(f'String {s} = "{rng.choice(_STR_KEYS)}";')
+                w.emit(f"{s}.trim();")
+            elif choice == 1:
+                w.emit(f"log({self.key_literal('str')});")
+            elif choice == 2:
+                i = w.fresh("n")
+                w.emit(f"int {i} = {rng.randrange(50)};")
+            else:
+                c = w.fresh("flag")
+                w.emit(f"boolean {c} = true;")
+                w.emit(f"if ({c}) {{")
+                w.indent += 1
+                w.emit(f"log(\"branch\");")
+                w.indent -= 1
+                w.emit("}")
+
+    # ------------------------------------------------------------------
+
+    def _generics(self, cls: ApiClassModel, vt: ValueType) -> str:
+        role = cls.role
+        arity = getattr(role, "generic_arity", 0)
+        if arity == 2:
+            key = "Integer" if getattr(role, "key_kind", "str") == "int" \
+                else "java.lang.String"
+            return f"<{key}, {vt.fqn}>"
+        if arity == 1:
+            return f"<{vt.fqn}>"
+        return ""
+
+    def _store_args(self, role: ContainerRole, key: str, value: str) -> str:
+        args = [key] * (role.store_nargs - 1)
+        args.insert(role.value_pos - 1, value)
+        return ", ".join(args)
+
+    def _load_args(self, role: ContainerRole, key: str) -> str:
+        return ", ".join([key] * (role.store_nargs - 1))
+
+
+# ======================================================================
+# Python generation
+# ======================================================================
+
+
+class _PythonGen:
+    def __init__(self, registry: ApiRegistry, config: CorpusConfig,
+                 rng: random.Random) -> None:
+        self.registry = registry
+        self.config = config
+        self.rng = rng
+        self.writer = _Writer()
+        self.imports: set = set()
+        self.used_classes: List[str] = []
+
+    # ------------------------------------------------------------------
+
+    def value_expr(self, vt: ValueType) -> str:
+        if vt.fqn == "file":
+            return f'open("{self.rng.choice(_STR_KEYS)}.txt")'
+        if vt.fqn == "str":
+            return f'"{self.rng.choice(_STR_KEYS)}"'
+        module, _, cls = vt.fqn.rpartition(".")
+        if module:
+            self.imports.add(module)
+        return f"{vt.fqn}()"
+
+    def key_literal(self, kind: str = "str") -> str:
+        if kind == "int":
+            return str(self.rng.randrange(20))
+        return f'"{self.rng.choice(_STR_KEYS)}"'
+
+    def consume(self, var: str, vt: ValueType, times: int = 1) -> None:
+        consumers = list(vt.consumers)
+        self.rng.shuffle(consumers)
+        for consumer in consumers[:times]:
+            self.writer.emit(f"{var}.{consumer}()")
+
+    def instance(self, cls: ApiClassModel) -> Optional[str]:
+        w = self.writer
+        var = w.fresh(cls.short.lower()[:4])
+        if cls.construction == "builtin":
+            ctor = "{}" if cls.fqn == "Dict" else "[]"
+            w.emit(f"{var} = {ctor}")
+            return var
+        if cls.construction == "new":
+            module, _, short = cls.fqn.rpartition(".")
+            if module:
+                self.imports.add(module)
+                w.emit(f"{var} = {module}.{short}()")
+            else:
+                w.emit(f"{var} = {short}()")
+            return var
+        if cls.construction.startswith("producer:"):
+            producer = cls.construction.split(":", 1)[1]
+            module = producer.split(".")[0]
+            self.imports.add(module)
+            arg = {"numpy.zeros": "8", "numpy.load": '"data.npz"',
+                   "numpy.ma.masked_array": "8", "numpy.rec.array": "8",
+                   "re.match": '"p.*", "text"',
+                   "yaml.safe_load": '"a: 1"', "json.loads": "'{}'",
+                   "shelve.open": '"db"',
+                   "xml.etree.ElementTree.fromstring": '"<a/>"'}.get(
+                       producer, '""')
+            w.emit(f"{var} = {producer}({arg})")
+            return var
+        if cls.construction == "open":
+            w.emit(f'{var} = open("{self.rng.choice(_STR_KEYS)}.txt")')
+            return var
+        if cls.construction == "none":
+            if cls.fqn == "os.environ":
+                self.imports.add("os")
+                return "os.environ"
+            return None
+        return None
+
+    # ------------------------------------------------------------------
+    # scenarios
+
+    def container_roundtrip(self, cls: ApiClassModel) -> None:
+        role = cls.role
+        assert isinstance(role, ContainerRole)
+        w, rng = self.writer, self.rng
+        recv = self.instance(cls)
+        if recv is None:
+            return
+        self.used_classes.append(cls.fqn)
+        vt = self.registry.value_type(rng.choice(cls.value_types))
+        vvar = w.fresh("val")
+        w.emit(f"{vvar} = {self.value_expr(vt)}")
+        if rng.random() < 0.4:
+            self.consume(vvar, vt, 1)
+        keys = [self.key_literal(role.key_kind)
+                for _ in range(role.store_nargs - 1)]
+        if rng.random() < self.config.unknown_key_prob:
+            kvar = w.fresh("key")
+            w.emit(f"{kvar} = compute_key()")
+            keys[0] = kvar
+        if role.subscript:
+            w.emit(f"{recv}[{keys[0]}] = {vvar}")
+        else:
+            args = list(keys)
+            args.insert(role.value_pos - 1, vvar)
+            w.emit(f"{recv}.{role.store}({', '.join(args)})")
+        if rng.random() < self.config.post_store_use_prob:
+            self.consume(vvar, vt,
+                         rng.randrange(1, self.config.max_reuse + 1))
+        self._noise_lines(rng.randrange(0, 3))
+        load_keys = list(keys)
+        if rng.random() < self.config.mismatch_key_prob:
+            load_keys[0] = self.key_literal(role.key_kind)
+        if role.subscript:
+            load = f"{recv}[{load_keys[0]}]"
+        else:
+            load = f"{recv}.{role.load}({', '.join(load_keys)})"
+        if rng.random() < 0.5:
+            consumer = rng.choice(vt.consumers)
+            w.emit(f"{load}.{consumer}()")
+        else:
+            out = w.fresh("got")
+            w.emit(f"{out} = {load}")
+            self.consume(out, vt, rng.randrange(1, 3))
+
+    def reader_repeat(self, cls: ApiClassModel) -> None:
+        role = cls.role
+        assert isinstance(role, ReaderRole)
+        w, rng = self.writer, self.rng
+        recv = self.instance(cls)
+        if recv is None:
+            return
+        self.used_classes.append(cls.fqn)
+        vt = self.registry.value_type(cls.value_types[0])
+        args = ", ".join(self.key_literal() for _ in range(role.nargs))
+        a = w.fresh("a")
+        w.emit(f"{a} = {recv}.{role.method}({args})")
+        self.consume(a, vt, rng.randrange(1, self.config.max_reuse + 1))
+        self._noise_lines(rng.randrange(0, 2))
+        same = rng.random() >= self.config.mismatch_key_prob
+        args2 = args if same else ", ".join(
+            self.key_literal() for _ in range(role.nargs)
+        )
+        b = w.fresh("b")
+        w.emit(f"{b} = {recv}.{role.method}({args2})")
+        self.consume(b, vt, rng.randrange(1, 3))
+        if rng.random() < 0.5:
+            c = w.fresh("c")
+            w.emit(f"{c} = {recv}.{role.method}({args})")
+            self.consume(c, vt, 1)
+
+    def direct_chain(self) -> None:
+        rng, w = self.rng, self.writer
+        vt = rng.choice(list(self.registry.value_types.values()))
+        var = w.fresh("obj")
+        w.emit(f"{var} = {self.value_expr(vt)}")
+        self.consume(var, vt, rng.randrange(1, 3))
+
+    def trap(self, cls: ApiClassModel) -> None:
+        role = cls.role
+        assert isinstance(role, TrapRole)
+        w, rng = self.writer, self.rng
+        self.used_classes.append(cls.fqn)
+        if role.kind == "iterator":
+            # stream-like reads: every call returns a *different* object
+            # (file.readline), and client code uses them differently —
+            # the usage signal that lets the model reject RetSame
+            recv = self.instance(cls)
+            if recv is None:
+                return
+            vt = self.registry.value_type(cls.value_types[0])
+            a = w.fresh("line")
+            w.emit(f"{a} = {recv}.{role.method}()")
+            self.consume(a, vt, 1)
+            b = w.fresh("line")
+            w.emit(f"{b} = {recv}.{role.method}()")
+            self.consume(b, vt, 1)
+            return
+        if role.kind == "pop":
+            # List.pop used like a reader: results consumed consistently.
+            # The paper reports RetSame(pop) as *incorrectly learned* —
+            # the corpus faithfully reproduces the misleading idiom.
+            vt = self.registry.value_type(rng.choice(cls.value_types))
+            lst = w.fresh("stack")
+            w.emit(f"{lst} = []")
+            w.emit(f"{lst}.append({self.value_expr(vt)})")
+            a = w.fresh("top")
+            w.emit(f"{a} = {lst}.pop()")
+            self.consume(a, vt, 1)
+            if rng.random() < 0.5:
+                b = w.fresh("top")
+                w.emit(f"{b} = {lst}.pop()")
+                self.consume(b, vt, 1)
+
+    def noise(self) -> None:
+        self._noise_lines(self.rng.randrange(1, 4))
+
+    def _noise_lines(self, n: int) -> None:
+        w, rng = self.writer, self.rng
+        for _ in range(n):
+            choice = rng.randrange(4)
+            if choice == 0:
+                s = w.fresh("s")
+                w.emit(f"{s} = \"{rng.choice(_STR_KEYS)}\"")
+                w.emit(f"{s}.strip()")
+            elif choice == 1:
+                w.emit(f"print({self.key_literal()})")
+            elif choice == 2:
+                i = w.fresh("n")
+                w.emit(f"{i} = {rng.randrange(50)}")
+            else:
+                c = w.fresh("flag")
+                w.emit(f"{c} = True")
+                w.emit(f"if {c}:")
+                w.indent += 1
+                w.emit("print(\"branch\")")
+                w.indent -= 1
+
+
+# ======================================================================
+# driver
+# ======================================================================
+
+
+class CorpusGenerator:
+    """Generates a corpus of source files for one language registry."""
+
+    def __init__(self, registry: ApiRegistry,
+                 config: Optional[CorpusConfig] = None) -> None:
+        self.registry = registry
+        self.config = config or CorpusConfig()
+
+    # ------------------------------------------------------------------
+
+    def _pick_class(self, rng: random.Random) -> ApiClassModel:
+        weights = [c.weight for c in self.registry.classes]
+        return rng.choices(self.registry.classes, weights=weights, k=1)[0]
+
+    def generate_file(self, index: int, rng: random.Random) -> GeneratedFile:
+        lang = self.registry.language
+        gen = (_JavaGen if lang == "java" else _PythonGen)(
+            self.registry, self.config, rng
+        )
+        n = rng.randint(self.config.min_scenarios, self.config.max_scenarios)
+        # every file gets at least one direct chain: producer→consumer
+        # statistics must dominate the corpus for ϕ to be useful
+        gen.direct_chain()
+        for _ in range(n):
+            cls = self._pick_class(rng)
+            role = cls.role
+            if isinstance(role, ContainerRole):
+                gen.container_roundtrip(cls)
+            elif isinstance(role, ReaderRole):
+                gen.reader_repeat(cls)
+            elif isinstance(role, FluentRole):
+                gen.fluent_chain(cls)
+            elif isinstance(role, TrapRole) and role.kind == "copy":
+                gen.copy_trap(cls)
+            else:
+                gen.trap(cls)
+            if rng.random() < 0.5:
+                gen.noise()
+        suffix = "java" if lang == "java" else "py"
+        text = gen.writer.text()
+        if lang == "python" and getattr(gen, "imports", None):
+            text = "\n".join(f"import {m}" for m in sorted(gen.imports)) \
+                + "\n" + text
+        return GeneratedFile(
+            f"corpus_{index:05d}.{suffix}", text, lang,
+            tuple(gen.used_classes),
+        )
+
+    def generate(self) -> List[GeneratedFile]:
+        rng = random.Random(self.config.seed)
+        return [self.generate_file(i, rng) for i in range(self.config.n_files)]
+
+    # ------------------------------------------------------------------
+
+    def parse(self, files: Sequence[GeneratedFile]) -> List[Program]:
+        """Run the right frontend over generated files."""
+        sigs = self.registry.signatures()
+        programs: List[Program] = []
+        for f in files:
+            if f.language == "java":
+                programs.append(parse_minijava(f.text, sigs, f.name))
+            else:
+                programs.append(parse_python(f.text, sigs, f.name))
+        return programs
+
+    def programs(self) -> List[Program]:
+        """Generate and parse the whole corpus."""
+        return self.parse(self.generate())

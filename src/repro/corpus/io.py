@@ -1,0 +1,81 @@
+"""Corpus persistence and directory mining.
+
+The real USpec workflow crawls millions of source files from disk; this
+module provides that interface: write a generated corpus out as plain
+``.java``/``.py`` files, and mine any directory tree back into IR
+programs.  Mining is fault-tolerant — files that fail to parse are
+skipped and reported, never fatal (essential when pointing the miner at
+arbitrary repositories).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import List, Optional, Sequence, Tuple
+
+from repro.corpus.generator import GeneratedFile
+from repro.frontend.minijava import parse_minijava
+from repro.frontend.pyfront import parse_python
+from repro.frontend.signatures import ApiSignatures
+from repro.ir.program import Program
+
+
+def save_corpus(files: Sequence[GeneratedFile], directory: Path) -> List[Path]:
+    """Write generated corpus files to ``directory``; returns the paths."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    paths = []
+    for f in files:
+        path = directory / f.name
+        path.write_text(f.text)
+        paths.append(path)
+    return paths
+
+
+@dataclass
+class MiningReport:
+    """Outcome of mining one directory tree."""
+
+    programs: List[Program] = field(default_factory=list)
+    skipped: List[Tuple[Path, str]] = field(default_factory=list)
+
+    @property
+    def n_parsed(self) -> int:
+        return len(self.programs)
+
+    def __repr__(self) -> str:
+        return (f"<MiningReport {self.n_parsed} parsed, "
+                f"{len(self.skipped)} skipped>")
+
+
+def mine_directory(
+    directory: Path,
+    signatures: Optional[ApiSignatures] = None,
+    suffixes: Sequence[str] = (".java", ".py"),
+    limit: Optional[int] = None,
+) -> MiningReport:
+    """Parse every source file under ``directory`` (recursively).
+
+    Unparsable files are collected in ``report.skipped`` with the error
+    message — corpus mining must survive arbitrary repository content.
+    """
+    directory = Path(directory)
+    report = MiningReport()
+    paths = sorted(
+        p for p in directory.rglob("*")
+        if p.is_file() and p.suffix in suffixes
+    )
+    if limit is not None:
+        paths = paths[:limit]
+    for path in paths:
+        try:
+            text = path.read_text(errors="replace")
+            if path.suffix == ".java":
+                program = parse_minijava(text, signatures, str(path))
+            else:
+                program = parse_python(text, signatures, str(path))
+            report.programs.append(program)
+        except Exception as err:  # noqa: BLE001 - mining must not die
+            report.skipped.append((path, f"{type(err).__name__}: {err}"))
+    return report

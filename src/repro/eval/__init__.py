@@ -1,0 +1,42 @@
+"""Evaluation harness (paper §7).
+
+* :mod:`precision_recall` — τ-sweeps over scored candidates against the
+  ground-truth oracle (Fig. 7);
+* :mod:`coverage` — the call-site classification of Tab. 4 (precise
+  coverage gains vs. wrong-spec vs. §6.4-coverage imprecision);
+* :mod:`tables` — plain-text renderers for all paper tables.
+"""
+
+from repro.eval.precision_recall import (
+    PRPoint,
+    precision_recall_curve,
+    sample_candidates,
+    spec_ordering_auc,
+)
+from repro.eval.coverage import (
+    CATEGORY_COVERAGE_MODE,
+    CATEGORY_OTHER,
+    CATEGORY_PRECISE,
+    CATEGORY_WRONG_SPEC,
+    CoverageReport,
+    SiteDiff,
+    classify_corpus,
+    classify_program,
+)
+from repro.eval.tables import format_table
+
+__all__ = [
+    "CATEGORY_COVERAGE_MODE",
+    "CATEGORY_OTHER",
+    "CATEGORY_PRECISE",
+    "CATEGORY_WRONG_SPEC",
+    "CoverageReport",
+    "PRPoint",
+    "SiteDiff",
+    "classify_corpus",
+    "classify_program",
+    "format_table",
+    "precision_recall_curve",
+    "sample_candidates",
+    "spec_ordering_auc",
+]

@@ -1,0 +1,77 @@
+"""Precision/recall of selected specifications (paper §7.2, Fig. 7).
+
+The paper samples 120 candidates and labels them manually against
+library documentation; our corpus carries exact ground truth
+(:meth:`repro.corpus.apis.ApiRegistry.is_true_spec`), so labelling is
+mechanical.  ``precision`` is the fraction of valid specifications
+among the selected ones, ``recall`` the fraction of selected candidates
+among the valid ones.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Mapping, Optional, Sequence
+
+from repro.specs.patterns import Spec
+
+TruthOracle = Callable[[Spec], bool]
+
+#: The τ values labelled in Fig. 7a (Java) and Fig. 7b (Python).
+FIG7_TAUS = (0.0, 0.2, 0.4, 0.6, 0.7, 0.8, 0.9)
+
+
+@dataclass(frozen=True)
+class PRPoint:
+    """One labelled point of the precision/recall curve."""
+
+    tau: float
+    precision: float
+    recall: float
+    n_selected: int
+    n_valid_selected: int
+    n_valid_total: int
+
+
+def sample_candidates(scores: Mapping[Spec, float], n: int = 120,
+                      seed: int = 0) -> Dict[Spec, float]:
+    """Randomly sample candidates, mirroring the paper's manual-labelling
+    protocol (they sampled 120 from the scored candidate set)."""
+    specs = sorted(scores, key=str)
+    if len(specs) <= n:
+        return dict(scores)
+    rng = random.Random(seed)
+    chosen = rng.sample(specs, n)
+    return {s: scores[s] for s in chosen}
+
+
+def precision_recall_curve(
+    scores: Mapping[Spec, float],
+    is_valid: TruthOracle,
+    taus: Sequence[float] = FIG7_TAUS,
+) -> List[PRPoint]:
+    """Sweep τ and compute one :class:`PRPoint` per threshold."""
+    n_valid_total = sum(1 for s in scores if is_valid(s))
+    points: List[PRPoint] = []
+    for tau in taus:
+        selected = [s for s, score in scores.items() if score >= tau]
+        valid_selected = sum(1 for s in selected if is_valid(s))
+        precision = valid_selected / len(selected) if selected else 1.0
+        recall = valid_selected / n_valid_total if n_valid_total else 0.0
+        points.append(PRPoint(tau, precision, recall, len(selected),
+                              valid_selected, n_valid_total))
+    return points
+
+
+def spec_ordering_auc(scores: Mapping[Spec, float],
+                      is_valid: TruthOracle) -> float:
+    """Probability that a random valid candidate outscores a random
+    invalid one (a threshold-free quality summary)."""
+    valid = [score for s, score in scores.items() if is_valid(s)]
+    invalid = [score for s, score in scores.items() if not is_valid(s)]
+    if not valid or not invalid:
+        return float("nan")
+    wins = sum(1.0 if v > i else 0.5 if v == i else 0.0
+               for v in valid for i in invalid)
+    return wins / (len(valid) * len(invalid))

@@ -1,0 +1,75 @@
+"""Plain-text table rendering for the benchmark harness."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from repro.corpus.apis import ApiRegistry
+from repro.specs.candidates import CandidateExtraction
+from repro.specs.patterns import Spec, SpecSet, api_class_of
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]],
+                 title: Optional[str] = None) -> str:
+    """Render an aligned ASCII table."""
+    cells = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in cells:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def tab3_rows(
+    scores: Mapping[Spec, float],
+    extraction: CandidateExtraction,
+    registry: ApiRegistry,
+    n: int = 12,
+) -> List[List[object]]:
+    """Rows of Tab. 3: API class, specification, #matches, score —
+    including learned-but-incorrect specifications, flagged."""
+    ranked = sorted(scores.items(), key=lambda kv: -kv[1])
+    rows: List[List[object]] = []
+    for spec, score in ranked[:n]:
+        stats = extraction.stats.get(spec)
+        matches = stats.matches if stats else 0
+        correct = registry.is_true_spec(spec)
+        cls = api_class_of(
+            spec.method if hasattr(spec, "method") else spec.source
+        )
+        rows.append([
+            cls, str(spec), matches, f"{score:.3f}",
+            "" if correct else "incorrect",
+        ])
+    return rows
+
+
+def specs_by_package(specs: SpecSet, registry: ApiRegistry,
+                     top: int = 12) -> List[List[object]]:
+    """Rows of Tab. 5/6: selected specs and spanned classes per package."""
+    package_of_class: Dict[str, str] = {
+        cls.fqn: cls.package for cls in registry.classes
+    }
+    spec_count: Dict[str, int] = {}
+    class_sets: Dict[str, set] = {}
+    for spec in specs:
+        cls = api_class_of(
+            spec.method if hasattr(spec, "method") else spec.source
+        )
+        fallback = cls.split(".")[0] if cls else "(untyped)"
+        package = package_of_class.get(cls, fallback)
+        spec_count[package] = spec_count.get(package, 0) + 1
+        class_sets.setdefault(package, set()).add(cls)
+    ranked = sorted(spec_count.items(), key=lambda kv: (-kv[1], kv[0]))
+    return [
+        [package, count, len(class_sets[package])]
+        for package, count in ranked[:top]
+    ]

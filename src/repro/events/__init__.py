@@ -1,0 +1,40 @@
+"""Events, abstract histories and event graphs (paper §3).
+
+``history`` and ``graph`` are imported lazily: they depend on the
+points-to package, which itself needs the light-weight event
+primitives from :mod:`repro.events.events`.
+"""
+
+from repro.events.events import RET, Event, Pos, Site
+
+__all__ = [
+    "RET",
+    "Event",
+    "EventGraph",
+    "Histories",
+    "HistoryBuilder",
+    "HistoryOptions",
+    "Pos",
+    "Site",
+    "build_event_graph",
+]
+
+_LAZY = {
+    "Histories": "repro.events.history",
+    "HistoryBuilder": "repro.events.history",
+    "HistoryOptions": "repro.events.history",
+    "EventGraph": "repro.events.graph",
+    "build_event_graph": "repro.events.graph",
+}
+
+
+def __getattr__(name: str):
+    module_name = _LAZY.get(name)
+    if module_name is None:
+        raise AttributeError(f"module 'repro.events' has no attribute {name!r}")
+    import importlib
+
+    module = importlib.import_module(module_name)
+    value = getattr(module, name)
+    globals()[name] = value
+    return value

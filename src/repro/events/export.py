@@ -1,0 +1,84 @@
+"""Exporting event graphs for inspection (Graphviz DOT, networkx).
+
+The paper's Fig. 3 is an event-graph drawing; this module produces the
+same kind of picture for any analysed program — solid edges for the
+graph, dashed for the extra edges a specification set would induce.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.events.events import Event
+from repro.events.graph import EventGraph
+
+
+def _node_id(event: Event, ids: Dict[Event, str]) -> str:
+    if event not in ids:
+        ids[event] = f"n{len(ids)}"
+    return ids[event]
+
+
+def _label(event: Event) -> str:
+    method = event.site.method_id
+    short = method.rsplit(".", 1)[-1] if "." in method else method
+    return f"⟨{short}, {event.pos}⟩"
+
+
+def to_dot(graph: EventGraph,
+           induced: Optional[Set[Tuple[Event, Event]]] = None,
+           title: str = "event graph") -> str:
+    """Render as Graphviz DOT.
+
+    ``induced`` edges (e.g. from candidate specifications) are drawn
+    dashed, mirroring the paper's Fig. 3.
+    """
+    ids: Dict[Event, str] = {}
+    lines: List[str] = [
+        "digraph event_graph {",
+        f'  label="{title}";',
+        "  rankdir=TB;",
+        '  node [shape=box, fontsize=10, fontname="monospace"];',
+    ]
+    # group events by call site, as in Fig. 3's rectangular regions
+    by_site: Dict[object, List[Event]] = {}
+    for event in sorted(graph.events, key=lambda e: e.sort_key):
+        by_site.setdefault(event.site, []).append(event)
+    for i, (site, events) in enumerate(by_site.items()):
+        if len(events) > 1:
+            lines.append(f"  subgraph cluster_{i} {{")
+            lines.append(f'    label="{site.method_id}"; style=dotted;')
+            for event in events:
+                lines.append(
+                    f'    {_node_id(event, ids)} [label="{_label(event)}"];'
+                )
+            lines.append("  }")
+        else:
+            (event,) = events
+            lines.append(
+                f'  {_node_id(event, ids)} [label="{_label(event)}"];'
+            )
+    for e1, e2 in sorted(graph.edges(),
+                         key=lambda p: (p[0].sort_key, p[1].sort_key)):
+        lines.append(f"  {_node_id(e1, ids)} -> {_node_id(e2, ids)};")
+    for e1, e2 in sorted(induced or (),
+                         key=lambda p: (p[0].sort_key, p[1].sort_key)):
+        lines.append(
+            f"  {_node_id(e1, ids)} -> {_node_id(e2, ids)} "
+            "[style=dashed, color=blue];"
+        )
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def to_networkx(graph: EventGraph):
+    """Convert to a :mod:`networkx` DiGraph (nodes carry labels)."""
+    import networkx as nx
+
+    g = nx.DiGraph()
+    for event in graph.events:
+        g.add_node(event, label=_label(event),
+                   method=event.site.method_id, pos=str(event.pos))
+    for e1, e2 in graph.edges():
+        g.add_edge(e1, e2)
+    return g

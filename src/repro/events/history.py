@@ -1,0 +1,226 @@
+"""Abstract histories (paper §3.1–3.2).
+
+The history of an abstract object is the sequence of events it
+participates in.  Abstract histories lift this to sets of sequences:
+``his : L → P(H)``.  They are computed by a flow-sensitive structured
+walk over the IR, driven by the points-to result:
+
+* at allocation/literal statements a new history ``(⟨newT, ret⟩)`` /
+  ``(⟨lc_i, ret⟩)`` starts for the allocated abstract object;
+* at API call sites, the histories of all objects pointed to by the
+  receiver/argument/destination variables are extended by the
+  corresponding event (position 0 / 1..n / ret);
+* control-flow joins union the history sets; loops are unrolled once
+  (the paper's bound on history length);
+* internal calls are walked inline under the extended calling context,
+  so callee events are correctly ordered between the caller's events.
+
+When the points-to result was computed *with* aliasing specifications,
+the destination of e.g. ``map.get(k)`` may point to the object stored
+by a preceding ``put`` — extending that object's history with the
+``⟨get, ret⟩`` event realises exactly the history merge of §3.3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Set, Tuple
+
+from repro.events.events import RET, Event, Site
+from repro.ir.instructions import (
+    Alloc,
+    Assign,
+    Call,
+    Const,
+    FieldLoad,
+    FieldStore,
+    GlobalRead,
+    GlobalWrite,
+    Prim,
+    Return,
+    Var,
+)
+from repro.ir.program import Function, If, Program, Stmt, While
+from repro.pointsto.analysis import PointsToResult
+from repro.pointsto.objects import AbstractObject, ObjAlloc, ObjLiteral
+
+History = Tuple[Event, ...]
+HistorySet = FrozenSet[History]
+
+
+def history_sort_key(history: History) -> Tuple:
+    """Deterministic ordering key for histories."""
+    return tuple(e.sort_key for e in history)
+
+
+@dataclass(frozen=True)
+class HistoryOptions:
+    """Bounds keeping abstract histories finite and small.
+
+    ``max_depth`` bounds inlining of internal calls; ``max_histories``
+    caps the history set per object at joins (deterministic prefix);
+    ``max_len`` stops extending over-long histories.
+    """
+
+    max_depth: int = 8
+    max_histories: int = 16
+    max_len: int = 60
+
+
+class Histories:
+    """The computed ``his`` map with convenience accessors."""
+
+    def __init__(self, data: Dict[AbstractObject, HistorySet]) -> None:
+        self._data = data
+
+    def of(self, obj: AbstractObject) -> HistorySet:
+        return self._data.get(obj, frozenset())
+
+    def objects(self) -> Iterator[AbstractObject]:
+        return iter(self._data)
+
+    def items(self) -> Iterator[Tuple[AbstractObject, HistorySet]]:
+        return iter(self._data.items())
+
+    def all_histories(self) -> Iterator[History]:
+        """All histories, in a deterministic order."""
+        for hs in self._data.values():
+            yield from sorted(hs, key=history_sort_key)
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __repr__(self) -> str:
+        n_hist = sum(len(hs) for hs in self._data.values())
+        return f"<Histories {len(self._data)} objects, {n_hist} histories>"
+
+
+_State = Dict[AbstractObject, Set[History]]
+
+
+def _copy_state(state: _State) -> _State:
+    return {obj: set(hs) for obj, hs in state.items()}
+
+
+def _join(a: _State, b: _State, max_histories: int) -> _State:
+    out: _State = {obj: set(hs) for obj, hs in a.items()}
+    for obj, hs in b.items():
+        out.setdefault(obj, set()).update(hs)
+    for obj, hs in out.items():
+        if len(hs) > max_histories:
+            out[obj] = set(sorted(hs, key=history_sort_key)[:max_histories])
+    return out
+
+
+class HistoryBuilder:
+    """Computes abstract histories for one program."""
+
+    def __init__(
+        self,
+        program: Program,
+        pts: PointsToResult,
+        options: Optional[HistoryOptions] = None,
+    ) -> None:
+        self.program = program
+        self.pts = pts
+        self.options = options or HistoryOptions()
+        self._k = pts.options.context_k
+
+    # ------------------------------------------------------------------
+
+    def build(self) -> Histories:
+        state: _State = {}
+        entry = self.program.entry
+        self._walk_body(
+            entry, (), self.program.entry_function.body, state, depth=0
+        )
+        ordered = sorted(state.items(), key=lambda kv: repr(kv[0]))
+        return Histories({obj: frozenset(hs) for obj, hs in ordered})
+
+    # ------------------------------------------------------------------
+
+    def _walk_body(self, fn: str, ctx: Tuple[Call, ...], body: List[Stmt],
+                   state: _State, depth: int) -> None:
+        for stmt in body:
+            if isinstance(stmt, If):
+                then_state = _copy_state(state)
+                self._walk_body(fn, ctx, stmt.then_body, then_state, depth)
+                else_state = _copy_state(state)
+                self._walk_body(fn, ctx, stmt.else_body, else_state, depth)
+                joined = _join(then_state, else_state, self.options.max_histories)
+                state.clear()
+                state.update(joined)
+            elif isinstance(stmt, While):
+                # single loop unrolling: join of zero and one iterations
+                once = _copy_state(state)
+                self._walk_body(fn, ctx, stmt.body, once, depth)
+                joined = _join(state, once, self.options.max_histories)
+                state.clear()
+                state.update(joined)
+            else:
+                self._walk_instruction(fn, ctx, stmt, state, depth)
+
+    def _walk_instruction(self, fn: str, ctx: Tuple[Call, ...], instr,
+                          state: _State, depth: int) -> None:
+        if isinstance(instr, Alloc):
+            site = Site(instr, ctx[-self._k:] if self._k else ())
+            self._start_history(state, ObjAlloc(instr), Event(site, RET))
+        elif isinstance(instr, Const):
+            site = Site(instr, ctx[-self._k:] if self._k else ())
+            self._start_history(state, ObjLiteral(instr), Event(site, RET))
+        elif isinstance(instr, Call):
+            self._walk_call(fn, ctx, instr, state, depth)
+        elif isinstance(instr, (Assign, FieldLoad, FieldStore, GlobalRead,
+                                GlobalWrite, Prim, Return)):
+            pass  # no events; data flow handled by the points-to analysis
+        else:  # pragma: no cover - defensive
+            raise TypeError(f"unknown instruction {instr!r}")
+
+    def _walk_call(self, fn: str, ctx: Tuple[Call, ...], call: Call,
+                   state: _State, depth: int) -> None:
+        callee = (
+            self.program.resolve(call.method)
+            if self.pts.options.interprocedural
+            else None
+        )
+        if callee is not None:
+            if depth >= self.options.max_depth:
+                return
+            callee_ctx = (ctx + (call,))[-self._k:] if self._k else ()
+            self._walk_body(
+                callee.name, callee_ctx, callee.body, state, depth + 1
+            )
+            return
+        # API call: emit events in deterministic position order
+        site = Site(call, ctx[-self._k:] if self._k else ())
+        if call.receiver is not None:
+            self._extend(state, self._pts(fn, ctx, call.receiver),
+                         Event(site, 0))
+        for i, arg in enumerate(call.args, start=1):
+            self._extend(state, self._pts(fn, ctx, arg), Event(site, i))
+        if call.dst is not None:
+            self._extend(state, self._pts(fn, ctx, call.dst),
+                         Event(site, RET))
+
+    # ------------------------------------------------------------------
+
+    def _pts(self, fn: str, ctx: Tuple[Call, ...], var: Var):
+        return self.pts.var_pts(fn, ctx, var)
+
+    def _start_history(self, state: _State, obj: AbstractObject,
+                       event: Event) -> None:
+        state.setdefault(obj, set()).add((event,))
+
+    def _extend(self, state: _State, objs: Iterable[AbstractObject],
+                event: Event) -> None:
+        max_len = self.options.max_len
+        for obj in objs:
+            histories = state.get(obj)
+            if not histories:
+                # object first observed here (API return, unknown param)
+                state[obj] = {(event,)}
+                continue
+            state[obj] = {
+                h + (event,) if len(h) < max_len and h[-1] != event else h
+                for h in histories
+            }

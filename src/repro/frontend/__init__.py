@@ -1,0 +1,15 @@
+"""Language frontends lowering source code to the shared IR.
+
+* :mod:`repro.frontend.minijava` — a Java-like surface language
+  (lexer + recursive-descent parser + SSA-lite lowering);
+* :mod:`repro.frontend.pyfront` — real Python source, lowered through
+  the CPython :mod:`ast` module;
+* :mod:`repro.frontend.signatures` — the static API signature registry
+  both frontends use to qualify method identifiers and type chained
+  calls (the moral equivalent of the classpath stubs a production Java
+  frontend would consult).
+"""
+
+from repro.frontend.signatures import ApiSignatures, MethodSig
+
+__all__ = ["ApiSignatures", "MethodSig"]

@@ -1,0 +1,26 @@
+"""MiniJava: a Java-like surface language.
+
+MiniJava covers the slice of Java that matters for API-usage mining:
+imports, top-level functions (implicitly static), local variable
+declarations with generic types, object allocation, chained method
+calls, field access, string/number/boolean literals, ``if``/``else``,
+``while`` and ``for`` loops, and ``return``.  Top-level statements form
+an implicit ``main`` function, so corpus files can look like snippets.
+
+Use :func:`parse_minijava` to obtain an IR
+:class:`~repro.ir.program.Program`.
+"""
+
+from repro.frontend.minijava.lexer import LexError, Token, tokenize
+from repro.frontend.minijava.parser import ParseError, parse
+from repro.frontend.minijava.lowering import lower, parse_minijava
+
+__all__ = [
+    "LexError",
+    "ParseError",
+    "Token",
+    "lower",
+    "parse",
+    "parse_minijava",
+    "tokenize",
+]

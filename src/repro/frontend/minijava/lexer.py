@@ -1,0 +1,141 @@
+"""Hand-written lexer for MiniJava."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional
+
+KEYWORDS = {
+    "class",
+    "else",
+    "false",
+    "for",
+    "if",
+    "import",
+    "new",
+    "null",
+    "return",
+    "true",
+    "while",
+}
+
+#: Multi-character operators, longest first so maximal munch works.
+OPERATORS = [
+    "==", "!=", "<=", ">=", "&&", "||", "++", "--", "+=", "-=",
+    "<", ">", "=", "!", "+", "-", "*", "/", "%",
+    "(", ")", "{", "}", "[", "]", ".", ",", ";", ":",
+]
+
+
+class LexError(SyntaxError):
+    """Raised on malformed MiniJava input."""
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str  # "ident" | "keyword" | "string" | "int" | "float" | "op" | "eof"
+    text: str
+    line: int
+    col: int
+
+    def __repr__(self) -> str:
+        return f"{self.kind}({self.text!r})@{self.line}:{self.col}"
+
+
+def tokenize(source: str) -> List[Token]:
+    """Tokenize MiniJava source; raises :class:`LexError` on bad input."""
+    tokens: List[Token] = []
+    i, line, col = 0, 1, 1
+    n = len(source)
+
+    def error(msg: str) -> LexError:
+        return LexError(f"{msg} at line {line}, column {col}")
+
+    while i < n:
+        c = source[i]
+        # whitespace
+        if c in " \t\r":
+            i += 1
+            col += 1
+            continue
+        if c == "\n":
+            i += 1
+            line += 1
+            col = 1
+            continue
+        # comments
+        if source.startswith("//", i):
+            while i < n and source[i] != "\n":
+                i += 1
+            continue
+        if source.startswith("/*", i):
+            end = source.find("*/", i + 2)
+            if end < 0:
+                raise error("unterminated block comment")
+            skipped = source[i : end + 2]
+            line += skipped.count("\n")
+            col = 1 if "\n" in skipped else col + len(skipped)
+            i = end + 2
+            continue
+        # string literals (double quotes, simple escapes)
+        if c == '"':
+            j = i + 1
+            out: List[str] = []
+            while j < n and source[j] != '"':
+                if source[j] == "\\" and j + 1 < n:
+                    esc = source[j + 1]
+                    out.append({"n": "\n", "t": "\t", '"': '"', "\\": "\\"}.get(esc, esc))
+                    j += 2
+                elif source[j] == "\n":
+                    raise error("unterminated string literal")
+                else:
+                    out.append(source[j])
+                    j += 1
+            if j >= n:
+                raise error("unterminated string literal")
+            tokens.append(Token("string", "".join(out), line, col))
+            col += j + 1 - i
+            i = j + 1
+            continue
+        # numbers
+        if c.isdigit():
+            j = i
+            is_float = False
+            while j < n and (source[j].isdigit() or source[j] == "."):
+                if source[j] == ".":
+                    if is_float or j + 1 >= n or not source[j + 1].isdigit():
+                        break
+                    is_float = True
+                j += 1
+            # trailing type suffixes (1L, 1.0f) are consumed and ignored
+            if j < n and source[j] in "lLfFdD":
+                j += 1
+                text = source[i : j - 1]
+            else:
+                text = source[i:j]
+            tokens.append(Token("float" if is_float else "int", text, line, col))
+            col += j - i
+            i = j
+            continue
+        # identifiers / keywords
+        if c.isalpha() or c == "_":
+            j = i
+            while j < n and (source[j].isalnum() or source[j] == "_"):
+                j += 1
+            text = source[i:j]
+            kind = "keyword" if text in KEYWORDS else "ident"
+            tokens.append(Token(kind, text, line, col))
+            col += j - i
+            i = j
+            continue
+        # operators and punctuation
+        for op in OPERATORS:
+            if source.startswith(op, i):
+                tokens.append(Token("op", op, line, col))
+                i += len(op)
+                col += len(op)
+                break
+        else:
+            raise error(f"unexpected character {c!r}")
+    tokens.append(Token("eof", "", line, col))
+    return tokens

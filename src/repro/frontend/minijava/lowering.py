@@ -1,0 +1,425 @@
+"""Lowering MiniJava ASTs to the IR.
+
+Design notes:
+
+* **SSA-lite renaming.**  Local names are bound directly to the IR
+  variable holding their current value; reassignment rebinds.  At
+  control-flow joins, names whose bindings diverged get a fresh merge
+  variable fed by ``Assign`` copies from both branches (a φ spelled as
+  two unconditional assignments — sound for a subset-based solver).
+  This gives the flow-insensitive Andersen solver flow-sensitive
+  treatment of locals, which the paper's event graphs rely on.
+
+* **Type inference.**  Declared types (including generic arguments) are
+  tracked per name; chained call results are typed via the
+  :class:`~repro.frontend.signatures.ApiSignatures` registry.  Return
+  types of the form ``<i>`` denote the receiver's ``i``-th generic
+  argument (so ``Map<String, File>.get`` yields ``java.io.File``).
+
+* **Method identifiers.**  Qualified as ``<receiver fqn>.<name>`` when
+  the receiver type is known, bare otherwise — mirroring what a real
+  frontend with classpath stubs produces.
+
+* **foreach.**  ``for (T x : e)`` is desugared to the real Java
+  protocol: ``e.iterator()`` / ``hasNext()`` / ``next()`` calls, so
+  iterator usage patterns appear in event graphs naturally.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.frontend.minijava import nodes as N
+from repro.frontend.minijava.parser import parse
+from repro.frontend.signatures import UNKNOWN_TYPE, ApiSignatures
+from repro.ir import (
+    Assign,
+    Call,
+    Const,
+    FieldLoad,
+    FieldStore,
+    FunctionBuilder,
+    Function,
+    Prim,
+    Program,
+    Return,
+    Var,
+)
+
+ITERATOR = "java.util.Iterator"
+
+_LITERAL_TYPES = {
+    "string": "java.lang.String",
+    "int": "int",
+    "float": "double",
+    "bool": "boolean",
+    "null": "null",
+}
+
+
+@dataclass(frozen=True)
+class InferredType:
+    """A static type with generic arguments, e.g. Map<String, File>."""
+
+    base: str = UNKNOWN_TYPE
+    args: Tuple["InferredType", ...] = ()
+
+    @property
+    def known(self) -> bool:
+        return self.base != UNKNOWN_TYPE
+
+    def __str__(self) -> str:
+        if not self.args:
+            return self.base
+        return f"{self.base}<{', '.join(str(a) for a in self.args)}>"
+
+
+UNKNOWN = InferredType()
+
+#: name → (current IR variable, static type)
+_Env = Dict[str, Tuple[Var, InferredType]]
+
+
+class LoweringError(Exception):
+    """Raised when the AST cannot be lowered (should be rare)."""
+
+
+class _FunctionLowerer:
+    def __init__(self, owner: "_ProgramLowerer", name: str,
+                 params: Sequence[Tuple[N.TypeRef, str]]) -> None:
+        self.owner = owner
+        self.builder = FunctionBuilder(name, [p for _, p in params])
+        self.env: _Env = {}
+        self._merge_counter = 0
+        for ptype, pname in params:
+            self.env[pname] = (Var(pname), owner.resolve_type(ptype))
+
+    # ------------------------------------------------------------------
+    # statements
+
+    def lower_body(self, stmts: Sequence[N.Stmt]) -> None:
+        for stmt in stmts:
+            self.lower_statement(stmt)
+
+    def lower_statement(self, stmt: N.Stmt) -> None:
+        if isinstance(stmt, N.VarDecl):
+            self._lower_var_decl(stmt)
+        elif isinstance(stmt, N.Assign):
+            self._lower_assign(stmt)
+        elif isinstance(stmt, N.ExprStmt):
+            self.lower_expr(stmt.expr, want_value=False)
+        elif isinstance(stmt, N.IfStmt):
+            self._lower_if(stmt)
+        elif isinstance(stmt, N.WhileStmt):
+            self._lower_while(stmt)
+        elif isinstance(stmt, N.ForStmt):
+            self._lower_for(stmt)
+        elif isinstance(stmt, N.ForEachStmt):
+            self._lower_foreach(stmt)
+        elif isinstance(stmt, N.ReturnStmt):
+            self._lower_return(stmt)
+        else:  # pragma: no cover - defensive
+            raise LoweringError(f"unknown statement {stmt!r}")
+
+    def _lower_var_decl(self, stmt: N.VarDecl) -> None:
+        declared = self.owner.resolve_type(stmt.type)
+        if stmt.init is None:
+            self.env[stmt.name] = (self.builder.fresh(stmt.name), declared)
+            return
+        var, inferred = self.lower_expr(stmt.init, want_value=True)
+        self.env[stmt.name] = (var, declared if declared.known else inferred)
+
+    def _lower_assign(self, stmt: N.Assign) -> None:
+        target = stmt.target
+        if isinstance(target, N.Name):
+            var, inferred = self.lower_expr(stmt.value, want_value=True)
+            old = self.env.get(target.ident)
+            declared = old[1] if old and old[1].known else inferred
+            self.env[target.ident] = (var, declared)
+        elif isinstance(target, N.FieldAccess):
+            obj, _ = self.lower_expr(target.receiver, want_value=True)
+            val, _ = self.lower_expr(stmt.value, want_value=True)
+            self.builder.emit(FieldStore(obj, target.name, val))
+        elif isinstance(target, N.MethodCall) and target.name == "[]":
+            # a[i] = v  →  a.SubscriptStore(i, v)
+            recv, rtype = self.lower_expr(target.receiver, want_value=True)
+            idx, idx_t = self.lower_expr(target.args[0], want_value=True)
+            val, val_t = self.lower_expr(stmt.value, want_value=True)
+            method = self.owner.qualify(rtype, "SubscriptStore")
+            self.builder.emit(Call(
+                None, recv, method, (idx, val), (idx_t.base, val_t.base)
+            ))
+        else:  # pragma: no cover - parser prevents this
+            raise LoweringError(f"invalid assignment target {target!r}")
+
+    def _lower_if(self, stmt: N.IfStmt) -> None:
+        cond, _ = self.lower_expr(stmt.cond, want_value=True)
+        pre_env = dict(self.env)
+        with self.builder.if_(cond) as node:
+            self.lower_body(stmt.then_body)
+            then_env = self.env
+        self.env = dict(pre_env)
+        with self.builder.else_(node):
+            self.lower_body(stmt.else_body)
+            else_env = self.env
+        self.env = self._merge_envs(pre_env, then_env, else_env)
+
+    def _lower_while(self, stmt: N.WhileStmt) -> None:
+        cond, _ = self.lower_expr(stmt.cond, want_value=True)
+        pre_env = dict(self.env)
+        with self.builder.while_(cond):
+            self.lower_body(stmt.body)
+            body_env = self.env
+        self.env = self._merge_envs(pre_env, pre_env, body_env)
+
+    def _lower_for(self, stmt: N.ForStmt) -> None:
+        if stmt.init is not None:
+            self.lower_statement(stmt.init)
+        if stmt.cond is not None:
+            cond, _ = self.lower_expr(stmt.cond, want_value=True)
+        else:
+            cond = self.builder.fresh("true")
+            self.builder.emit(Prim(cond, "true"))
+        pre_env = dict(self.env)
+        with self.builder.while_(cond):
+            self.lower_body(stmt.body)
+            if stmt.update is not None:
+                self.lower_statement(stmt.update)
+            body_env = self.env
+        self.env = self._merge_envs(pre_env, pre_env, body_env)
+
+    def _lower_foreach(self, stmt: N.ForEachStmt) -> None:
+        iterable, itype = self.lower_expr(stmt.iterable, want_value=True)
+        elem_type = self.owner.resolve_type(stmt.type)
+        itr = self.builder.fresh("itr")
+        self.builder.emit(Call(
+            itr, iterable, self.owner.qualify(itype, "iterator"), (), ()
+        ))
+        cond = self.builder.fresh("hasnext")
+        self.builder.emit(Call(cond, itr, f"{ITERATOR}.hasNext", (), ()))
+        pre_env = dict(self.env)
+        with self.builder.while_(cond):
+            elem = self.builder.fresh(stmt.name)
+            self.builder.emit(Call(elem, itr, f"{ITERATOR}.next", (), ()))
+            self.env[stmt.name] = (elem, elem_type)
+            self.lower_body(stmt.body)
+            body_env = self.env
+        self.env = self._merge_envs(pre_env, pre_env, body_env)
+
+    def _lower_return(self, stmt: N.ReturnStmt) -> None:
+        if stmt.value is None:
+            self.builder.emit(Return(None))
+            return
+        var, _ = self.lower_expr(stmt.value, want_value=True)
+        self.builder.emit(Return(var))
+
+    def _merge_envs(self, pre: _Env, left: _Env, right: _Env) -> _Env:
+        """φ: names bound before the branch whose binding diverged get a
+        fresh variable assigned from both sides."""
+        merged: _Env = {}
+        for name in pre:
+            lvar, ltype = left.get(name, pre[name])
+            rvar, rtype = right.get(name, pre[name])
+            if lvar == rvar:
+                merged[name] = (lvar, ltype)
+                continue
+            self._merge_counter += 1
+            phi = Var(f"{name}#{self._merge_counter}")
+            self.builder.emit(Assign(phi, lvar))
+            self.builder.emit(Assign(phi, rvar))
+            merged[name] = (phi, ltype if ltype.known else rtype)
+        return merged
+
+    # ------------------------------------------------------------------
+    # expressions
+
+    def lower_expr(self, expr: N.Expr,
+                   want_value: bool) -> Tuple[Var, InferredType]:
+        if isinstance(expr, N.Literal):
+            var = self.builder.fresh("lit")
+            self.builder.emit(Const(var, expr.value, _LITERAL_TYPES[expr.kind]))
+            return var, InferredType(_LITERAL_TYPES[expr.kind])
+        if isinstance(expr, N.Name):
+            binding = self.env.get(expr.ident)
+            if binding is None:
+                # unknown identifier (static reference / corpus noise):
+                # an undefined variable with an empty points-to set
+                return self.builder.fresh(expr.ident), UNKNOWN
+            return binding
+        if isinstance(expr, N.New):
+            return self._lower_new(expr)
+        if isinstance(expr, N.MethodCall):
+            return self._lower_call(expr, want_value)
+        if isinstance(expr, N.FieldAccess):
+            obj, _ = self.lower_expr(expr.receiver, want_value=True)
+            dst = self.builder.fresh("fld")
+            self.builder.emit(FieldLoad(dst, obj, expr.name))
+            return dst, UNKNOWN
+        if isinstance(expr, N.Binary):
+            left, _ = self.lower_expr(expr.left, want_value=True)
+            right, _ = self.lower_expr(expr.right, want_value=True)
+            dst = self.builder.fresh("bin")
+            self.builder.emit(Prim(dst, expr.op, (left, right)))
+            return dst, InferredType("boolean" if expr.op in
+                                     ("==", "!=", "<", ">", "<=", ">=", "&&", "||")
+                                     else "int")
+        if isinstance(expr, N.Unary):
+            operand, _ = self.lower_expr(expr.operand, want_value=True)
+            dst = self.builder.fresh("un")
+            self.builder.emit(Prim(dst, expr.op, (operand,)))
+            return dst, InferredType("boolean" if expr.op == "!" else "int")
+        if isinstance(expr, N.Cast):
+            operand, _ = self.lower_expr(expr.operand, want_value=True)
+            return operand, self.owner.resolve_type(expr.type)
+        raise LoweringError(f"unknown expression {expr!r}")  # pragma: no cover
+
+    def _lower_new(self, expr: N.New) -> Tuple[Var, InferredType]:
+        type_ = self.owner.resolve_type(expr.type)
+        var = self.builder.alloc(type_.base)
+        if expr.args:
+            arg_vars, arg_types = self._lower_args(expr.args)
+            self.builder.emit(Call(
+                None, var, f"{type_.base}.<init>", tuple(arg_vars),
+                tuple(arg_types),
+            ))
+        return var, type_
+
+    def _lower_call(self, expr: N.MethodCall,
+                    want_value: bool) -> Tuple[Var, InferredType]:
+        if expr.receiver is None:
+            return self._lower_free_call(expr, want_value)
+        static_cls = self._static_class_of(expr.receiver)
+        if static_cls is not None:
+            # static call: KeyStore.getInstance("JKS")
+            arg_vars, arg_types = self._lower_args(expr.args)
+            method = f"{static_cls}.{expr.name}"
+            ret_type = self.owner.call_return_type(
+                InferredType(static_cls), expr.name
+            )
+            dst = self.builder.fresh("ret") if want_value else None
+            self.builder.emit(Call(dst, None, method, tuple(arg_vars),
+                                   tuple(arg_types)))
+            return (dst if dst is not None else self.builder.fresh("void"),
+                    ret_type)
+        recv, rtype = self.lower_expr(expr.receiver, want_value=True)
+        name = "SubscriptLoad" if expr.name == "[]" else expr.name
+        method = self.owner.qualify(rtype, name)
+        arg_vars, arg_types = self._lower_args(expr.args)
+        ret_type = self.owner.call_return_type(rtype, name)
+        returns_void = ret_type.base == "void"
+        dst = None
+        if want_value and not returns_void:
+            dst = self.builder.fresh("ret")
+        self.builder.emit(Call(dst, recv, method, tuple(arg_vars),
+                               tuple(arg_types)))
+        return (dst if dst is not None else self.builder.fresh("void"), ret_type)
+
+    def _static_class_of(self, receiver: N.Expr) -> Optional[str]:
+        """If the receiver is an unbound name resolving to a known API
+        class, the call is a static method invocation."""
+        if not isinstance(receiver, N.Name):
+            return None
+        if receiver.ident in self.env:
+            return None
+        resolved = self.owner.resolve_name(receiver.ident)
+        # resolvable to a fully qualified class name (via import or
+        # signature registry) → treat as a class reference
+        if resolved != receiver.ident or "." in resolved:
+            return resolved
+        return None
+
+    def _lower_free_call(self, expr: N.MethodCall,
+                         want_value: bool) -> Tuple[Var, InferredType]:
+        arg_vars, arg_types = self._lower_args(expr.args)
+        dst = self.builder.fresh("ret") if want_value else None
+        self.builder.emit(Call(dst, None, expr.name, tuple(arg_vars),
+                               tuple(arg_types)))
+        return (dst if dst is not None else self.builder.fresh("void"), UNKNOWN)
+
+    def _lower_args(self, args: Sequence[N.Expr]):
+        arg_vars: List[Var] = []
+        arg_types: List[str] = []
+        for a in args:
+            var, t = self.lower_expr(a, want_value=True)
+            arg_vars.append(var)
+            arg_types.append(t.base)
+        return arg_vars, arg_types
+
+
+class _ProgramLowerer:
+    def __init__(self, source_file: N.SourceFile,
+                 signatures: Optional[ApiSignatures],
+                 source: Optional[str]) -> None:
+        self.file = source_file
+        self.sigs = signatures or ApiSignatures()
+        self.source = source
+        self.imports: Dict[str, str] = {}
+        for imp in source_file.imports:
+            short = imp.fqn.rsplit(".", 1)[-1]
+            self.imports[short] = imp.fqn
+        self.internal = {fn.name for fn in source_file.functions}
+
+    # ------------------------------------------------------------------
+    # type helpers
+
+    def resolve_name(self, name: str) -> str:
+        if "." in name:
+            return name
+        if name in self.imports:
+            return self.imports[name]
+        return self.sigs.resolve_class(name)
+
+    def resolve_type(self, ref: N.TypeRef) -> InferredType:
+        return InferredType(
+            self.resolve_name(ref.name),
+            tuple(self.resolve_type(a) for a in ref.args),
+        )
+
+    def qualify(self, rtype: InferredType, method: str) -> str:
+        if rtype.known:
+            return f"{rtype.base}.{method}"
+        return method
+
+    def call_return_type(self, rtype: InferredType, method: str) -> InferredType:
+        if not rtype.known:
+            return UNKNOWN
+        sig = self.sigs.lookup(rtype.base, method)
+        if sig is None:
+            return UNKNOWN
+        ret = sig.returns
+        if ret.startswith("<") and ret.endswith(">"):
+            index = int(ret[1:-1])
+            if index < len(rtype.args):
+                return rtype.args[index]
+            return UNKNOWN
+        if ret in ("void", UNKNOWN_TYPE):
+            return InferredType(ret)
+        return InferredType(self.resolve_name(ret))
+
+    # ------------------------------------------------------------------
+
+    def lower(self) -> Program:
+        functions: Dict[str, Function] = {}
+        for decl in self.file.functions:
+            fl = _FunctionLowerer(self, decl.name, decl.params)
+            fl.lower_body(decl.body)
+            functions[decl.name] = fl.builder.finish()
+        main = _FunctionLowerer(self, "main", [])
+        main.lower_body(self.file.top_level)
+        functions["main"] = main.builder.finish()
+        return Program(functions, "main", self.source, "minijava")
+
+
+def lower(source_file: N.SourceFile,
+          signatures: Optional[ApiSignatures] = None,
+          source: Optional[str] = None) -> Program:
+    """Lower a parsed MiniJava file to an IR program."""
+    return _ProgramLowerer(source_file, signatures, source).lower()
+
+
+def parse_minijava(text: str,
+                   signatures: Optional[ApiSignatures] = None,
+                   source: Optional[str] = None) -> Program:
+    """Parse and lower MiniJava source text in one step."""
+    return lower(parse(text), signatures, source)

@@ -1,0 +1,175 @@
+"""AST node definitions for MiniJava."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple, Union
+
+
+# ----------------------------------------------------------------------
+# types
+
+
+@dataclass(frozen=True)
+class TypeRef:
+    """A (possibly generic) type reference, e.g. ``Map<String, File>``."""
+
+    name: str
+    args: Tuple["TypeRef", ...] = ()
+
+    def __str__(self) -> str:
+        if not self.args:
+            return self.name
+        inner = ", ".join(str(a) for a in self.args)
+        return f"{self.name}<{inner}>"
+
+
+# ----------------------------------------------------------------------
+# expressions
+
+
+@dataclass(frozen=True)
+class Literal:
+    value: object  # str | int | float | bool | None
+    kind: str  # "string" | "int" | "float" | "bool" | "null"
+
+
+@dataclass(frozen=True)
+class Name:
+    ident: str
+
+
+@dataclass(frozen=True)
+class New:
+    type: TypeRef
+    args: Tuple["Expr", ...] = ()
+
+
+@dataclass(frozen=True)
+class MethodCall:
+    """``receiver.name(args)``; receiver is None for free calls."""
+
+    receiver: Optional["Expr"]
+    name: str
+    args: Tuple["Expr", ...] = ()
+
+
+@dataclass(frozen=True)
+class FieldAccess:
+    receiver: "Expr"
+    name: str
+
+
+@dataclass(frozen=True)
+class Binary:
+    op: str
+    left: "Expr"
+    right: "Expr"
+
+
+@dataclass(frozen=True)
+class Unary:
+    op: str
+    operand: "Expr"
+
+
+@dataclass(frozen=True)
+class Cast:
+    """``(Type) expr`` — re-types the operand, no runtime effect."""
+
+    type: TypeRef
+    operand: "Expr"
+
+
+Expr = Union[Literal, Name, New, MethodCall, FieldAccess, Binary, Unary, Cast]
+
+
+# ----------------------------------------------------------------------
+# statements
+
+
+@dataclass(frozen=True)
+class VarDecl:
+    type: TypeRef
+    name: str
+    init: Optional[Expr]
+
+
+@dataclass(frozen=True)
+class Assign:
+    """``target = value`` where target is a Name or FieldAccess."""
+
+    target: Union[Name, FieldAccess]
+    value: Expr
+
+
+@dataclass(frozen=True)
+class ExprStmt:
+    expr: Expr
+
+
+@dataclass(frozen=True)
+class IfStmt:
+    cond: Expr
+    then_body: Tuple["Stmt", ...]
+    else_body: Tuple["Stmt", ...] = ()
+
+
+@dataclass(frozen=True)
+class WhileStmt:
+    cond: Expr
+    body: Tuple["Stmt", ...]
+
+
+@dataclass(frozen=True)
+class ForStmt:
+    init: Optional["Stmt"]
+    cond: Optional[Expr]
+    update: Optional["Stmt"]
+    body: Tuple["Stmt", ...]
+
+
+@dataclass(frozen=True)
+class ForEachStmt:
+    """``for (Type x : iterable) body``."""
+
+    type: TypeRef
+    name: str
+    iterable: Expr
+    body: Tuple["Stmt", ...]
+
+
+@dataclass(frozen=True)
+class ReturnStmt:
+    value: Optional[Expr] = None
+
+
+Stmt = Union[
+    VarDecl, Assign, ExprStmt, IfStmt, WhileStmt, ForStmt, ForEachStmt, ReturnStmt
+]
+
+
+# ----------------------------------------------------------------------
+# declarations
+
+
+@dataclass(frozen=True)
+class Import:
+    fqn: str
+
+
+@dataclass(frozen=True)
+class FuncDecl:
+    ret_type: TypeRef
+    name: str
+    params: Tuple[Tuple[TypeRef, str], ...]
+    body: Tuple[Stmt, ...]
+
+
+@dataclass(frozen=True)
+class SourceFile:
+    """A parsed MiniJava file: imports, functions, top-level statements."""
+
+    imports: Tuple[Import, ...]
+    functions: Tuple[FuncDecl, ...]
+    top_level: Tuple[Stmt, ...]

@@ -1,0 +1,14 @@
+"""Python frontend: lowers real Python source to the IR.
+
+Built on the CPython :mod:`ast` module, so any syntactically valid
+Python file can be mined.  Dynamic typing is approximated by a local
+type inference: constructor calls, container displays, imports and the
+:class:`~repro.frontend.signatures.ApiSignatures` registry give most
+receivers a type; subscripting is lowered to the ``SubscriptLoad`` /
+``SubscriptStore`` pseudo-methods the paper's Python results use
+(Tab. 3: ``Dict  RetArg(SubscriptStore, SubscriptLoad, 2)``).
+"""
+
+from repro.frontend.pyfront.lowering import parse_python
+
+__all__ = ["parse_python"]

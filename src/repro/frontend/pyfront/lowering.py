@@ -1,0 +1,725 @@
+"""Lowering Python ASTs to the IR.
+
+The same SSA-lite discipline as the MiniJava frontend: names bind
+directly to the IR variable holding their current value; joins insert
+φ-style merge assignments.  Loops are kept structured (the history
+builder unrolls them once).
+
+Container and iteration protocols are made explicit:
+
+* ``d[k]`` / ``d[k] = v`` become ``<T>.SubscriptLoad`` /
+  ``<T>.SubscriptStore`` calls (the store takes ``(key, value)``, so
+  the paper's ``RetArg(SubscriptLoad, SubscriptStore, 2)`` matches);
+* ``for x in e`` becomes ``e.__iter__()`` + ``iterator.__next__()``
+  inside the loop;
+* ``{…}`` / ``[…]`` / ``dict()`` / ``list()`` allocate ``Dict`` /
+  ``List`` objects; ``**kwargs`` parameters are typed ``Dict``.
+
+Unsupported constructs are lowered conservatively (their
+sub-expressions are still evaluated so their API calls produce events)
+— robustness matters more than completeness when mining a corpus.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.frontend.signatures import UNKNOWN_TYPE, ApiSignatures
+from repro.ir import (
+    Assign,
+    Call,
+    Const,
+    FieldLoad,
+    FieldStore,
+    Function,
+    FunctionBuilder,
+    GlobalRead,
+    GlobalWrite,
+    Prim,
+    Program,
+    Return,
+    Var,
+)
+
+#: Builtin container types and their display/constructor spellings.
+_BUILTIN_CONSTRUCTORS = {
+    "dict": "Dict",
+    "list": "List",
+    "set": "Set",
+    "tuple": "Tuple",
+    "str": "Str",
+    "frozenset": "FrozenSet",
+    "collections.OrderedDict": "collections.OrderedDict",
+    "collections.defaultdict": "collections.defaultdict",
+    "collections.Counter": "collections.Counter",
+    "collections.deque": "collections.deque",
+}
+
+_ITERATOR_TYPE = "iterator"
+
+
+class _Env(dict):
+    """name → (Var, type string)."""
+
+
+class _PyFunctionLowerer:
+    def __init__(self, owner: "_PyModuleLowerer", name: str,
+                 args: Optional[ast.arguments],
+                 module_level: bool = False) -> None:
+        self.owner = owner
+        self.module_level = module_level
+        params: List[str] = []
+        self.env = _Env()
+        if args is not None:
+            for a in list(args.posonlyargs) + list(args.args) + list(args.kwonlyargs):
+                params.append(a.arg)
+                self.env[a.arg] = (Var(a.arg), self._annotation_type(a))
+            if args.vararg is not None:
+                params.append(args.vararg.arg)
+                self.env[args.vararg.arg] = (Var(args.vararg.arg), "Tuple")
+            if args.kwarg is not None:
+                params.append(args.kwarg.arg)
+                # **kwargs is always a dict — a rare certainty in Python
+                self.env[args.kwarg.arg] = (Var(args.kwarg.arg), "Dict")
+        self.builder = FunctionBuilder(name, params)
+        self._merge_counter = 0
+        self._module_objects: Dict[str, Var] = {}
+
+    def _annotation_type(self, arg: ast.arg) -> str:
+        ann = arg.annotation
+        if isinstance(ann, ast.Name):
+            return self.owner.resolve_name(ann.id)
+        return UNKNOWN_TYPE
+
+    # ------------------------------------------------------------------
+    # statements
+
+    def lower_body(self, stmts: Sequence[ast.stmt]) -> None:
+        for stmt in stmts:
+            self.lower_statement(stmt)
+
+    def lower_statement(self, stmt: ast.stmt) -> None:
+        method = getattr(self, f"_stmt_{type(stmt).__name__}", None)
+        if method is not None:
+            method(stmt)
+            return
+        # unknown statement kind: evaluate nested expressions for events
+        for node in ast.iter_child_nodes(stmt):
+            if isinstance(node, ast.expr):
+                self.lower_expr(node, want_value=False)
+
+    def _stmt_Assign(self, stmt: ast.Assign) -> None:
+        value, vtype = self.lower_expr(stmt.value, want_value=True)
+        for target in stmt.targets:
+            self._assign_target(target, value, vtype)
+
+    def _stmt_AnnAssign(self, stmt: ast.AnnAssign) -> None:
+        if stmt.value is None:
+            return
+        value, vtype = self.lower_expr(stmt.value, want_value=True)
+        self._assign_target(stmt.target, value, vtype)
+
+    def _stmt_AugAssign(self, stmt: ast.AugAssign) -> None:
+        value, _ = self.lower_expr(stmt.value, want_value=True)
+        if isinstance(stmt.target, ast.Name):
+            old = self.env.get(stmt.target.id)
+            old_var = old[0] if old else self.builder.fresh(stmt.target.id)
+            dst = self.builder.fresh(stmt.target.id)
+            self.builder.emit(Prim(dst, "aug", (old_var, value)))
+            self.env[stmt.target.id] = (dst, old[1] if old else UNKNOWN_TYPE)
+        else:
+            self.lower_expr(stmt.target, want_value=False)
+
+    def _assign_target(self, target: ast.expr, value: Var, vtype: str) -> None:
+        if isinstance(target, ast.Name):
+            self.env[target.id] = (value, vtype)
+            if self.module_level:
+                # module-level bindings are globals: publish them so
+                # functions referencing the name see the same objects
+                self.builder.emit(GlobalWrite(target.id, value))
+                self.owner.record_global(target.id, vtype)
+        elif isinstance(target, ast.Attribute):
+            obj, _ = self.lower_expr(target.value, want_value=True)
+            self.builder.emit(FieldStore(obj, target.attr, value))
+        elif isinstance(target, ast.Subscript):
+            recv, rtype = self.lower_expr(target.value, want_value=True)
+            key, ktype = self.lower_expr(target.slice, want_value=True)
+            method = self.owner.qualify(rtype or "Dict", "SubscriptStore")
+            self.builder.emit(Call(None, recv, method, (key, value),
+                                   (ktype, vtype)))
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                item = self.builder.fresh("unpack")
+                self.builder.emit(Prim(item, "unpack", (value,)))
+                self._assign_target(elt, item, UNKNOWN_TYPE)
+        elif isinstance(target, ast.Starred):
+            self._assign_target(target.value, value, UNKNOWN_TYPE)
+
+    def _stmt_Expr(self, stmt: ast.Expr) -> None:
+        self.lower_expr(stmt.value, want_value=False)
+
+    def _stmt_Return(self, stmt: ast.Return) -> None:
+        if stmt.value is None:
+            self.builder.emit(Return(None))
+            return
+        value, _ = self.lower_expr(stmt.value, want_value=True)
+        self.builder.emit(Return(value))
+
+    def _stmt_If(self, stmt: ast.If) -> None:
+        cond, _ = self.lower_expr(stmt.test, want_value=True)
+        pre_env = dict(self.env)
+        with self.builder.if_(cond) as node:
+            self.lower_body(stmt.body)
+            then_env = dict(self.env)
+        self.env = _Env(pre_env)
+        with self.builder.else_(node):
+            self.lower_body(stmt.orelse)
+            else_env = dict(self.env)
+        self.env = self._merge_envs(pre_env, then_env, else_env)
+
+    def _stmt_While(self, stmt: ast.While) -> None:
+        cond, _ = self.lower_expr(stmt.test, want_value=True)
+        pre_env = dict(self.env)
+        with self.builder.while_(cond):
+            self.lower_body(stmt.body)
+            body_env = dict(self.env)
+        self.env = self._merge_envs(pre_env, pre_env, body_env)
+        self.lower_body(stmt.orelse)
+
+    def _stmt_For(self, stmt: ast.For) -> None:
+        iterable, itype = self.lower_expr(stmt.iter, want_value=True)
+        itr = self.builder.fresh("itr")
+        self.builder.emit(Call(itr, iterable,
+                               self.owner.qualify(itype, "__iter__"), (), ()))
+        cond = self.builder.fresh("more")
+        self.builder.emit(Prim(cond, "loop-cond", (itr,)))
+        pre_env = dict(self.env)
+        with self.builder.while_(cond):
+            elem = self.builder.fresh("elem")
+            self.builder.emit(Call(elem, itr, f"{_ITERATOR_TYPE}.__next__",
+                                   (), ()))
+            self._assign_target(stmt.target, elem, UNKNOWN_TYPE)
+            self.lower_body(stmt.body)
+            body_env = dict(self.env)
+        self.env = self._merge_envs(pre_env, pre_env, body_env)
+        self.lower_body(stmt.orelse)
+
+    def _stmt_With(self, stmt: ast.With) -> None:
+        for item in stmt.items:
+            value, vtype = self.lower_expr(item.context_expr, want_value=True)
+            if item.optional_vars is not None:
+                self._assign_target(item.optional_vars, value, vtype)
+        self.lower_body(stmt.body)
+
+    def _stmt_Try(self, stmt: ast.Try) -> None:
+        pre_env = dict(self.env)
+        self.lower_body(stmt.body)
+        try_env = dict(self.env)
+        for handler in stmt.handlers:
+            self.env = _Env(pre_env)
+            if handler.name:
+                self.env[handler.name] = (self.builder.fresh(handler.name),
+                                          UNKNOWN_TYPE)
+            self.lower_body(handler.body)
+            try_env = self._merge_envs(pre_env, try_env, dict(self.env))
+        self.env = _Env(try_env)
+        self.lower_body(stmt.orelse)
+        self.lower_body(stmt.finalbody)
+
+    def _stmt_FunctionDef(self, stmt: ast.FunctionDef) -> None:
+        # nested function definitions are lowered as separate functions
+        self.owner.lower_function(stmt)
+
+    def _stmt_AsyncFunctionDef(self, stmt) -> None:
+        self.owner.lower_function(stmt)
+
+    def _stmt_ClassDef(self, stmt: ast.ClassDef) -> None:
+        self.owner.register_local_class(stmt.name)
+
+    def _stmt_Import(self, stmt: ast.Import) -> None:
+        for alias in stmt.names:
+            self.owner.add_module_import(alias)
+
+    def _stmt_ImportFrom(self, stmt: ast.ImportFrom) -> None:
+        module = stmt.module or ""
+        for alias in stmt.names:
+            fqn = f"{module}.{alias.name}" if module else alias.name
+            self.owner.add_import(alias.asname or alias.name, fqn)
+
+    def _stmt_Pass(self, stmt) -> None:
+        pass
+
+    def _stmt_Break(self, stmt) -> None:
+        pass
+
+    def _stmt_Continue(self, stmt) -> None:
+        pass
+
+    def _stmt_Delete(self, stmt: ast.Delete) -> None:
+        for target in stmt.targets:
+            if isinstance(target, ast.Subscript):
+                recv, rtype = self.lower_expr(target.value, want_value=True)
+                key, ktype = self.lower_expr(target.slice, want_value=True)
+                method = self.owner.qualify(rtype or "Dict", "SubscriptDel")
+                self.builder.emit(Call(None, recv, method, (key,), (ktype,)))
+            elif isinstance(target, ast.Name):
+                self.env.pop(target.id, None)
+
+    def _stmt_Assert(self, stmt: ast.Assert) -> None:
+        self.lower_expr(stmt.test, want_value=False)
+
+    def _stmt_Raise(self, stmt: ast.Raise) -> None:
+        if stmt.exc is not None:
+            self.lower_expr(stmt.exc, want_value=False)
+
+    def _stmt_Global(self, stmt) -> None:
+        pass
+
+    def _stmt_Nonlocal(self, stmt) -> None:
+        pass
+
+    def _merge_envs(self, pre: Dict, left: Dict, right: Dict) -> _Env:
+        merged = _Env()
+        for name in pre:
+            lvar, ltype = left.get(name, pre[name])
+            rvar, rtype = right.get(name, pre[name])
+            if lvar == rvar:
+                merged[name] = (lvar, ltype)
+                continue
+            self._merge_counter += 1
+            phi = Var(f"{name}#{self._merge_counter}")
+            self.builder.emit(Assign(phi, lvar))
+            self.builder.emit(Assign(phi, rvar))
+            merged[name] = (phi, ltype if ltype != UNKNOWN_TYPE else rtype)
+        # names newly bound in *both* branches survive the join
+        for name in set(left) & set(right):
+            if name in merged:
+                continue
+            lvar, ltype = left[name]
+            rvar, rtype = right[name]
+            if lvar == rvar:
+                merged[name] = (lvar, ltype)
+            else:
+                self._merge_counter += 1
+                phi = Var(f"{name}#{self._merge_counter}")
+                self.builder.emit(Assign(phi, lvar))
+                self.builder.emit(Assign(phi, rvar))
+                merged[name] = (phi, ltype if ltype != UNKNOWN_TYPE else rtype)
+        return merged
+
+    # ------------------------------------------------------------------
+    # expressions
+
+    def lower_expr(self, expr: ast.expr,
+                   want_value: bool) -> Tuple[Var, str]:
+        method = getattr(self, f"_expr_{type(expr).__name__}", None)
+        if method is not None:
+            return method(expr, want_value)
+        # unknown expression: evaluate children, return opaque var
+        for node in ast.iter_child_nodes(expr):
+            if isinstance(node, ast.expr):
+                self.lower_expr(node, want_value=False)
+        return self.builder.fresh("opaque"), UNKNOWN_TYPE
+
+    def _expr_Constant(self, expr: ast.Constant, want_value: bool):
+        value = expr.value
+        if isinstance(value, (str, int, float, bool)) or value is None:
+            var = self.builder.fresh("lit")
+            type_name = type(value).__name__ if value is not None else "none"
+            self.builder.emit(Const(var, value, type_name))
+            return var, type_name
+        return self.builder.fresh("lit"), UNKNOWN_TYPE
+
+    def _expr_Name(self, expr: ast.Name, want_value: bool):
+        binding = self.env.get(expr.id)
+        if binding is not None:
+            return binding
+        gtype = self.owner.global_type(expr.id)
+        if gtype is not None:
+            dst = self.builder.fresh(expr.id)
+            self.builder.emit(GlobalRead(dst, expr.id))
+            return dst, gtype
+        # import / builtin: an opaque, unbound variable
+        return Var(expr.id), self.owner.module_type(expr.id)
+
+    def _expr_Dict(self, expr: ast.Dict, want_value: bool):
+        var = self.builder.alloc("Dict")
+        for key, value in zip(expr.keys, expr.values):
+            if key is None:  # {**other}
+                self.lower_expr(value, want_value=False)
+                continue
+            k, ktype = self.lower_expr(key, want_value=True)
+            v, vtype = self.lower_expr(value, want_value=True)
+            self.builder.emit(Call(None, var, "Dict.SubscriptStore",
+                                   (k, v), (ktype, vtype)))
+        return var, "Dict"
+
+    def _expr_List(self, expr: ast.List, want_value: bool):
+        var = self.builder.alloc("List")
+        for elt in expr.elts:
+            v, vtype = self.lower_expr(elt, want_value=True)
+            self.builder.emit(Call(None, var, "List.append", (v,), (vtype,)))
+        return var, "List"
+
+    def _expr_Set(self, expr: ast.Set, want_value: bool):
+        var = self.builder.alloc("Set")
+        for elt in expr.elts:
+            v, vtype = self.lower_expr(elt, want_value=True)
+            self.builder.emit(Call(None, var, "Set.add", (v,), (vtype,)))
+        return var, "Set"
+
+    def _expr_Tuple(self, expr: ast.Tuple, want_value: bool):
+        var = self.builder.alloc("Tuple")
+        for elt in expr.elts:
+            v, vtype = self.lower_expr(elt, want_value=True)
+            self.builder.emit(Call(None, var, "Tuple.item", (v,), (vtype,)))
+        return var, "Tuple"
+
+    def _expr_Subscript(self, expr: ast.Subscript, want_value: bool):
+        recv, rtype = self.lower_expr(expr.value, want_value=True)
+        key, ktype = self.lower_expr(expr.slice, want_value=True)
+        method = self.owner.qualify(rtype or "Dict", "SubscriptLoad")
+        dst = self.builder.fresh("item") if want_value else None
+        self.builder.emit(Call(dst, recv, method, (key,), (ktype,)))
+        return (dst if dst is not None else self.builder.fresh("void"),
+                UNKNOWN_TYPE)
+
+    def _module_object(self, path: str) -> Var:
+        """A per-function singleton for module-level objects such as
+        ``os.environ``, allocated on first use so it participates in
+        the points-to analysis and event graphs."""
+        var = self._module_objects.get(path)
+        if var is None:
+            var = self.builder.alloc(path)
+            self._module_objects[path] = var
+        return var
+
+    def _expr_Attribute(self, expr: ast.Attribute, want_value: bool):
+        # plain attribute read (calls are handled in _expr_Call)
+        base_module = self.owner.attribute_module(expr)
+        if base_module is not None:
+            return self._module_object(base_module), base_module
+        obj, _ = self.lower_expr(expr.value, want_value=True)
+        dst = self.builder.fresh("attr")
+        self.builder.emit(FieldLoad(dst, obj, expr.attr))
+        return dst, UNKNOWN_TYPE
+
+    def _expr_Call(self, expr: ast.Call, want_value: bool):
+        func = expr.func
+        args = list(expr.args) + [kw.value for kw in expr.keywords]
+        if isinstance(func, ast.Attribute):
+            return self._lower_method_call(func, args, want_value)
+        if isinstance(func, ast.Name):
+            return self._lower_name_call(func.id, args, want_value)
+        # call of a computed callee: evaluate everything, opaque result
+        self.lower_expr(func, want_value=False)
+        for a in args:
+            self.lower_expr(a, want_value=False)
+        return self.builder.fresh("ret"), UNKNOWN_TYPE
+
+    def _lower_method_call(self, func: ast.Attribute, args, want_value: bool):
+        base_module = self.owner.attribute_module(func.value)
+        arg_vars, arg_types = self._lower_args(args)
+        if base_module is not None and func.attr[:1].isupper():
+            # class constructor accessed through its module:
+            # configparser.ConfigParser(...)
+            ctor_type = f"{base_module}.{func.attr}"
+            var = self.builder.alloc(ctor_type)
+            if arg_vars:
+                self.builder.emit(Call(None, var, f"{ctor_type}.__init__",
+                                       tuple(arg_vars), tuple(arg_types)))
+            return var, ctor_type
+        if base_module is not None:
+            # module function: numpy.array(...), os.path.join(...)
+            method = f"{base_module}.{func.attr}"
+            ret_type = self.owner.sigs.return_type(base_module, func.attr)
+            dst = self.builder.fresh("ret") if want_value else None
+            self.builder.emit(Call(dst, None, method, tuple(arg_vars),
+                                   tuple(arg_types)))
+            return (dst if dst is not None else self.builder.fresh("void"),
+                    ret_type)
+        recv, rtype = self.lower_expr(func.value, want_value=True)
+        method = self.owner.qualify(rtype, func.attr)
+        ret_type = (self.owner.sigs.return_type(rtype, func.attr)
+                    if rtype != UNKNOWN_TYPE else UNKNOWN_TYPE)
+        dst = self.builder.fresh("ret") if want_value else None
+        self.builder.emit(Call(dst, recv, method, tuple(arg_vars),
+                               tuple(arg_types)))
+        return (dst if dst is not None else self.builder.fresh("void"),
+                ret_type)
+
+    def _lower_name_call(self, name: str, args, want_value: bool):
+        resolved = self.owner.resolve_name(name)
+        arg_vars, arg_types = self._lower_args(args)
+        # internal function call
+        if self.owner.is_internal(name):
+            dst = self.builder.fresh("ret") if want_value else None
+            self.builder.emit(Call(dst, None, name, tuple(arg_vars),
+                                   tuple(arg_types)))
+            return (dst if dst is not None else self.builder.fresh("void"),
+                    UNKNOWN_TYPE)
+        # constructor of a known class / builtin container
+        ctor_type = self.owner.constructor_type(resolved)
+        if ctor_type is not None:
+            var = self.builder.alloc(ctor_type)
+            if arg_vars:
+                self.builder.emit(Call(None, var, f"{ctor_type}.__init__",
+                                       tuple(arg_vars), tuple(arg_types)))
+            return var, ctor_type
+        # free/builtin function
+        dst = self.builder.fresh("ret") if want_value else None
+        self.builder.emit(Call(dst, None, resolved, tuple(arg_vars),
+                               tuple(arg_types)))
+        ret_type = UNKNOWN_TYPE
+        if "." in resolved:
+            module, _, fn = resolved.rpartition(".")
+            ret_type = self.owner.sigs.return_type(module, fn)
+        return (dst if dst is not None else self.builder.fresh("void"),
+                ret_type)
+
+    def _lower_args(self, args):
+        arg_vars, arg_types = [], []
+        for a in args:
+            if isinstance(a, ast.Starred):
+                a = a.value
+            var, t = self.lower_expr(a, want_value=True)
+            arg_vars.append(var)
+            arg_types.append(t)
+        return arg_vars, arg_types
+
+    def _expr_BinOp(self, expr: ast.BinOp, want_value: bool):
+        left, _ = self.lower_expr(expr.left, want_value=True)
+        right, _ = self.lower_expr(expr.right, want_value=True)
+        dst = self.builder.fresh("bin")
+        self.builder.emit(Prim(dst, type(expr.op).__name__, (left, right)))
+        return dst, UNKNOWN_TYPE
+
+    def _expr_Compare(self, expr: ast.Compare, want_value: bool):
+        left, _ = self.lower_expr(expr.left, want_value=True)
+        operands = [left]
+        for comp in expr.comparators:
+            v, _ = self.lower_expr(comp, want_value=True)
+            operands.append(v)
+        dst = self.builder.fresh("cmp")
+        self.builder.emit(Prim(dst, "compare", tuple(operands)))
+        return dst, "bool"
+
+    def _expr_BoolOp(self, expr: ast.BoolOp, want_value: bool):
+        operands = []
+        for value in expr.values:
+            v, _ = self.lower_expr(value, want_value=True)
+            operands.append(v)
+        dst = self.builder.fresh("bool")
+        self.builder.emit(Prim(dst, type(expr.op).__name__, tuple(operands)))
+        return dst, "bool"
+
+    def _expr_UnaryOp(self, expr: ast.UnaryOp, want_value: bool):
+        operand, _ = self.lower_expr(expr.operand, want_value=True)
+        dst = self.builder.fresh("un")
+        self.builder.emit(Prim(dst, type(expr.op).__name__, (operand,)))
+        return dst, UNKNOWN_TYPE
+
+    def _expr_IfExp(self, expr: ast.IfExp, want_value: bool):
+        self.lower_expr(expr.test, want_value=False)
+        body, btype = self.lower_expr(expr.body, want_value=True)
+        orelse, otype = self.lower_expr(expr.orelse, want_value=True)
+        self._merge_counter += 1
+        phi = Var(f"ifexp#{self._merge_counter}")
+        self.builder.emit(Assign(phi, body))
+        self.builder.emit(Assign(phi, orelse))
+        return phi, btype if btype != UNKNOWN_TYPE else otype
+
+    def _expr_JoinedStr(self, expr: ast.JoinedStr, want_value: bool):
+        parts = []
+        for value in expr.values:
+            if isinstance(value, ast.FormattedValue):
+                v, _ = self.lower_expr(value.value, want_value=True)
+                parts.append(v)
+        dst = self.builder.fresh("fstr")
+        self.builder.emit(Prim(dst, "fstring", tuple(parts)))
+        return dst, "str"
+
+    def _expr_ListComp(self, expr: ast.ListComp, want_value: bool):
+        return self._lower_comprehension(expr, "List")
+
+    def _expr_SetComp(self, expr: ast.SetComp, want_value: bool):
+        return self._lower_comprehension(expr, "Set")
+
+    def _expr_DictComp(self, expr: ast.DictComp, want_value: bool):
+        return self._lower_comprehension(expr, "Dict")
+
+    def _expr_GeneratorExp(self, expr: ast.GeneratorExp, want_value: bool):
+        return self._lower_comprehension(expr, "Generator")
+
+    def _lower_comprehension(self, expr, type_name: str):
+        var = self.builder.alloc(type_name)
+        for gen in expr.generators:
+            iterable, itype = self.lower_expr(gen.iter, want_value=True)
+            elem = self.builder.fresh("elem")
+            self.builder.emit(Call(
+                elem, iterable, self.owner.qualify(itype, "__iter__"), (), ()
+            ))
+            self._assign_target(gen.target, elem, UNKNOWN_TYPE)
+            for cond in gen.ifs:
+                self.lower_expr(cond, want_value=False)
+        if isinstance(expr, ast.DictComp):
+            self.lower_expr(expr.key, want_value=False)
+            self.lower_expr(expr.value, want_value=False)
+        else:
+            self.lower_expr(expr.elt, want_value=False)
+        return var, type_name
+
+    def _expr_Lambda(self, expr: ast.Lambda, want_value: bool):
+        return self.builder.fresh("lambda"), UNKNOWN_TYPE
+
+    def _expr_Starred(self, expr: ast.Starred, want_value: bool):
+        return self.lower_expr(expr.value, want_value)
+
+
+class _PyModuleLowerer:
+    def __init__(self, tree: ast.Module, signatures: Optional[ApiSignatures],
+                 source: Optional[str]) -> None:
+        self.tree = tree
+        self.sigs = signatures or ApiSignatures()
+        self.source = source
+        self.imports: Dict[str, str] = {}
+        self.local_classes: set = set()
+        self.functions: Dict[str, Function] = {}
+        #: module-level (global) bindings: name → inferred type
+        self.module_globals: Dict[str, str] = {}
+        for stmt in tree.body:
+            targets = []
+            if isinstance(stmt, ast.Assign):
+                targets = stmt.targets
+            elif isinstance(stmt, (ast.AnnAssign, ast.AugAssign)):
+                targets = [stmt.target]
+            for target in targets:
+                if isinstance(target, ast.Name):
+                    self.module_globals.setdefault(target.id, UNKNOWN_TYPE)
+        self._internal_names = {
+            node.name
+            for node in ast.walk(tree)
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+        }
+
+    # ------------------------------------------------------------------
+    # name/type helpers
+
+    def add_import(self, alias: str, fqn: str) -> None:
+        self.imports[alias] = fqn
+
+    def add_module_import(self, alias: ast.alias) -> None:
+        if alias.asname is not None:
+            self.imports[alias.asname] = alias.name
+        else:
+            # ``import a.b.c`` binds the *top-level* name ``a``; the
+            # dotted chain is then resolved attribute by attribute
+            top = alias.name.split(".")[0]
+            self.imports[top] = top
+
+    def register_local_class(self, name: str) -> None:
+        self.local_classes.add(name)
+
+    def is_internal(self, name: str) -> bool:
+        return name in self._internal_names
+
+    def record_global(self, name: str, vtype: str) -> None:
+        if vtype != UNKNOWN_TYPE or name not in self.module_globals:
+            self.module_globals[name] = vtype
+
+    def global_type(self, name: str) -> Optional[str]:
+        """Type of a module-level binding, or None if not a global."""
+        return self.module_globals.get(name)
+
+    def resolve_name(self, name: str) -> str:
+        if name in self.imports:
+            return self.imports[name]
+        return name
+
+    def module_type(self, name: str) -> str:
+        """Type of a bare name: its imported module/class fqn if any."""
+        return self.imports.get(name, UNKNOWN_TYPE)
+
+    def attribute_module(self, node: ast.expr) -> Optional[str]:
+        """If ``node`` denotes a module (``np`` or ``os.path``), its fqn."""
+        if isinstance(node, ast.Name):
+            fqn = self.imports.get(node.id)
+            if fqn is not None and not self._looks_like_class(fqn):
+                return fqn
+            return None
+        if isinstance(node, ast.Attribute):
+            base = self.attribute_module(node.value)
+            if base is not None:
+                candidate = f"{base}.{node.attr}"
+                if not self._looks_like_class(candidate):
+                    return candidate
+                # a class-looking component can still be a module
+                # (xml.etree.ElementTree): trust the signature registry
+                if self.sigs.is_module_prefix(candidate):
+                    return candidate
+            return None
+        return None
+
+    @staticmethod
+    def _looks_like_class(fqn: str) -> bool:
+        last = fqn.rsplit(".", 1)[-1]
+        return last[:1].isupper()
+
+    def constructor_type(self, resolved: str) -> Optional[str]:
+        if resolved in _BUILTIN_CONSTRUCTORS:
+            return _BUILTIN_CONSTRUCTORS[resolved]
+        if resolved in self.local_classes:
+            return resolved
+        if self._looks_like_class(resolved):
+            return resolved
+        return None
+
+    def qualify(self, rtype: str, method: str) -> str:
+        if rtype and rtype != UNKNOWN_TYPE:
+            return f"{rtype}.{method}"
+        return method
+
+    # ------------------------------------------------------------------
+
+    def lower_function(self, node) -> None:
+        if node.name in self.functions:
+            return
+        fl = _PyFunctionLowerer(self, node.name, node.args)
+        fl.lower_body(node.body)
+        self.functions[node.name] = fl.builder.finish()
+
+    def lower(self) -> Program:
+        # two passes: collect imports/classes first so top-level order
+        # does not matter for resolution inside functions
+        for stmt in self.tree.body:
+            if isinstance(stmt, ast.Import):
+                for alias in stmt.names:
+                    self.add_module_import(alias)
+            elif isinstance(stmt, ast.ImportFrom):
+                module = stmt.module or ""
+                for alias in stmt.names:
+                    fqn = f"{module}.{alias.name}" if module else alias.name
+                    self.add_import(alias.asname or alias.name, fqn)
+            elif isinstance(stmt, ast.ClassDef):
+                self.register_local_class(stmt.name)
+
+        main = _PyFunctionLowerer(self, "main", None, module_level=True)
+        for stmt in self.tree.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self.lower_function(stmt)
+            elif isinstance(stmt, ast.ClassDef):
+                for item in stmt.body:
+                    if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                        self.lower_function(item)
+            else:
+                main.lower_statement(stmt)
+        self.functions["main"] = main.builder.finish()
+        return Program(self.functions, "main", self.source, "python")
+
+
+def parse_python(text: str, signatures: Optional[ApiSignatures] = None,
+                 source: Optional[str] = None) -> Program:
+    """Parse and lower Python source text to an IR program."""
+    tree = ast.parse(text)
+    return _PyModuleLowerer(tree, signatures, source).lower()

@@ -1,0 +1,79 @@
+"""Static API signature registry.
+
+Frontends use this to (i) resolve short class names to fully qualified
+ones (``HashMap`` → ``java.util.HashMap``) and (ii) infer the static
+type of chained API calls (``db.getFile().getName()`` needs the return
+type of ``getFile`` to qualify ``getName``).  In a production system
+this information comes from the classpath; here the corpus's API
+registry (:mod:`repro.corpus.apis`) populates it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Optional, Tuple
+
+#: Type name used when the frontend cannot infer a static type.
+UNKNOWN_TYPE = "?"
+
+
+@dataclass(frozen=True)
+class MethodSig:
+    """Signature of one API method."""
+
+    cls: str  # fully qualified owning class
+    name: str
+    returns: str = UNKNOWN_TYPE
+    params: Tuple[str, ...] = ()
+
+    @property
+    def qualified(self) -> str:
+        return f"{self.cls}.{self.name}"
+
+
+class ApiSignatures:
+    """A queryable set of API method signatures and class names."""
+
+    def __init__(self) -> None:
+        self._methods: Dict[Tuple[str, str], MethodSig] = {}
+        self._short_names: Dict[str, str] = {}
+
+    def register_class(self, fqn: str) -> None:
+        """Make a class resolvable by its short name."""
+        short = fqn.rsplit(".", 1)[-1]
+        # first registration wins (mirrors an import shadowing rule)
+        self._short_names.setdefault(short, fqn)
+
+    def register(self, sig: MethodSig) -> None:
+        self._methods[(sig.cls, sig.name)] = sig
+        self.register_class(sig.cls)
+
+    def register_all(self, sigs: Iterable[MethodSig]) -> None:
+        for sig in sigs:
+            self.register(sig)
+
+    def resolve_class(self, name: str) -> str:
+        """Fully qualify a class name; unknown names pass through."""
+        if "." in name:
+            return name
+        return self._short_names.get(name, name)
+
+    def lookup(self, cls: str, method: str) -> Optional[MethodSig]:
+        return self._methods.get((self.resolve_class(cls), method))
+
+    def is_module_prefix(self, path: str) -> bool:
+        """True if ``path`` is a proper prefix of a registered class —
+        i.e. it denotes a module/package even if it looks like a class
+        name (``xml.etree.ElementTree``)."""
+        prefix = path + "."
+        return any(fqn.startswith(prefix) for fqn in self._short_names.values())
+
+    def return_type(self, cls: str, method: str) -> str:
+        sig = self.lookup(cls, method)
+        return sig.returns if sig is not None else UNKNOWN_TYPE
+
+    def __len__(self) -> int:
+        return len(self._methods)
+
+    def __repr__(self) -> str:
+        return f"<ApiSignatures {len(self._methods)} methods, {len(self._short_names)} classes>"

@@ -1,0 +1,58 @@
+"""Intermediate representation shared by all frontends and analyses.
+
+The IR is a small three-address representation with structured control
+flow.  Programs are lowered into it by the MiniJava frontend
+(:mod:`repro.frontend.minijava`) and the Python frontend
+(:mod:`repro.frontend.pyfront`).  All downstream components — the
+points-to analysis (:mod:`repro.pointsto`), event graphs
+(:mod:`repro.events`) and the specification learner (:mod:`repro.specs`)
+— operate on this IR only, which is what makes USpec language agnostic.
+"""
+
+from repro.ir.instructions import (
+    Alloc,
+    Assign,
+    Call,
+    Const,
+    FieldLoad,
+    FieldStore,
+    GlobalRead,
+    GlobalWrite,
+    Instruction,
+    LiteralValue,
+    Prim,
+    Return,
+    Var,
+)
+from repro.ir.program import Function, If, Program, Stmt, While
+from repro.ir.builder import FunctionBuilder, ProgramBuilder
+from repro.ir.printer import format_function, format_program
+from repro.ir.traversal import iter_calls, iter_instructions, iter_statements
+
+__all__ = [
+    "Alloc",
+    "Assign",
+    "Call",
+    "Const",
+    "FieldLoad",
+    "FieldStore",
+    "GlobalRead",
+    "GlobalWrite",
+    "Function",
+    "FunctionBuilder",
+    "If",
+    "Instruction",
+    "LiteralValue",
+    "Prim",
+    "Program",
+    "ProgramBuilder",
+    "Return",
+    "Stmt",
+    "Var",
+    "While",
+    "format_function",
+    "format_program",
+    "iter_calls",
+    "iter_instructions",
+    "iter_statements",
+]

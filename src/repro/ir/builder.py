@@ -1,0 +1,166 @@
+"""Convenience builders for assembling IR programs.
+
+Used by the frontends and heavily by tests: they manage fresh temporary
+names and a stack of statement lists so structured control flow can be
+emitted with context managers::
+
+    b = FunctionBuilder("main")
+    m = b.alloc("HashMap")
+    k = b.const("key")
+    v = b.call("Database.getFile", receiver=db)
+    b.call("java.util.HashMap.put", receiver=m, args=[k, v])
+    fn = b.finish()
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from repro.ir.instructions import (
+    Alloc,
+    Assign,
+    Call,
+    Const,
+    FieldLoad,
+    FieldStore,
+    LiteralValue,
+    Return,
+    Var,
+)
+from repro.ir.program import Function, If, Program, Stmt, While
+
+
+class FunctionBuilder:
+    """Incrementally builds one :class:`~repro.ir.program.Function`."""
+
+    def __init__(self, name: str, params: Sequence[str] = ()) -> None:
+        self.name = name
+        self.params: Tuple[Var, ...] = tuple(Var(p) for p in params)
+        self._temp_counter = 0
+        self._body: List[Stmt] = []
+        self._stack: List[List[Stmt]] = [self._body]
+
+    # ------------------------------------------------------------------
+    # variables
+
+    def fresh(self, hint: str = "t") -> Var:
+        """Return a fresh temporary variable."""
+        self._temp_counter += 1
+        return Var(f"{hint}${self._temp_counter}")
+
+    # ------------------------------------------------------------------
+    # emission
+
+    def emit(self, stmt: Stmt) -> Stmt:
+        self._stack[-1].append(stmt)
+        return stmt
+
+    def alloc(self, type_name: str, dst: Optional[Var] = None) -> Var:
+        dst = dst or self.fresh(type_name.lower()[:4])
+        self.emit(Alloc(dst, type_name))
+        return dst
+
+    def const(self, value: LiteralValue, dst: Optional[Var] = None,
+              type_name: Optional[str] = None) -> Var:
+        dst = dst or self.fresh("lit")
+        if type_name is None:
+            type_name = type(value).__name__ if value is not None else "none"
+        self.emit(Const(dst, value, type_name))
+        return dst
+
+    def assign(self, dst: Var, src: Var) -> Var:
+        self.emit(Assign(dst, src))
+        return dst
+
+    def field_load(self, obj: Var, fieldname: str, dst: Optional[Var] = None) -> Var:
+        dst = dst or self.fresh("fld")
+        self.emit(FieldLoad(dst, obj, fieldname))
+        return dst
+
+    def field_store(self, obj: Var, fieldname: str, src: Var) -> None:
+        self.emit(FieldStore(obj, fieldname, src))
+
+    def call(
+        self,
+        method: str,
+        receiver: Optional[Var] = None,
+        args: Sequence[Var] = (),
+        dst: Optional[Var] = None,
+        returns: bool = True,
+        arg_types: Sequence[str] = (),
+    ) -> Optional[Var]:
+        """Emit a call; returns the destination var (or None for void)."""
+        if returns and dst is None:
+            dst = self.fresh("ret")
+        if not returns:
+            dst = None
+        types = tuple(arg_types) if arg_types else ("?",) * len(args)
+        self.emit(Call(dst, receiver, method, tuple(args), types))
+        return dst
+
+    def ret(self, value: Optional[Var] = None) -> None:
+        self.emit(Return(value))
+
+    # ------------------------------------------------------------------
+    # structured control flow
+
+    @contextmanager
+    def if_(self, cond: Var) -> Iterator[If]:
+        """Open an ``if (cond) { ... }``; use :meth:`else_` for the branch."""
+        node = If(cond)
+        self.emit(node)
+        self._stack.append(node.then_body)
+        try:
+            yield node
+        finally:
+            self._stack.pop()
+
+    @contextmanager
+    def else_(self, node: If) -> Iterator[None]:
+        self._stack.append(node.else_body)
+        try:
+            yield
+        finally:
+            self._stack.pop()
+
+    @contextmanager
+    def while_(self, cond: Var) -> Iterator[While]:
+        node = While(cond)
+        self.emit(node)
+        self._stack.append(node.body)
+        try:
+            yield node
+        finally:
+            self._stack.pop()
+
+    # ------------------------------------------------------------------
+
+    def finish(self) -> Function:
+        if len(self._stack) != 1:
+            raise RuntimeError("unclosed control-flow block in FunctionBuilder")
+        return Function(self.name, self.params, self._body)
+
+
+class ProgramBuilder:
+    """Builds a :class:`~repro.ir.program.Program` from several functions."""
+
+    def __init__(self, entry: str = "main", source: Optional[str] = None,
+                 language: str = "minijava") -> None:
+        self.entry = entry
+        self.source = source
+        self.language = language
+        self._functions: List[Function] = []
+
+    def function(self, name: str, params: Sequence[str] = ()) -> FunctionBuilder:
+        return FunctionBuilder(name, params)
+
+    def add(self, fn: Function) -> Function:
+        self._functions.append(fn)
+        return fn
+
+    def finish(self) -> Program:
+        functions = {fn.name: fn for fn in self._functions}
+        if self.entry not in functions:
+            raise ValueError(f"entry function {self.entry!r} not defined")
+        return Program(functions, self.entry, self.source, self.language)

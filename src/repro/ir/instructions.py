@@ -1,0 +1,209 @@
+"""Instruction set of the three-address IR.
+
+Every instruction is a unique node (identity equality), so instructions
+double as allocation-site and call-site identifiers.  Variables are
+value objects: two ``Var("x")`` compare equal.  Frontends are expected
+to emit *versioned* locals (``x$1``, ``x$2``, …) so that the
+flow-insensitive points-to solver behaves flow-sensitively for locals.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional, Tuple, Union
+
+#: Values a literal-construction instruction may carry.
+LiteralValue = Union[str, int, float, bool, None]
+
+_UIDS = itertools.count(1)
+
+
+@dataclass(frozen=True, order=True)
+class Var:
+    """A local variable (or parameter) of a function."""
+
+    name: str
+
+    def __repr__(self) -> str:
+        return f"%{self.name}"
+
+
+class Instruction:
+    """Base class for all IR instructions.
+
+    Instructions use identity-based equality so that each occurrence in
+    a program is a distinct node — allocation sites and call sites are
+    represented by the instruction object itself.  Hashing uses a
+    sequential ``uid`` instead of the memory address: set/dict
+    iteration orders over instructions (and everything wrapping them —
+    sites, events, abstract objects) are then deterministic across
+    runs, which keeps the whole learning pipeline reproducible.
+    """
+
+    __slots__ = ()
+
+    def __new__(cls, *args, **kwargs):
+        obj = super().__new__(cls)
+        object.__setattr__(obj, "uid", next(_UIDS))
+        return obj
+
+    def __eq__(self, other: object) -> bool:
+        return self is other
+
+    def __hash__(self) -> int:
+        return self.uid
+
+
+@dataclass(eq=False)
+class Alloc(Instruction):
+    """``dst = new type_name(...)`` — allocates a fresh object.
+
+    Constructor arguments, if any, are modelled by the frontend as a
+    separate :class:`Call` to ``<type>.<init>`` when the allocation is
+    of an API type; plain allocations carry no arguments.
+    """
+
+    dst: Var
+    type_name: str
+
+    def __repr__(self) -> str:
+        return f"{self.dst!r} = new {self.type_name}"
+
+
+@dataclass(eq=False)
+class Const(Instruction):
+    """``dst = <literal>`` — a literal-construction event ``lc_i``.
+
+    Each occurrence of a literal in the source program yields its own
+    ``Const`` instruction (paper §3.1), and hence its own abstract
+    object carrying the literal value.
+    """
+
+    dst: Var
+    value: LiteralValue
+    type_name: str = "literal"
+
+    def __repr__(self) -> str:
+        return f"{self.dst!r} = const {self.value!r}"
+
+
+@dataclass(eq=False)
+class Assign(Instruction):
+    """``dst = src`` — a copy between locals."""
+
+    dst: Var
+    src: Var
+
+    def __repr__(self) -> str:
+        return f"{self.dst!r} = {self.src!r}"
+
+
+@dataclass(eq=False)
+class FieldLoad(Instruction):
+    """``dst = obj.field``."""
+
+    dst: Var
+    obj: Var
+    field: str
+
+    def __repr__(self) -> str:
+        return f"{self.dst!r} = {self.obj!r}.{self.field}"
+
+
+@dataclass(eq=False)
+class FieldStore(Instruction):
+    """``obj.field = src``."""
+
+    obj: Var
+    field: str
+    src: Var
+
+    def __repr__(self) -> str:
+        return f"{self.obj!r}.{self.field} = {self.src!r}"
+
+
+@dataclass(eq=False)
+class Call(Instruction):
+    """A method/function call site.
+
+    ``method`` is the method identifier ``id(m)`` of the paper — the
+    fully qualified name for API methods (``java.util.HashMap.put``) or
+    the bare function name for program-internal calls.  The receiver is
+    position 0, arguments are positions ``1..nargs`` and the return
+    value is position ``ret`` (see :mod:`repro.events.events`).
+    """
+
+    dst: Optional[Var]
+    receiver: Optional[Var]
+    method: str
+    args: Tuple[Var, ...] = ()
+    #: Static types of the arguments as inferred by the frontend; used
+    #: by the γ feature component (paper §4.1).  Parallel to ``args``.
+    arg_types: Tuple[str, ...] = ()
+
+    @property
+    def nargs(self) -> int:
+        """Number of (non-receiver) arguments — ``nargs(m)``."""
+        return len(self.args)
+
+    def __repr__(self) -> str:
+        recv = f"{self.receiver!r}." if self.receiver is not None else ""
+        args = ", ".join(repr(a) for a in self.args)
+        dst = f"{self.dst!r} = " if self.dst is not None else ""
+        return f"{dst}{recv}{self.method}({args})"
+
+
+@dataclass(eq=False)
+class GlobalRead(Instruction):
+    """``dst = <module-level name>`` — read of a global binding.
+
+    Used by the Python frontend: functions referencing module-level
+    names read them through a program-wide global cell.
+    """
+
+    dst: Var
+    name: str
+
+    def __repr__(self) -> str:
+        return f"{self.dst!r} = global {self.name}"
+
+
+@dataclass(eq=False)
+class GlobalWrite(Instruction):
+    """``<module-level name> = src`` — write of a global binding."""
+
+    name: str
+    src: Var
+
+    def __repr__(self) -> str:
+        return f"global {self.name} = {self.src!r}"
+
+
+@dataclass(eq=False)
+class Prim(Instruction):
+    """``dst = op(operands)`` — a primitive (non-object) computation.
+
+    Results of arithmetic and comparisons carry no abstract objects, so
+    the points-to analysis and history construction ignore this
+    instruction entirely; it only exists so conditions and index
+    expressions have a variable to name.
+    """
+
+    dst: Var
+    op: str
+    operands: Tuple[Var, ...] = ()
+
+    def __repr__(self) -> str:
+        ops = ", ".join(repr(o) for o in self.operands)
+        return f"{self.dst!r} = prim {self.op}({ops})"
+
+
+@dataclass(eq=False)
+class Return(Instruction):
+    """``return value`` (``value`` may be ``None`` for bare returns)."""
+
+    value: Optional[Var] = None
+
+    def __repr__(self) -> str:
+        return f"return {self.value!r}" if self.value is not None else "return"

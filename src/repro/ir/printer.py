@@ -1,0 +1,40 @@
+"""Human-readable dumps of IR programs (for debugging and golden tests)."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.ir.instructions import Instruction
+from repro.ir.program import Function, If, Program, Stmt, While
+
+
+def _format_body(body: List[Stmt], indent: int, lines: List[str]) -> None:
+    pad = "  " * indent
+    for stmt in body:
+        if isinstance(stmt, If):
+            lines.append(f"{pad}if {stmt.cond!r}:")
+            _format_body(stmt.then_body, indent + 1, lines)
+            if stmt.else_body:
+                lines.append(f"{pad}else:")
+                _format_body(stmt.else_body, indent + 1, lines)
+        elif isinstance(stmt, While):
+            lines.append(f"{pad}while {stmt.cond!r}:")
+            _format_body(stmt.body, indent + 1, lines)
+        elif isinstance(stmt, Instruction):
+            lines.append(f"{pad}{stmt!r}")
+        else:  # pragma: no cover - defensive
+            raise TypeError(f"unknown statement {stmt!r}")
+
+
+def format_function(fn: Function) -> str:
+    """Render one function as indented pseudo-assembly."""
+    params = ", ".join(repr(p) for p in fn.params)
+    lines = [f"func {fn.name}({params}):"]
+    _format_body(fn.body, 1, lines)
+    return "\n".join(lines)
+
+
+def format_program(program: Program) -> str:
+    """Render a whole program, entry function first."""
+    names = [program.entry] + sorted(n for n in program.functions if n != program.entry)
+    return "\n\n".join(format_function(program.functions[n]) for n in names)

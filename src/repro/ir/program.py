@@ -1,0 +1,85 @@
+"""Structured program representation: statements, functions, programs.
+
+Control flow is kept structured (``If`` / ``While`` nodes holding
+statement lists) rather than as an unstructured CFG.  This makes the
+flow-sensitive construction of abstract histories (paper §3.2: single
+loop unrolling, set-union joins) a simple recursive walk, while the
+flow-insensitive Andersen solver just flattens the tree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.ir.instructions import Instruction, Var
+
+
+@dataclass(eq=False)
+class If:
+    """``if (cond) { then_body } else { else_body }``.
+
+    The condition variable is also recorded so that the γ feature
+    component can relate calls to guarding conditions (paper §4.1).
+    """
+
+    cond: Var
+    then_body: List["Stmt"] = field(default_factory=list)
+    else_body: List["Stmt"] = field(default_factory=list)
+
+
+@dataclass(eq=False)
+class While:
+    """``while (cond) { body }`` — analysed with single unrolling."""
+
+    cond: Var
+    body: List["Stmt"] = field(default_factory=list)
+
+
+#: A statement is either a straight-line instruction or structured flow.
+Stmt = Union[Instruction, If, While]
+
+
+@dataclass(eq=False)
+class Function:
+    """A function or method of the analysed program."""
+
+    name: str
+    params: Tuple[Var, ...] = ()
+    body: List[Stmt] = field(default_factory=list)
+
+    def __repr__(self) -> str:
+        params = ", ".join(repr(p) for p in self.params)
+        return f"<Function {self.name}({params}), {len(self.body)} stmts>"
+
+
+@dataclass(eq=False)
+class Program:
+    """A whole translation unit (one corpus file).
+
+    ``entry`` names the function where analysis starts.  Functions not
+    present in ``functions`` that are called by name are treated as
+    external API methods.
+    """
+
+    functions: Dict[str, Function] = field(default_factory=dict)
+    entry: str = "main"
+    #: Provenance, e.g. the corpus file path; used in evaluation output.
+    source: Optional[str] = None
+    #: Source language tag ("minijava" / "python"), informational only.
+    language: str = "minijava"
+
+    @property
+    def entry_function(self) -> Function:
+        return self.functions[self.entry]
+
+    def resolve(self, method: str) -> Optional[Function]:
+        """Return the internal function for a call target, if any.
+
+        API methods (qualified names not defined in this program)
+        resolve to ``None``.
+        """
+        return self.functions.get(method)
+
+    def __repr__(self) -> str:
+        return f"<Program {self.source or '?'} entry={self.entry} fns={sorted(self.functions)}>"

@@ -1,0 +1,39 @@
+"""Generic walks over the structured IR."""
+
+from __future__ import annotations
+
+from typing import Iterator, List
+
+from repro.ir.instructions import Call, Instruction
+from repro.ir.program import Function, If, Program, Stmt, While
+
+
+def iter_statements(body: List[Stmt]) -> Iterator[Stmt]:
+    """Yield every statement in ``body``, recursing into If/While."""
+    for stmt in body:
+        yield stmt
+        if isinstance(stmt, If):
+            yield from iter_statements(stmt.then_body)
+            yield from iter_statements(stmt.else_body)
+        elif isinstance(stmt, While):
+            yield from iter_statements(stmt.body)
+
+
+def iter_instructions(body: List[Stmt]) -> Iterator[Instruction]:
+    """Yield every straight-line instruction in ``body``, in pre-order."""
+    for stmt in iter_statements(body):
+        if isinstance(stmt, Instruction):
+            yield stmt
+
+
+def iter_calls(fn: Function) -> Iterator[Call]:
+    """Yield every call instruction of ``fn``."""
+    for instr in iter_instructions(fn.body):
+        if isinstance(instr, Call):
+            yield instr
+
+
+def iter_program_instructions(program: Program) -> Iterator[Instruction]:
+    """Yield every instruction of every function of ``program``."""
+    for fn in program.functions.values():
+        yield from iter_instructions(fn.body)

@@ -1,0 +1,212 @@
+"""Features of event pairs (paper §4.1).
+
+``ftr(e1, e2) = (x1, x2, ctx_{G,2}(e1), ctx_{G,2}(e2), γ(e1, e2))``
+
+* the contexts are the bounded path sets of the event graph, rendered
+  as generalisable string tokens (method identifier + position per
+  path element, so literal occurrences collapse to ``lc:str`` etc.);
+* γ carries (i) the static argument types at both call sites and
+  (ii) the relation of the two sites to guarding control-flow
+  conditions (same guard / one nested under the other / unguarded) via
+  a :class:`GuardIndex` computed from the program structure.
+
+Encoding follows the paper's Vowpal Wabbit setup: every token is
+hashed into a sparse binary feature vector (here ``2^20`` dimensions by
+default, deterministic CRC32 hashing).  Because a linear model over a
+*union* of per-side tokens cannot express the co-occurrence of a
+``c1`` path with a ``c2`` path, we optionally add bounded conjunction
+tokens (``pair_features``, default on — see DESIGN.md; an ablation
+benchmark measures the effect).
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from repro.events.events import Event, Pos
+from repro.events.graph import EventGraph
+from repro.ir.instructions import Call, Instruction
+from repro.ir.program import If, Program, Stmt, While
+from repro.ir.traversal import iter_statements
+
+
+@dataclass(frozen=True)
+class FeatureConfig:
+    """Feature extraction and encoding parameters."""
+
+    context_k: int = 2
+    #: hashed feature-space dimension (paper: >100M for Java; we use a
+    #: far smaller corpus, so 2^18 suffices and keeps the per-position
+    #: dense weight vectors small)
+    dim: int = 1 << 18
+    #: include c1×c2 conjunction tokens
+    pair_features: bool = True
+    #: cap on paths per side entering the conjunction product
+    max_paths: int = 12
+    #: additionally emit bare-method-name path tokens ("getName" instead
+    #: of "java.io.File.getName"), bridging qualified and unqualified
+    #: method identifiers across typed and untyped receivers
+    name_tokens: bool = True
+
+
+class GuardIndex:
+    """Maps call instructions to their enclosing control-flow guards.
+
+    Used by the γ component to relate two call sites to guarding
+    conditions: calls under the same ``if``/``while`` node get a
+    "same-guard" token, nesting yields "guarded-vs-unguarded" tokens.
+    """
+
+    def __init__(self, program: Program) -> None:
+        self._guards: Dict[Instruction, Tuple[int, ...]] = {}
+        for fn in program.functions.values():
+            self._index_body(fn.body, ())
+
+    def _index_body(self, body: Sequence[Stmt], guards: Tuple[int, ...]) -> None:
+        for stmt in body:
+            if isinstance(stmt, If):
+                inner = guards + (id(stmt),)
+                self._index_body(stmt.then_body, inner)
+                self._index_body(stmt.else_body, inner)
+            elif isinstance(stmt, While):
+                self._index_body(stmt.body, guards + (id(stmt),))
+            else:
+                self._guards[stmt] = guards
+
+    def guards_of(self, instr: Instruction) -> Tuple[int, ...]:
+        return self._guards.get(instr, ())
+
+    def relation(self, a: Instruction, b: Instruction) -> str:
+        ga, gb = self.guards_of(a), self.guards_of(b)
+        if ga == gb:
+            return "same-guard" if ga else "both-unguarded"
+        shared = 0
+        for x, y in zip(ga, gb):
+            if x != y:
+                break
+            shared += 1
+        if shared == len(ga):
+            return "first-encloses"
+        if shared == len(gb):
+            return "second-encloses"
+        return "divergent-guards"
+
+
+@dataclass(frozen=True)
+class PairFeature:
+    """The structured feature of one event pair, pre-encoding."""
+
+    x1: Pos
+    x2: Pos
+    c1: FrozenSet[str]  # path tokens around e1
+    c2: FrozenSet[str]  # path tokens around e2
+    gamma: FrozenSet[str]
+
+    @property
+    def position_key(self) -> Tuple[str, str]:
+        """The (x1, x2) key selecting the per-position model ψ."""
+        return (_pos_token(self.x1), _pos_token(self.x2))
+
+
+def _pos_token(pos: Pos) -> str:
+    if pos == "ret":
+        return "ret"
+    if isinstance(pos, int) and pos > 4:
+        return "arg5+"
+    return str(pos)
+
+
+def _path_token(path: Tuple[Event, ...]) -> str:
+    return "→".join(f"{e.site.method_id}:{_pos_token(e.pos)}" for e in path)
+
+
+def _bare_name(method_id: str) -> str:
+    return method_id.rsplit(".", 1)[-1]
+
+
+def _name_path_token(path: Tuple[Event, ...]) -> str:
+    return "~".join(f"{_bare_name(e.site.method_id)}:{_pos_token(e.pos)}"
+                    for e in path)
+
+
+def _context_tokens(
+    graph: EventGraph, e: Event, k: int, exclude: Optional[Event],
+    name_tokens: bool,
+) -> FrozenSet[str]:
+    tokens: Set[str] = set()
+    for path in graph.contexts(e, k):
+        if exclude is not None and exclude in path:
+            # §4.2: drop paths revealing the other event, so the model
+            # does not simply learn the transitive closure
+            continue
+        tokens.add(_path_token(path))
+        if name_tokens:
+            tokens.add(_name_path_token(path))
+    return frozenset(tokens)
+
+
+def _gamma_tokens(e1: Event, e2: Event,
+                  guard_index: Optional[GuardIndex]) -> FrozenSet[str]:
+    tokens: Set[str] = set()
+    for tag, event in (("a", e1), ("b", e2)):
+        instr = event.site.instr
+        if isinstance(instr, Call):
+            for i, t in enumerate(instr.arg_types):
+                tokens.add(f"type:{tag}:{i}:{t}")
+            tokens.add(f"nargs:{tag}:{instr.nargs}")
+    if guard_index is not None:
+        i1, i2 = e1.site.instr, e2.site.instr
+        tokens.add(f"guard:{guard_index.relation(i1, i2)}")
+    return frozenset(tokens)
+
+
+def extract_feature(
+    graph: EventGraph,
+    e1: Event,
+    e2: Event,
+    guard_index: Optional[GuardIndex] = None,
+    config: FeatureConfig = FeatureConfig(),
+    hide_pair: bool = False,
+) -> PairFeature:
+    """Compute ``ftr(e1, e2)``.
+
+    With ``hide_pair=True`` (used when building *positive* training
+    samples), paths through the other event are removed from each
+    context so the edge itself is not leaked into the feature.
+    """
+    c1 = _context_tokens(graph, e1, config.context_k,
+                         e2 if hide_pair else None, config.name_tokens)
+    c2 = _context_tokens(graph, e2, config.context_k,
+                         e1 if hide_pair else None, config.name_tokens)
+    return PairFeature(e1.pos, e2.pos, c1, c2,
+                       _gamma_tokens(e1, e2, guard_index))
+
+
+def _hash_token(token: str, dim: int) -> int:
+    return zlib.crc32(token.encode("utf-8")) % dim
+
+
+def encode_feature(feature: PairFeature,
+                   config: FeatureConfig = FeatureConfig()) -> Tuple[int, ...]:
+    """Hash a :class:`PairFeature` into sparse binary indices.
+
+    Tokens are namespaced per side (``c1:``/``c2:``/``g:``), the
+    conjunction product is bounded by ``max_paths`` per side.
+    """
+    dim = config.dim
+    indices: Set[int] = {_hash_token("bias", dim)}
+    for token in feature.c1:
+        indices.add(_hash_token(f"c1:{token}", dim))
+    for token in feature.c2:
+        indices.add(_hash_token(f"c2:{token}", dim))
+    for token in feature.gamma:
+        indices.add(_hash_token(f"g:{token}", dim))
+    if config.pair_features:
+        left = sorted(feature.c1)[: config.max_paths]
+        right = sorted(feature.c2)[: config.max_paths]
+        for p1 in left:
+            for p2 in right:
+                indices.add(_hash_token(f"x:{p1}|{p2}", dim))
+    return tuple(sorted(indices))

@@ -1,0 +1,91 @@
+"""Sparse logistic regression trained with Adagrad SGD.
+
+A minimal, dependency-light stand-in for the Vowpal Wabbit models the
+paper uses (§7.1).  Features are sparse binary index tuples (from the
+hashing trick in :mod:`repro.model.features`); the model keeps a dense
+weight vector of the hashed dimension.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+SparseExample = Tuple[Tuple[int, ...], int]  # (active indices, label 0/1)
+
+
+@dataclass(frozen=True)
+class TrainConfig:
+    """SGD hyper-parameters."""
+
+    epochs: int = 6
+    learning_rate: float = 0.5
+    l2: float = 1e-6
+    seed: int = 7
+
+
+def _sigmoid(z: float) -> float:
+    if z >= 0:
+        return 1.0 / (1.0 + math.exp(-z))
+    ez = math.exp(z)
+    return ez / (1.0 + ez)
+
+
+class LogisticRegression:
+    """Binary logistic regression over hashed sparse features."""
+
+    def __init__(self, dim: int, config: TrainConfig = TrainConfig()) -> None:
+        self.dim = dim
+        self.config = config
+        self.weights = np.zeros(dim, dtype=np.float64)
+        self._grad_sq = np.full(dim, 1e-8, dtype=np.float64)
+        self.n_trained = 0
+
+    # ------------------------------------------------------------------
+
+    def decision(self, indices: Sequence[int]) -> float:
+        return float(self.weights[list(indices)].sum()) if indices else 0.0
+
+    def predict_proba(self, indices: Sequence[int]) -> float:
+        return _sigmoid(self.decision(indices))
+
+    def predict(self, indices: Sequence[int]) -> int:
+        return 1 if self.predict_proba(indices) >= 0.5 else 0
+
+    # ------------------------------------------------------------------
+
+    def partial_fit(self, indices: Sequence[int], label: int) -> float:
+        """One Adagrad step; returns the example's log-loss before update."""
+        idx = np.fromiter(indices, dtype=np.int64)
+        p = _sigmoid(float(self.weights[idx].sum()))
+        gradient = p - label  # dLoss/dz for each active binary feature
+        self._grad_sq[idx] += gradient * gradient
+        lr = self.config.learning_rate / np.sqrt(self._grad_sq[idx])
+        self.weights[idx] -= lr * (gradient + self.config.l2 * self.weights[idx])
+        self.n_trained += 1
+        eps = 1e-12
+        return -(label * math.log(p + eps) + (1 - label) * math.log(1 - p + eps))
+
+    def fit(self, examples: Sequence[SparseExample]) -> List[float]:
+        """Multi-epoch SGD over a shuffled copy; returns per-epoch mean loss."""
+        rng = random.Random(self.config.seed)
+        order = list(range(len(examples)))
+        losses: List[float] = []
+        for _ in range(self.config.epochs):
+            rng.shuffle(order)
+            total = 0.0
+            for i in order:
+                indices, label = examples[i]
+                total += self.partial_fit(indices, label)
+            losses.append(total / max(1, len(examples)))
+        return losses
+
+    # ------------------------------------------------------------------
+
+    def __repr__(self) -> str:
+        nnz = int(np.count_nonzero(self.weights))
+        return f"<LogisticRegression dim={self.dim} nnz={nnz} trained={self.n_trained}>"

@@ -1,0 +1,89 @@
+"""The event-pair model ϕ (paper §4.1).
+
+``ϕ(ftr(e1, e2)) = ψ_(x1, x2)(c1, c2, d)`` — one logistic regression
+per argument-position pair, plus a shared fallback model used for
+position pairs unseen at training time.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.model.dataset import LabeledSample
+from repro.model.features import FeatureConfig, PairFeature, encode_feature
+from repro.model.logistic import LogisticRegression, SparseExample, TrainConfig
+
+PositionKey = Tuple[str, str]
+
+
+class EventPairModel:
+    """ϕ: probability that two events are connected by an edge.
+
+    A small bagging-style ensemble: ``n_members`` logistic regressions
+    are trained per position key with different SGD shuffling seeds and
+    their probabilities averaged.  SGD order noise is the dominant
+    variance source at our (laptop-scale) corpus sizes; averaging it
+    out makes the learned specification set stable across runs.
+    """
+
+    def __init__(self, feature_config: FeatureConfig = FeatureConfig(),
+                 train_config: TrainConfig = TrainConfig(),
+                 n_members: int = 3) -> None:
+        self.feature_config = feature_config
+        self.train_config = train_config
+        self.n_members = max(1, n_members)
+        self._models: Dict[PositionKey, List[LogisticRegression]] = {}
+        self._fallback: List[LogisticRegression] = []
+        self.n_samples = 0
+
+    def _member_configs(self) -> List[TrainConfig]:
+        base = self.train_config
+        return [replace(base, seed=base.seed + 101 * i)
+                for i in range(self.n_members)]
+
+    # ------------------------------------------------------------------
+
+    def fit(self, samples: Sequence[LabeledSample]) -> None:
+        """Train the per-position ensembles (and the shared fallback)."""
+        grouped: Dict[PositionKey, List[SparseExample]] = defaultdict(list)
+        all_examples: List[SparseExample] = []
+        for sample in samples:
+            encoded = encode_feature(sample.feature, self.feature_config)
+            grouped[sample.feature.position_key].append((encoded, sample.label))
+            all_examples.append((encoded, sample.label))
+        configs = self._member_configs()
+        for key, examples in grouped.items():
+            members = []
+            for config in configs:
+                model = LogisticRegression(self.feature_config.dim, config)
+                model.fit(examples)
+                members.append(model)
+            self._models[key] = members
+        self._fallback = []
+        for config in configs:
+            model = LogisticRegression(self.feature_config.dim, config)
+            model.fit(all_examples)
+            self._fallback.append(model)
+        self.n_samples = len(samples)
+
+    # ------------------------------------------------------------------
+
+    def predict(self, feature: PairFeature) -> float:
+        """ϕ(ftr(e1, e2)) — edge probability in [0, 1]."""
+        encoded = encode_feature(feature, self.feature_config)
+        members = self._models.get(feature.position_key)
+        if not members or members[0].n_trained == 0:
+            members = self._fallback
+        if not members:
+            return 0.5
+        return sum(m.predict_proba(encoded) for m in members) / len(members)
+
+    @property
+    def position_keys(self) -> List[PositionKey]:
+        return sorted(self._models)
+
+    def __repr__(self) -> str:
+        return (f"<EventPairModel {len(self._models)} position keys × "
+                f"{self.n_members} members, {self.n_samples} samples>")

@@ -1,0 +1,50 @@
+"""Andersen-style points-to analysis with API aliasing specifications.
+
+The solver (:mod:`andersen`) implements the deduction rules of paper
+Tab. 2: the five standard Andersen rules plus *GhostW* / *GhostR* which
+model API-internal information flow through ghost fields (§6.1–6.3).
+Running it with an empty specification set yields the API-unaware
+baseline of §3.2 (API returns are fresh objects); running it with a
+learned :class:`~repro.specs.patterns.SpecSet` yields the augmented
+API-aware may-alias analysis.  The ⊤/⊥ coverage extension of §6.4 and
+Appendix A is available via ``PointsToOptions.coverage_mode``.
+"""
+
+from repro.pointsto.objects import (
+    AbstractObject,
+    AllocVal,
+    LitVal,
+    ObjAlloc,
+    ObjApiRet,
+    ObjGhost,
+    ObjLiteral,
+    ObjParam,
+    Value,
+    value_of,
+)
+from repro.pointsto.ghost import BOTTOM, EXACT, TOP, GhostField
+from repro.pointsto.analysis import (
+    PointsToOptions,
+    PointsToResult,
+    analyze,
+)
+
+__all__ = [
+    "AbstractObject",
+    "AllocVal",
+    "BOTTOM",
+    "EXACT",
+    "GhostField",
+    "LitVal",
+    "ObjAlloc",
+    "ObjApiRet",
+    "ObjGhost",
+    "ObjLiteral",
+    "ObjParam",
+    "PointsToOptions",
+    "PointsToResult",
+    "TOP",
+    "Value",
+    "analyze",
+    "value_of",
+]

@@ -1,0 +1,129 @@
+"""Public driver for the points-to analysis.
+
+:func:`analyze` runs the solver and returns a :class:`PointsToResult`
+offering the queries the rest of the system needs: per-variable
+points-to sets, per-site event points-to sets and may-alias checks.
+
+Two standard configurations:
+
+* ``analyze(program)`` — the *API-unaware* analysis of §3.2 (every API
+  return is a fresh object).  Used to build the event graphs that the
+  probabilistic model is trained on.
+* ``analyze(program, specs=learned)`` — the augmented *API-aware*
+  may-alias analysis of §6, optionally with ``coverage_mode=True`` for
+  the ⊤/⊥ extension of §6.4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from repro.events.events import RET, Event, Pos, Site
+from repro.ir.instructions import Call, Var
+from repro.ir.program import Program
+from repro.pointsto.andersen import Ctx, Solver
+from repro.pointsto.objects import AbstractObject
+from repro.specs.patterns import SpecSet
+
+
+@dataclass(frozen=True)
+class PointsToOptions:
+    """Configuration of one points-to run.
+
+    ``context_k`` is the call-site context depth (0 = context
+    insensitive); ``interprocedural=False`` degrades internal calls to
+    API-like opaque calls (the "less precise intraprocedural analysis"
+    of §7.1); ``coverage_mode`` enables the ⊤/⊥ ghost fields of §6.4;
+    ``max_combos`` caps ghost-field key enumeration per call site.
+    """
+
+    context_k: int = 1
+    interprocedural: bool = True
+    coverage_mode: bool = False
+    max_combos: int = 32
+
+
+class PointsToResult:
+    """Queryable result of one solver run."""
+
+    def __init__(self, solver: Solver, options: PointsToOptions) -> None:
+        self._solver = solver
+        self.options = options
+        self.program = solver.program
+        #: API call sites in deterministic program order.
+        self.api_sites: List[Site] = list(solver.api_sites)
+        #: (function, context) pairs that were analysed.
+        self.reachable: List[Tuple[str, Ctx]] = list(solver.reachable)
+
+    # ------------------------------------------------------------------
+
+    def var_pts(self, fn: str, ctx: Ctx, var: Var) -> FrozenSet[AbstractObject]:
+        """Points-to set ρ(var) of a local under a calling context."""
+        return self._solver.pts_of(self._solver.var_node(fn, ctx, var))
+
+    def site_owner(self, site: Site) -> Tuple[str, Ctx]:
+        return self._solver.site_owner[site]
+
+    def event_pts(self, site: Site, pos: Pos) -> FrozenSet[AbstractObject]:
+        """Points-to set of the object at position ``pos`` of ``site``.
+
+        Position 0 is the receiver, ``1..nargs`` the arguments and
+        :data:`~repro.events.events.RET` the returned object.
+        """
+        call = site.instr
+        if not isinstance(call, Call):
+            raise TypeError(f"event_pts needs an API call site, got {site!r}")
+        fn, ctx = self.site_owner(site)
+        if pos == RET:
+            if call.dst is None:
+                return frozenset()
+            return self.var_pts(fn, ctx, call.dst)
+        if pos == 0:
+            if call.receiver is None:
+                return frozenset()
+            return self.var_pts(fn, ctx, call.receiver)
+        if 1 <= pos <= call.nargs:
+            return self.var_pts(fn, ctx, call.args[pos - 1])
+        return frozenset()
+
+    def may_alias(self, a: FrozenSet[AbstractObject],
+                  b: FrozenSet[AbstractObject]) -> bool:
+        """Standard may-alias: non-empty intersection of points-to sets."""
+        return bool(a & b)
+
+    def events_may_alias(self, s1: Site, p1: Pos, s2: Site, p2: Pos) -> bool:
+        return self.may_alias(self.event_pts(s1, p1), self.event_pts(s2, p2))
+
+    # ------------------------------------------------------------------
+
+    @property
+    def num_ghost_objects(self) -> int:
+        """Number of objects allocated by the GhostR empty-field rule."""
+        return len(self._solver._ghost_allocated)
+
+    def __repr__(self) -> str:
+        return (
+            f"<PointsToResult {self.program.source or '?'}: "
+            f"{len(self.api_sites)} api sites, "
+            f"{len(self.reachable)} contexts>"
+        )
+
+
+def analyze(
+    program: Program,
+    specs: Optional[SpecSet] = None,
+    options: Optional[PointsToOptions] = None,
+) -> PointsToResult:
+    """Run the (possibly specification-augmented) points-to analysis."""
+    options = options or PointsToOptions()
+    solver = Solver(
+        program,
+        specs=specs,
+        context_k=options.context_k,
+        coverage_mode=options.coverage_mode,
+        max_combos=options.max_combos,
+        interprocedural=options.interprocedural,
+    )
+    solver.solve()
+    return PointsToResult(solver, options)

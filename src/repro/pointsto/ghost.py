@@ -1,0 +1,149 @@
+"""Ghost fields: names and the ReadGh / WriteGh functions (paper §6.1–6.2).
+
+A ghost field name is a pair of the *reading* method identifier and a
+tuple of key values: ``(get, "the answer is", 42) ∈ Ghosts = I × V*``.
+The coverage extension of §6.4 / Appendix A adds two special fields per
+method, ``⊤_M`` (values written under unknown keys) and ``⊥_M`` (every
+value ever written for ``M``); their use is controlled by
+``PointsToOptions.coverage_mode``.
+
+This module computes, for one API call site and the currently known
+argument-value sets, which ghost fields are read and which (value,
+field) pairs are written — i.e. ``ReadGh_S`` / ``WriteGh_S`` and their
+primed coverage variants ``ReadGh'`` / ``WriteGh'``.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import FrozenSet, Iterable, List, Sequence, Set, Tuple
+
+from repro.pointsto.objects import AbstractObject, Value
+from repro.specs.patterns import RetArg, SpecSet
+
+#: Ghost field kinds.
+EXACT = "exact"
+TOP = "top"  # ⊤_M — written under unknown keys, read by every read of M
+BOTTOM = "bottom"  # ⊥_M — all values ever written for M, read on unknown keys
+
+
+@dataclass(frozen=True)
+class GhostField:
+    """A ghost field name ``(reader, v_1, …, v_k)`` or ``⊤/⊥`` variant."""
+
+    reader: str
+    keys: Tuple[Value, ...] = ()
+    kind: str = EXACT
+
+    def __repr__(self) -> str:
+        if self.kind == TOP:
+            return f"⊤[{self.reader}]"
+        if self.kind == BOTTOM:
+            return f"⊥[{self.reader}]"
+        keys = ", ".join(repr(k) for k in self.keys)
+        return f"({self.reader}, {keys})"
+
+
+@dataclass(frozen=True)
+class ArgValues:
+    """Value information for one call argument.
+
+    ``values`` are the known values (from literal / allocation objects
+    in the argument's points-to set); ``unknown`` is true when the
+    argument may hold an object with no derivable value (e.g. an API
+    return).  An argument whose points-to set is still empty is fully
+    unknown.
+    """
+
+    values: FrozenSet[Value] = frozenset()
+    unknown: bool = True
+
+    @property
+    def resolved(self) -> bool:
+        """True when at least one concrete value is known."""
+        return bool(self.values)
+
+
+def _key_combinations(
+    args: Sequence[ArgValues], max_combos: int
+) -> Tuple[List[Tuple[Value, ...]], bool]:
+    """Enumerate key-value tuples from per-argument value sets.
+
+    Returns ``(combinations, any_unresolved)``.  If any argument has no
+    known value the combination set is empty and ``any_unresolved`` is
+    true.  The enumeration is deterministic and capped at
+    ``max_combos`` tuples to bound the ghost-field fan-out.
+    """
+    if any(not a.resolved for a in args):
+        return [], True
+    pools = [sorted(a.values, key=repr) for a in args]
+    combos = list(itertools.islice(itertools.product(*pools), max_combos))
+    any_unresolved = any(a.unknown for a in args)
+    return combos, any_unresolved
+
+
+def ghost_reads(
+    method: str,
+    args: Sequence[ArgValues],
+    specs: SpecSet,
+    coverage_mode: bool,
+    max_combos: int = 32,
+) -> Tuple[Set[GhostField], Set[GhostField]]:
+    """``ReadGh``/``ReadGh'`` for a call to ``method``.
+
+    Returns ``(fields, alloc_eligible)``: the ghost fields read at this
+    site, and the subset for which the GhostR rule may allocate a fresh
+    object when the field is empty (per App. A that is every field
+    except ``⊤``).
+    """
+    if not specs.has_retsame(method):
+        return set(), set()
+    combos, any_unresolved = _key_combinations(args, max_combos)
+    fields: Set[GhostField] = {GhostField(method, keys) for keys in combos}
+    if coverage_mode:
+        if not fields:
+            # ⋆ condition of App. A: a read with unknown key reads ⊥.
+            fields = {GhostField(method, kind=BOTTOM)}
+        else:
+            fields.add(GhostField(method, kind=TOP))
+            if any_unresolved:
+                fields.add(GhostField(method, kind=BOTTOM))
+    alloc_eligible = {f for f in fields if f.kind != TOP}
+    return fields, alloc_eligible
+
+
+def ghost_writes(
+    method: str,
+    args: Sequence[ArgValues],
+    arg_objects: Sequence[FrozenSet[AbstractObject]],
+    specs: SpecSet,
+    coverage_mode: bool,
+    max_combos: int = 32,
+) -> Set[Tuple[AbstractObject, GhostField]]:
+    """``WriteGh``/``WriteGh'`` for a call to ``method``.
+
+    ``arg_objects[i]`` is the points-to set of argument ``i+1``; the
+    written *values* of the paper's formulation are abstract objects
+    here, as in rule GhostW of Tab. 2.  Returns the set of
+    (object, ghost field) pairs to store.
+    """
+    writes: Set[Tuple[AbstractObject, GhostField]] = set()
+    for spec in specs.retargs_with_source(method):
+        x = spec.arg_index
+        if x > len(args):
+            continue
+        stored = arg_objects[x - 1]
+        if not stored:
+            continue
+        key_args = [a for i, a in enumerate(args, start=1) if i != x]
+        combos, _ = _key_combinations(key_args, max_combos)
+        fields: Set[GhostField] = {GhostField(spec.target, keys) for keys in combos}
+        if coverage_mode:
+            if not fields:
+                fields.add(GhostField(spec.target, kind=TOP))
+            fields.add(GhostField(spec.target, kind=BOTTOM))
+        for obj in stored:
+            for f in fields:
+                writes.add((obj, f))
+    return writes

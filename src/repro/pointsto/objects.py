@@ -1,0 +1,126 @@
+"""Abstract objects and values.
+
+A static points-to analysis partitions the unbounded set of runtime
+objects into finitely many *abstract objects* (paper §3.2).  Four kinds
+arise here:
+
+* :class:`ObjAlloc` — one per allocation statement;
+* :class:`ObjLiteral` — one per literal occurrence, carrying the value;
+* :class:`ObjApiRet` — the fresh object assumed to be returned by an
+  API call site (the paper's deliberate unsound-but-precise starting
+  assumption);
+* :class:`ObjGhost` — allocated by the *GhostR* rule when a ghost field
+  is read before any write (§6.3), ensuring two matching reads alias;
+* :class:`ObjParam` — an unknown object bound to an entry-function
+  parameter.
+
+:func:`value_of` maps abstract objects to the values ``V`` used for
+argument-equality checks and ghost field names (paper §5.1 ``val_G``):
+literal objects yield their literal value, allocations yield a unique
+identifier, everything else is unknown (``None``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple, Union
+
+from repro.ir.instructions import Alloc, Const, LiteralValue
+from repro.events.events import Site
+
+
+@dataclass(frozen=True)
+class LitVal:
+    """A literal value, e.g. the string ``"key"``."""
+
+    value: LiteralValue
+
+    def __repr__(self) -> str:
+        return f"lit:{self.value!r}"
+
+
+@dataclass(frozen=True)
+class AllocVal:
+    """The unique identity of an allocated object (paper: ``val_G`` of
+    an object-construction event is a singleton unique identifier)."""
+
+    alloc: Alloc
+
+    def __repr__(self) -> str:
+        return f"obj:{self.alloc.type_name}#{self.alloc.uid}"
+
+
+Value = Union[LitVal, AllocVal]
+
+
+@dataclass(frozen=True)
+class ObjAlloc:
+    """Abstract object of an allocation site."""
+
+    alloc: Alloc
+
+    def __repr__(self) -> str:
+        return f"<alloc {self.alloc.type_name}#{self.alloc.uid}>"
+
+
+@dataclass(frozen=True)
+class ObjLiteral:
+    """Abstract object of a literal-construction site ``lc_i``."""
+
+    const: Const
+
+    @property
+    def value(self) -> LiteralValue:
+        return self.const.value
+
+    def __repr__(self) -> str:
+        return f"<lit {self.const.value!r}#{self.const.uid}>"
+
+
+@dataclass(frozen=True)
+class ObjApiRet:
+    """The fresh abstract object returned by an API call site."""
+
+    site: Site
+
+    def __repr__(self) -> str:
+        return f"<apiret {self.site.method_id}#{self.site.instr.uid}>"
+
+
+@dataclass(frozen=True)
+class ObjGhost:
+    """Object allocated for a ghost field read with empty points-to set.
+
+    Keyed by (receiver object, ghost field) so that two matching reads
+    of the same field on the same receiver return the *same* object —
+    this is what realises the aliasing promised by ``RetSame``.
+    """
+
+    receiver: "AbstractObject"
+    field: object  # GhostField; typed loosely to avoid an import cycle
+
+    def __repr__(self) -> str:
+        return f"<ghost {self.field} of {self.receiver!r}>"
+
+
+@dataclass(frozen=True)
+class ObjParam:
+    """Unknown object bound to a parameter of the entry function."""
+
+    function: str
+    param: str
+
+    def __repr__(self) -> str:
+        return f"<param {self.function}.{self.param}>"
+
+
+AbstractObject = Union[ObjAlloc, ObjLiteral, ObjApiRet, ObjGhost, ObjParam]
+
+
+def value_of(obj: AbstractObject) -> Optional[Value]:
+    """The value an abstract object contributes to ``val_G`` (or None)."""
+    if isinstance(obj, ObjLiteral):
+        return LitVal(obj.value)
+    if isinstance(obj, ObjAlloc):
+        return AllocVal(obj.alloc)
+    return None

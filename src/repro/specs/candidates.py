@@ -1,0 +1,100 @@
+"""Candidate specification extraction — Alg. 1 of the paper.
+
+For every event graph, the set ``A_G`` of call-site pairs with an
+identical receiver is enumerated (bounded by history distance ≤ 10,
+§7.1); every pattern match instantiates a candidate specification,
+whose single induced edge is scored by the probabilistic model ϕ.  The
+result maps every candidate ``S`` to its list of edge confidences
+``Γ_S`` plus bookkeeping (match counts, covering files).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set
+
+from repro.model.dataset import GraphBundle
+from repro.model.features import FeatureConfig, extract_feature
+from repro.model.model import EventPairModel
+from repro.specs.matching import find_matches, find_retrecv_matches, induced_edges
+from repro.specs.patterns import Spec
+
+
+@dataclass
+class CandidateStats:
+    """Per-candidate evidence collected by Alg. 1."""
+
+    confidences: List[float] = field(default_factory=list)
+    matches: int = 0
+    files: Set[str] = field(default_factory=set)
+
+    def add(self, confidence: Optional[float], source: Optional[str]) -> None:
+        self.matches += 1
+        if confidence is not None:
+            self.confidences.append(confidence)
+        if source:
+            self.files.add(source)
+
+
+@dataclass
+class CandidateExtraction:
+    """The output of Alg. 1: ``Γ_S`` for every candidate ``S``."""
+
+    stats: Dict[Spec, CandidateStats] = field(default_factory=dict)
+
+    def gamma(self, spec: Spec) -> List[float]:
+        entry = self.stats.get(spec)
+        return list(entry.confidences) if entry else []
+
+    def candidates(self) -> List[Spec]:
+        return sorted(self.stats, key=str)
+
+    def __len__(self) -> int:
+        return len(self.stats)
+
+    def merge(self, other: "CandidateExtraction") -> None:
+        for spec, stats in other.stats.items():
+            mine = self.stats.setdefault(spec, CandidateStats())
+            mine.confidences.extend(stats.confidences)
+            mine.matches += stats.matches
+            mine.files |= stats.files
+
+
+def _score_match(extraction: CandidateExtraction, bundle: GraphBundle,
+                 match, model: EventPairModel,
+                 feature_config: FeatureConfig) -> None:
+    graph = bundle.graph
+    edges = induced_edges(match, graph)
+    if len(edges) != 1:
+        # Alg. 1 ignores matches inducing zero or several edges
+        return
+    ((e1, e2),) = edges
+    feature = extract_feature(graph, e1, e2, bundle.guard_index,
+                              feature_config)
+    confidence = model.predict(feature)
+    stats = extraction.stats.setdefault(match.spec, CandidateStats())
+    stats.add(confidence, bundle.program.source)
+
+
+def extract_candidates(
+    bundles: Sequence[GraphBundle],
+    model: EventPairModel,
+    feature_config: FeatureConfig = FeatureConfig(),
+    max_receiver_distance: int = 10,
+    enable_retrecv: bool = False,
+) -> CandidateExtraction:
+    """Run Alg. 1 over analysed corpus files.
+
+    With ``enable_retrecv`` the single-site RetRecv extension pattern
+    is enumerated alongside the paper's two pair patterns.
+    """
+    extraction = CandidateExtraction()
+    for bundle in bundles:
+        graph = bundle.graph
+        for pair in graph.receiver_pairs(max_receiver_distance):
+            for match in find_matches(graph, pair):
+                _score_match(extraction, bundle, match, model, feature_config)
+        if enable_retrecv:
+            for match in find_retrecv_matches(graph):
+                _score_match(extraction, bundle, match, model, feature_config)
+    return extraction

@@ -1,0 +1,161 @@
+"""Matching specification patterns against event graphs (paper §5.1).
+
+A pair of call sites ``(m1, m2)`` — ``m2`` called before ``m1`` on the
+same receiver — *matches*:
+
+* ``RetSame(s)`` iff
+  (C1) same method identifier,
+  (C2) same receiver allocation set,
+  (C3) ``(⟨m2,0⟩, ⟨m1,0⟩) ∈ E``,
+  (C4) all argument pairs may be equal (``equal_G``);
+* ``RetArg(t, s, x)`` iff (C2), (C3) and
+  (C1′) ``nargs(m2) = nargs(m1) + 1``,
+  (C4′) all arguments except the ``x``-th of ``m2`` may be equal,
+  aligned around the gap.
+
+``equal_G`` is value-set intersection: two argument events may be equal
+iff their ``val_G`` sets share a value (a literal or a unique
+allocation identity).  Matching also yields the *induced edges* — the
+aliasing the instantiated specification asserts — which the
+probabilistic model then scores.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Iterator, List, Optional, Set, Tuple
+
+from repro.events.events import RET, Event, Site
+from repro.events.graph import EventGraph, ReceiverPair
+from repro.ir.instructions import Call
+from repro.specs.patterns import RetArg, RetSame, Spec
+
+#: Methods never instantiated into specifications: constructors model
+#: allocation, not state access.
+_EXCLUDED_SUFFIXES = ("<init>", "__init__")
+
+
+@dataclass(frozen=True)
+class PatternMatch:
+    """One instantiation ``inst(R, m1, m2)`` at a concrete site pair."""
+
+    spec: Spec
+    m1: Site  # the later call (instantiates t, or the repeated s)
+    m2: Site  # the earlier call (instantiates s)
+
+
+def equal_g(graph: EventGraph, m1: Site, x1: int, m2: Site, x2: int) -> bool:
+    """``equal_G(m1, x1, m2, x2)`` — the two arguments may be equal."""
+    v1 = graph.val(Event(m1, x1))
+    v2 = graph.val(Event(m2, x2))
+    return bool(v1 & v2)
+
+
+def _excluded(method: str) -> bool:
+    return method.endswith(_EXCLUDED_SUFFIXES)
+
+
+def _receiver_conditions(graph: EventGraph, m1: Site, m2: Site) -> bool:
+    """C2 (same receiver allocation set) and C3 (m2 before m1)."""
+    r1, r2 = Event(m1, 0), Event(m2, 0)
+    if graph.alloc(r1) != graph.alloc(r2):
+        return False
+    return graph.has_edge(r2, r1)
+
+
+def _match_retsame(graph: EventGraph, m1: Site, m2: Site) -> Optional[PatternMatch]:
+    if m1.method_id != m2.method_id:  # C1
+        return None
+    if m1.nargs != m2.nargs:  # same signature
+        return None
+    if _excluded(m1.method_id):
+        return None
+    if not _receiver_conditions(graph, m1, m2):
+        return None
+    for i in range(1, m1.nargs + 1):  # C4
+        if not equal_g(graph, m1, i, m2, i):
+            return None
+    return PatternMatch(RetSame(m1.method_id), m1, m2)
+
+
+def _match_retarg(graph: EventGraph, m1: Site, m2: Site) -> Iterator[PatternMatch]:
+    if m2.nargs != m1.nargs + 1:  # C1'
+        return
+    if _excluded(m1.method_id) or _excluded(m2.method_id):
+        return
+    if m1.method_id == m2.method_id:
+        return
+    if not _receiver_conditions(graph, m1, m2):
+        return
+    for x in range(1, m2.nargs + 1):
+        # C4': arguments before the gap align 1:1, after shift by one
+        ok = all(
+            equal_g(graph, m1, i, m2, i) for i in range(1, x)
+        ) and all(
+            equal_g(graph, m1, j - 1, m2, j)
+            for j in range(x + 1, m2.nargs + 1)
+        )
+        if ok:
+            yield PatternMatch(
+                RetArg(m1.method_id, m2.method_id, x), m1, m2
+            )
+
+
+def find_matches(graph: EventGraph, pair: ReceiverPair) -> List[PatternMatch]:
+    """All pattern matches of one receiver-ordered call-site pair."""
+    m1, m2 = pair.m1, pair.m2
+    call1 = m1.instr
+    if not isinstance(call1, Call) or call1.dst is None:
+        # the later call must return a value for either pattern to be
+        # observable (its ret event anchors the induced aliasing)
+        return []
+    matches: List[PatternMatch] = []
+    same = _match_retsame(graph, m1, m2)
+    if same is not None:
+        matches.append(same)
+    matches.extend(_match_retarg(graph, m1, m2))
+    return matches
+
+
+def find_retrecv_matches(graph: EventGraph) -> List[PatternMatch]:
+    """Single-site matches of the RetRecv extension pattern.
+
+    Every API call with both a receiver and a used return value is a
+    candidate occurrence of "returns its receiver"; the induced edge —
+    receiver allocation → first use of the return — is then scored by
+    the probabilistic model like any other candidate.
+    """
+    from repro.specs.patterns import RetRecv
+
+    matches: List[PatternMatch] = []
+    seen: set = set()
+    for event in sorted(graph.events, key=lambda e: e.sort_key):
+        if event.pos != 0:
+            continue
+        site = event.site
+        call = site.instr
+        if not isinstance(call, Call) or call.dst is None:
+            continue
+        if _excluded(site.method_id) or site in seen:
+            continue
+        seen.add(site)
+        matches.append(PatternMatch(RetRecv(site.method_id), site, site))
+    return matches
+
+
+def induced_edges(match: PatternMatch,
+                  graph: EventGraph) -> FrozenSet[Tuple[Event, Event]]:
+    """The event-graph edges a match induces (paper §5.1)."""
+    from repro.specs.patterns import RetRecv
+
+    m1, m2 = match.m1, match.m2
+    targets = graph.children(Event(m1, RET))
+    if isinstance(match.spec, RetArg):
+        sources = graph.alloc(Event(m2, match.spec.arg_index))
+    elif isinstance(match.spec, RetRecv):
+        sources = graph.alloc(Event(m2, 0))
+    else:
+        sources = graph.children(Event(m2, RET))
+    return frozenset(
+        (e1, e2) for e1 in sources for e2 in targets if e1 != e2
+    )

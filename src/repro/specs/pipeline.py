@@ -1,0 +1,152 @@
+"""The end-to-end USpec learning pipeline (paper Fig. 1).
+
+Stages, each usable independently:
+
+1. :meth:`USpecPipeline.analyze_corpus` — run the API-unaware points-to
+   analysis on every corpus program and build event graphs (§3);
+2. :meth:`USpecPipeline.train_model` — train the probabilistic edge
+   model ϕ on those graphs (§4);
+3. :meth:`USpecPipeline.extract_candidates` — Alg. 1: enumerate and
+   score candidate specifications (§5.1–5.2);
+4. :meth:`USpecPipeline.select` — τ-threshold selection plus the
+   RetSame consistency extension (§5.3–5.4).
+
+:meth:`USpecPipeline.learn` chains all four and returns a
+:class:`LearnedSpecs` bundle ready to feed the augmented points-to
+analysis of §6.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from functools import partial
+from typing import Dict, List, Optional, Sequence
+
+from repro.events.graph import build_event_graph
+from repro.events.history import HistoryBuilder, HistoryOptions
+from repro.ir.program import Program
+from repro.model.dataset import GraphBundle, collect_training_samples
+from repro.model.features import FeatureConfig
+from repro.model.logistic import TrainConfig
+from repro.model.model import EventPairModel
+from repro.pointsto.analysis import PointsToOptions, analyze
+from repro.specs.candidates import CandidateExtraction, extract_candidates
+from repro.specs.patterns import Spec, SpecSet
+from repro.specs.scoring import Scorer, average_top_k, score_candidates
+from repro.specs.selection import extend_with_retsame, select_specs
+
+
+@dataclass(frozen=True)
+class PipelineConfig:
+    """All knobs of the learning pipeline, with the paper's defaults."""
+
+    pointsto: PointsToOptions = PointsToOptions()
+    history: HistoryOptions = HistoryOptions()
+    feature: FeatureConfig = FeatureConfig()
+    train: TrainConfig = TrainConfig()
+    #: Alg. 1 receiver-distance bound (§7.1)
+    max_receiver_distance: int = 10
+    #: k of the average-top-k score (§5.2)
+    score_k: int = 10
+    #: selection threshold τ (§7.2 uses 0.6 for the main experiments)
+    tau: float = 0.6
+    #: apply the §5.4 consistency extension
+    extend: bool = True
+    #: also enumerate the RetRecv extension pattern (fluent APIs)
+    enable_retrecv: bool = False
+    max_positives_per_graph: int = 64
+    #: negatives per positive; slightly below parity lifts the score
+    #: calibration of rare-context candidates without hurting precision
+    negative_ratio: float = 0.65
+    seed: int = 13
+
+
+@dataclass
+class LearnedSpecs:
+    """Everything the pipeline learned, for inspection and reuse."""
+
+    specs: SpecSet
+    scores: Dict[Spec, float]
+    extraction: CandidateExtraction
+    model: EventPairModel
+    config: PipelineConfig
+
+    def top(self, n: int = 20) -> List[Spec]:
+        """The ``n`` selected specifications with the highest scores."""
+        selected = [s for s in self.specs if s in self.scores]
+        return sorted(selected, key=lambda s: -self.scores[s])[:n]
+
+    def reselect(self, tau: float) -> SpecSet:
+        """Re-apply selection at a different threshold (cheap)."""
+        chosen = select_specs(self.scores, tau)
+        return extend_with_retsame(chosen) if self.config.extend else chosen
+
+
+class USpecPipeline:
+    """Coordinates the full unsupervised learning flow of Fig. 1."""
+
+    def __init__(self, config: Optional[PipelineConfig] = None) -> None:
+        self.config = config or PipelineConfig()
+
+    # ------------------------------------------------------------------
+    # stage 1: corpus analysis (§3)
+
+    def analyze_program(self, program: Program) -> GraphBundle:
+        result = analyze(program, options=self.config.pointsto)
+        histories = HistoryBuilder(program, result, self.config.history).build()
+        return GraphBundle.of(program, build_event_graph(histories))
+
+    def analyze_corpus(self, programs: Sequence[Program]) -> List[GraphBundle]:
+        return [self.analyze_program(p) for p in programs]
+
+    # ------------------------------------------------------------------
+    # stage 2: probabilistic model (§4)
+
+    def train_model(self, bundles: Sequence[GraphBundle]) -> EventPairModel:
+        samples = collect_training_samples(
+            bundles,
+            self.config.feature,
+            self.config.max_positives_per_graph,
+            self.config.negative_ratio,
+            self.config.seed,
+        )
+        model = EventPairModel(self.config.feature, self.config.train)
+        model.fit(samples)
+        return model
+
+    # ------------------------------------------------------------------
+    # stage 3: candidates and scores (§5.1–5.2)
+
+    def extract_candidates(self, bundles: Sequence[GraphBundle],
+                           model: EventPairModel) -> CandidateExtraction:
+        return extract_candidates(
+            bundles, model, self.config.feature,
+            self.config.max_receiver_distance,
+            enable_retrecv=self.config.enable_retrecv,
+        )
+
+    def score(self, extraction: CandidateExtraction,
+              scorer: Optional[Scorer] = None) -> Dict[Spec, float]:
+        scorer = scorer or partial(average_top_k, k=self.config.score_k)
+        return score_candidates(extraction, scorer)
+
+    # ------------------------------------------------------------------
+    # stage 4: selection (§5.3–5.4)
+
+    def select(self, scores: Dict[Spec, float],
+               tau: Optional[float] = None) -> SpecSet:
+        chosen = select_specs(scores, self.config.tau if tau is None else tau)
+        if self.config.extend:
+            chosen = extend_with_retsame(chosen)
+        return chosen
+
+    # ------------------------------------------------------------------
+
+    def learn(self, programs: Sequence[Program]) -> LearnedSpecs:
+        """Run the whole pipeline on a corpus of programs."""
+        bundles = self.analyze_corpus(programs)
+        model = self.train_model(bundles)
+        extraction = self.extract_candidates(bundles, model)
+        scores = self.score(extraction)
+        specs = self.select(scores)
+        return LearnedSpecs(specs, scores, extraction, model, self.config)

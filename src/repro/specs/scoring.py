@@ -1,0 +1,62 @@
+"""Scoring candidate specifications (paper §5.2).
+
+The paper's default score is the *average of the k = 10 highest edge
+confidences* in ``Γ_S`` — robust to the expected low-confidence matches
+(not every information flow is explainable, cf. Fig. 4) while requiring
+repeated strong evidence.  The alternatives discussed in §7.2
+(maximum, 95-percentile, raw match count) are provided for the ablation
+benchmarks.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, List, Sequence
+
+from repro.specs.candidates import CandidateExtraction
+from repro.specs.patterns import Spec
+
+Scorer = Callable[[Sequence[float], int], float]
+
+
+def average_top_k(confidences: Sequence[float], matches: int,
+                  k: int = 10) -> float:
+    """Mean of the ``k`` highest confidences (paper default)."""
+    if not confidences:
+        return 0.0
+    top = sorted(confidences, reverse=True)[:k]
+    return sum(top) / len(top)
+
+
+def max_score(confidences: Sequence[float], matches: int) -> float:
+    """The single highest confidence."""
+    return max(confidences) if confidences else 0.0
+
+
+def percentile_score(confidences: Sequence[float], matches: int,
+                     pct: float = 95.0) -> float:
+    """The ``pct``-percentile of the confidences (nearest-rank)."""
+    if not confidences:
+        return 0.0
+    ordered = sorted(confidences)
+    rank = max(0, math.ceil(pct / 100.0 * len(ordered)) - 1)
+    return ordered[rank]
+
+
+def match_count_score(confidences: Sequence[float], matches: int,
+                      scale: float = 20.0) -> float:
+    """Score by number of matches, squashed into [0, 1).
+
+    ``matches / (matches + scale)`` keeps the score comparable to the
+    probability-based scorers so the same τ sweep applies.
+    """
+    return matches / (matches + scale)
+
+
+def score_candidates(extraction: CandidateExtraction,
+                     scorer: Scorer = average_top_k) -> Dict[Spec, float]:
+    """``score(S)`` for every extracted candidate."""
+    return {
+        spec: scorer(stats.confidences, stats.matches)
+        for spec, stats in extraction.stats.items()
+    }

@@ -1,0 +1,30 @@
+"""Selecting specifications (paper §5.3) and the consistency extension (§5.4).
+
+``select_specs`` retains candidates whose score reaches the threshold
+τ.  ``extend_with_retsame`` then enforces invariant (3): for every
+``RetArg(t, s, x)`` in the selected set, ``RetSame(t)`` is added —
+reading a stored value twice must yield the same object.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping
+
+from repro.specs.patterns import RetArg, RetSame, Spec, SpecSet
+
+
+def select_specs(scores: Mapping[Spec, float], tau: float) -> SpecSet:
+    """Retain every candidate ``S`` with ``score(S) ≥ τ``."""
+    return SpecSet(spec for spec, score in scores.items() if score >= tau)
+
+
+def extend_with_retsame(specs: SpecSet) -> SpecSet:
+    """Close the set under invariant (3) of the paper:
+
+    ``RetArg(t, s, x) ∈ S  ⟹  RetSame(t) ∈ S``.
+    """
+    extended = SpecSet(specs)
+    for spec in list(specs):
+        if isinstance(spec, RetArg):
+            extended.add(RetSame(spec.target))
+    return extended

@@ -1,0 +1,68 @@
+"""JSON (de)serialization of specification sets.
+
+Learned specifications are plain facts about APIs, so they are meant
+to be saved once and reused by many analyses — exactly how the paper
+envisions shipping them alongside a static analyzer.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro.specs.patterns import RetArg, RetRecv, RetSame, Spec, SpecSet
+
+
+def spec_to_dict(spec: Spec) -> Dict[str, object]:
+    if isinstance(spec, RetSame):
+        return {"kind": "RetSame", "method": spec.method}
+    if isinstance(spec, RetRecv):
+        return {"kind": "RetRecv", "method": spec.method}
+    if isinstance(spec, RetArg):
+        return {
+            "kind": "RetArg",
+            "target": spec.target,
+            "source": spec.source,
+            "arg_index": spec.arg_index,
+        }
+    raise TypeError(f"not a specification: {spec!r}")
+
+
+def spec_from_dict(data: Mapping[str, object]) -> Spec:
+    kind = data.get("kind")
+    if kind == "RetSame":
+        return RetSame(str(data["method"]))
+    if kind == "RetRecv":
+        return RetRecv(str(data["method"]))
+    if kind == "RetArg":
+        return RetArg(str(data["target"]), str(data["source"]),
+                      int(data["arg_index"]))  # type: ignore[arg-type]
+    raise ValueError(f"unknown specification kind: {kind!r}")
+
+
+def specs_to_json(specs: SpecSet,
+                  scores: Optional[Mapping[Spec, float]] = None) -> str:
+    """Serialize a specification set (optionally with scores)."""
+    entries: List[Dict[str, object]] = []
+    for spec in specs:
+        entry = spec_to_dict(spec)
+        if scores is not None and spec in scores:
+            entry["score"] = round(scores[spec], 6)
+        entries.append(entry)
+    return json.dumps({"format": "uspec-specs", "version": 1,
+                       "specs": entries}, indent=2)
+
+
+def specs_from_json(text: str) -> Tuple[SpecSet, Dict[Spec, float]]:
+    """Deserialize; returns the set and any recorded scores."""
+    data = json.loads(text)
+    if data.get("format") != "uspec-specs":
+        raise ValueError("not a uspec specification file")
+    specs = SpecSet()
+    scores: Dict[Spec, float] = {}
+    for entry in data.get("specs", []):
+        spec = spec_from_dict(entry)
+        specs.add(spec)
+        if "score" in entry:
+            scores[spec] = float(entry["score"])
+    return specs, scores

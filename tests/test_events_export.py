@@ -1,0 +1,52 @@
+"""Tests for event-graph export (DOT / networkx)."""
+
+from repro.events import HistoryBuilder, build_event_graph
+from repro.events.export import to_dot, to_networkx
+from repro.pointsto import analyze
+from repro.specs.matching import find_matches, induced_edges
+
+
+def _graph(program):
+    res = analyze(program)
+    return build_event_graph(HistoryBuilder(program, res).build())
+
+
+def test_dot_contains_all_events_and_edges(fig2_program):
+    g = _graph(fig2_program)
+    dot = to_dot(g)
+    assert dot.startswith("digraph")
+    assert dot.rstrip().endswith("}")
+    assert dot.count("->") == g.edge_count
+    # short method labels present
+    assert "put" in dot and "get" in dot and "getName" in dot
+    # call sites with several events become clusters (Fig. 3 regions)
+    assert "subgraph cluster_" in dot
+
+
+def test_dot_induced_edges_dashed(fig2_program):
+    g = _graph(fig2_program)
+    matches = [
+        m for pair in g.receiver_pairs() for m in find_matches(g, pair)
+    ]
+    induced = set()
+    for m in matches:
+        induced |= induced_edges(m, g)
+    dot = to_dot(g, induced=induced)
+    assert "style=dashed" in dot
+    assert dot.count("->") == g.edge_count + len(induced)
+
+
+def test_dot_deterministic(fig2_program):
+    g1 = _graph(fig2_program)
+    assert to_dot(g1) == to_dot(g1)
+
+
+def test_networkx_roundtrip(fig2_program):
+    g = _graph(fig2_program)
+    nx_graph = to_networkx(g)
+    assert nx_graph.number_of_nodes() == len(g.events)
+    assert nx_graph.number_of_edges() == g.edge_count
+    # node attributes preserved
+    node = next(iter(nx_graph.nodes))
+    assert "label" in nx_graph.nodes[node]
+    assert "method" in nx_graph.nodes[node]

@@ -1,0 +1,152 @@
+"""Tests for abstract-history construction (paper §3.1–3.2, Fig. 2)."""
+
+from repro.events import RET, HistoryBuilder, HistoryOptions
+from repro.ir import ProgramBuilder, Var
+from repro.pointsto import analyze
+from repro.specs import RetArg, RetSame, SpecSet
+
+GET = "java.util.HashMap.get"
+PUT = "java.util.HashMap.put"
+
+
+def _histories(program, specs=None, options=None):
+    res = analyze(program, specs=specs)
+    return HistoryBuilder(program, res, options).build()
+
+
+def _labels(history):
+    return [(e.site.method_id, e.pos) for e in history]
+
+
+def _history_of(histories, predicate):
+    for obj, hs in histories.items():
+        if predicate(obj):
+            return sorted(hs, key=repr)
+    raise AssertionError("no matching object")
+
+
+def test_fig2_histories(fig2_program):
+    """The six abstract objects of Fig. 2 get exactly the paper's histories."""
+    hist = _histories(fig2_program)
+    by_labels = {tuple(_labels(h)) for hs in dict(hist.items()).values() for h in hs}
+    assert ("new:HashMap", RET) == next(
+        lbl for h in by_labels for lbl in h if lbl[0] == "new:HashMap"
+    )
+    assert (
+        ("new:HashMap", RET),
+        (PUT, 0),
+        (GET, 0),
+    ) in by_labels  # map
+    assert (("lc:str", RET), (PUT, 1)) in by_labels  # s1
+    assert (("SomeApi.getFile", RET), (PUT, 2)) in by_labels  # o1
+    assert (("lc:str", RET), (GET, 1)) in by_labels  # s2
+    assert ((GET, RET), ("java.io.File.getName", 0)) in by_labels  # o2
+    assert (("java.io.File.getName", RET),) in by_labels  # name
+
+
+def test_fig2_history_merge_with_specs(fig2_program):
+    """§3.3: with the HashMap specs, o1 and o2 merge into one history."""
+    specs = SpecSet([RetSame(GET), RetArg(GET, PUT, 2)])
+    hist = _histories(fig2_program, specs=specs)
+    merged = (
+        ("SomeApi.getFile", RET),
+        (PUT, 2),
+        (GET, RET),
+        ("java.io.File.getName", 0),
+    )
+    all_labels = {tuple(_labels(h)) for hs in dict(hist.items()).values() for h in hs}
+    assert merged in all_labels
+
+
+def test_if_join_unions_histories():
+    pb = ProgramBuilder()
+    b = pb.function("main")
+    api = b.alloc("Api")
+    cond = b.const(True)
+    obj = b.call("Api.make", receiver=api, dst=Var("o"))
+    with b.if_(cond) as node:
+        b.call("Api.left", receiver=obj, returns=False)
+    with b.else_(node):
+        b.call("Api.right", receiver=obj, returns=False)
+    b.call("Api.after", receiver=obj, returns=False)
+    pb.add(b.finish())
+    hist = _histories(pb.finish())
+    histories = _history_of(hist, lambda o: "Api.make" in repr(o))
+    label_seqs = {tuple(_labels(h)) for h in histories}
+    assert (("Api.make", RET), ("Api.left", 0), ("Api.after", 0)) in label_seqs
+    assert (("Api.make", RET), ("Api.right", 0), ("Api.after", 0)) in label_seqs
+
+
+def test_while_single_unrolling():
+    pb = ProgramBuilder()
+    b = pb.function("main")
+    api = b.alloc("Api")
+    cond = b.const(True)
+    obj = b.call("Api.make", receiver=api, dst=Var("o"))
+    with b.while_(cond):
+        b.call("Api.tick", receiver=obj, returns=False)
+    b.call("Api.done", receiver=obj, returns=False)
+    pb.add(b.finish())
+    hist = _histories(pb.finish())
+    histories = _history_of(hist, lambda o: "Api.make" in repr(o))
+    label_seqs = {tuple(_labels(h)) for h in histories}
+    # zero iterations
+    assert (("Api.make", RET), ("Api.done", 0)) in label_seqs
+    # exactly one iteration (single unrolling)
+    assert (("Api.make", RET), ("Api.tick", 0), ("Api.done", 0)) in label_seqs
+    assert not any(
+        sum(1 for lbl in seq if lbl[0] == "Api.tick") > 1 for seq in label_seqs
+    )
+
+
+def test_internal_call_events_inline_in_order():
+    pb = ProgramBuilder()
+    helper = pb.function("use", params=["p"])
+    helper.call("Lib.consume", receiver=Var("p"), returns=False)
+    pb.add(helper.finish())
+
+    main = pb.function("main")
+    api = main.alloc("Api")
+    obj = main.call("Api.make", receiver=api)
+    main.call("Lib.before", receiver=obj, returns=False)
+    main.call("use", args=[obj], returns=False)
+    main.call("Lib.after", receiver=obj, returns=False)
+    pb.add(main.finish())
+
+    hist = _histories(pb.finish())
+    histories = _history_of(hist, lambda o: "Api.make" in repr(o))
+    (h,) = histories
+    methods = [lbl[0] for lbl in _labels(h)]
+    assert methods == ["Api.make", "Lib.before", "Lib.consume", "Lib.after"]
+
+
+def test_recursion_depth_bound():
+    pb = ProgramBuilder()
+    rec = pb.function("rec", params=["p"])
+    rec.call("Lib.touch", receiver=Var("p"), returns=False)
+    rec.call("rec", args=[Var("p")], returns=False)
+    pb.add(rec.finish())
+    main = pb.function("main")
+    api = main.alloc("Api")
+    obj = main.call("Api.make", receiver=api)
+    main.call("rec", args=[obj], returns=False)
+    pb.add(main.finish())
+
+    hist = _histories(pb.finish())  # must terminate
+    histories = _history_of(hist, lambda o: "Api.make" in repr(o))
+    assert histories  # and produce something
+
+
+def test_max_len_stops_extension():
+    pb = ProgramBuilder()
+    b = pb.function("main")
+    api = b.alloc("Api")
+    obj = b.call("Api.make", receiver=api)
+    for _ in range(10):
+        b.call("Lib.touch", receiver=obj, returns=False)
+    pb.add(b.finish())
+    prog = pb.finish()
+    res = analyze(prog)
+    hist = HistoryBuilder(prog, res, HistoryOptions(max_len=3)).build()
+    histories = _history_of(hist, lambda o: "Api.make" in repr(o))
+    assert all(len(h) <= 3 for h in histories)

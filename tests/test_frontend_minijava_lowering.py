@@ -1,0 +1,165 @@
+"""Tests for MiniJava → IR lowering: naming, typing, SSA-lite merges."""
+
+from repro.frontend.minijava import parse_minijava
+from repro.frontend.signatures import ApiSignatures, MethodSig
+from repro.ir import Call, Const, FieldStore, If, While, iter_calls, iter_instructions
+
+
+def sigs():
+    s = ApiSignatures()
+    s.register_all([
+        MethodSig("java.util.HashMap", "put", "<1>", ("<0>", "<1>")),
+        MethodSig("java.util.HashMap", "get", "<1>", ("<0>",)),
+        MethodSig("example.Database", "getFile", "java.io.File"),
+        MethodSig("java.io.File", "getName", "java.lang.String"),
+        MethodSig("java.util.List", "get", "<0>", ("int",)),
+    ])
+    return s
+
+
+def calls_of(prog, fn="main"):
+    return [c.method for c in iter_calls(prog.functions[fn])]
+
+
+def test_method_ids_qualified_by_declared_type():
+    prog = parse_minijava(
+        'import java.util.HashMap;\n'
+        'HashMap<String, File> map = new HashMap<>();\n'
+        'map.put("k", "v");\n',
+        sigs(),
+    )
+    assert "java.util.HashMap.put" in calls_of(prog)
+
+
+def test_chained_call_typed_via_signature_registry():
+    prog = parse_minijava(
+        'import example.Database;\n'
+        'Database db = new Database();\n'
+        'String n = db.getFile().getName();\n',
+        sigs(),
+    )
+    assert "example.Database.getFile" in calls_of(prog)
+    assert "java.io.File.getName" in calls_of(prog)
+
+
+def test_generic_return_type_substitution():
+    """Map<String, File>.get returns the value type argument."""
+    prog = parse_minijava(
+        'import java.util.HashMap;\n'
+        'import java.io.File;\n'
+        'HashMap<String, java.io.File> map = new HashMap<>();\n'
+        'String n = map.get("k").getName();\n',
+        sigs(),
+    )
+    assert "java.io.File.getName" in calls_of(prog)
+
+
+def test_unknown_receiver_type_keeps_bare_name():
+    prog = parse_minijava("x = mystery.doIt();", sigs())
+    assert "doIt" in calls_of(prog)
+
+
+def test_statement_call_has_no_ret_var():
+    prog = parse_minijava(
+        'import java.util.HashMap;\n'
+        'HashMap<String, String> m = new HashMap<>();\n'
+        'm.put("k", "v");\n',
+        sigs(),
+    )
+    put = next(c for c in iter_calls(prog.functions["main"])
+               if c.method.endswith("put"))
+    assert put.dst is None
+
+
+def test_used_call_has_ret_var():
+    prog = parse_minijava(
+        'import java.util.HashMap;\n'
+        'HashMap<String, String> m = new HashMap<>();\n'
+        'String v = m.get("k");\n',
+        sigs(),
+    )
+    get = next(c for c in iter_calls(prog.functions["main"])
+               if c.method.endswith("get"))
+    assert get.dst is not None
+
+
+def test_branch_merge_creates_phi_assigns():
+    prog = parse_minijava(
+        'import example.Database;\n'
+        'Database db = new Database();\n'
+        'File f = db.getFile();\n'
+        'if (f == null) { f = db.getFile(); }\n'
+        'use(f);\n',
+        sigs(),
+    )
+    body = prog.functions["main"].body
+    use = next(c for c in iter_calls(prog.functions["main"]) if c.method == "use")
+    # the argument to use() must be a merge variable, not either branch var
+    assert use.args[0].name.startswith("f#")
+
+
+def test_foreach_desugars_to_iterator_protocol():
+    prog = parse_minijava(
+        'import java.util.List;\n'
+        'List<File> files = new ArrayList<>();\n'
+        'for (File f : files) { use(f); }\n',
+        sigs(),
+    )
+    methods = calls_of(prog)
+    assert any(m.endswith(".iterator") for m in methods)
+    assert "java.util.Iterator.hasNext" in methods
+    assert "java.util.Iterator.next" in methods
+
+
+def test_constructor_args_produce_init_call():
+    prog = parse_minijava('Thing t = new Thing("a");', sigs())
+    assert "Thing.<init>" in calls_of(prog)
+
+
+def test_field_store_lowered():
+    prog = parse_minijava("obj.field = value;", sigs())
+    stores = [i for i in iter_instructions(prog.functions["main"].body)
+              if isinstance(i, FieldStore)]
+    assert len(stores) == 1
+    assert stores[0].field == "field"
+
+
+def test_array_store_and_load():
+    prog = parse_minijava("a[0] = x;\ny = a[1];", sigs())
+    methods = calls_of(prog)
+    assert any("SubscriptStore" in m for m in methods)
+    assert any("SubscriptLoad" in m for m in methods)
+
+
+def test_functions_lowered_separately():
+    prog = parse_minijava(
+        "File fetch(Database db) { return db.getFile(); }\n"
+        "use(1);\n",
+        sigs(),
+    )
+    assert set(prog.functions) == {"fetch", "main"}
+
+
+def test_arg_types_recorded():
+    prog = parse_minijava(
+        'import java.util.HashMap;\n'
+        'HashMap<String, String> m = new HashMap<>();\n'
+        'm.put("k", 1);\n',
+        sigs(),
+    )
+    put = next(c for c in iter_calls(prog.functions["main"])
+               if c.method.endswith("put"))
+    assert put.arg_types == ("java.lang.String", "int")
+
+
+def test_while_lowering_structure():
+    prog = parse_minijava("while (x) { use(x); }", sigs())
+    assert any(isinstance(s, While) for s in prog.functions["main"].body)
+
+
+def test_literals_become_const_instructions():
+    prog = parse_minijava('x = "hello";', sigs())
+    consts = [i for i in iter_instructions(prog.functions["main"].body)
+              if isinstance(i, Const)]
+    assert consts[0].value == "hello"
+    assert consts[0].type_name == "java.lang.String"

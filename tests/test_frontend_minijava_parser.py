@@ -1,0 +1,131 @@
+"""Tests for the MiniJava parser."""
+
+import pytest
+
+from repro.frontend.minijava import ParseError, parse
+from repro.frontend.minijava import nodes as N
+
+
+def test_import_and_toplevel_statement():
+    f = parse('import java.util.HashMap;\nint x = 1;')
+    assert f.imports == (N.Import("java.util.HashMap"),)
+    assert isinstance(f.top_level[0], N.VarDecl)
+
+
+def test_generic_type_declaration():
+    f = parse('Map<String, List<File>> m = new HashMap<>();')
+    decl = f.top_level[0]
+    assert decl.type.name == "Map"
+    assert decl.type.args[0].name == "String"
+    assert decl.type.args[1].name == "List"
+    assert decl.type.args[1].args[0].name == "File"
+    assert isinstance(decl.init, N.New)
+    assert decl.init.type.name == "HashMap"
+
+
+def test_var_decl_vs_comparison_disambiguation():
+    f = parse("a < b;")
+    stmt = f.top_level[0]
+    assert isinstance(stmt, N.ExprStmt)
+    assert isinstance(stmt.expr, N.Binary)
+    assert stmt.expr.op == "<"
+
+
+def test_chained_method_calls():
+    f = parse('String n = db.getFile().getName();')
+    call = f.top_level[0].init
+    assert isinstance(call, N.MethodCall)
+    assert call.name == "getName"
+    assert isinstance(call.receiver, N.MethodCall)
+    assert call.receiver.name == "getFile"
+
+
+def test_field_access_vs_call():
+    f = parse("x = a.field;\ny = a.method();")
+    assert isinstance(f.top_level[0].value, N.FieldAccess)
+    assert isinstance(f.top_level[1].value, N.MethodCall)
+
+
+def test_function_declaration():
+    f = parse("File fetch(Database db, String key) { return db.get(key); }")
+    (fn,) = f.functions
+    assert fn.name == "fetch"
+    assert [p[1] for p in fn.params] == ["db", "key"]
+    assert isinstance(fn.body[0], N.ReturnStmt)
+
+
+def test_if_else_chain():
+    f = parse("if (a) { x(); } else if (b) { y(); } else { z(); }")
+    stmt = f.top_level[0]
+    assert isinstance(stmt, N.IfStmt)
+    nested = stmt.else_body[0]
+    assert isinstance(nested, N.IfStmt)
+    assert nested.else_body
+
+
+def test_braceless_bodies():
+    f = parse("if (a) x();")
+    assert len(f.top_level[0].then_body) == 1
+
+
+def test_classic_for():
+    f = parse("for (int i = 0; i < n; i++) { use(i); }")
+    stmt = f.top_level[0]
+    assert isinstance(stmt, N.ForStmt)
+    assert isinstance(stmt.init, N.VarDecl)
+    assert isinstance(stmt.cond, N.Binary)
+    assert isinstance(stmt.update, N.ExprStmt)
+
+
+def test_foreach():
+    f = parse("for (File f : files) { use(f); }")
+    stmt = f.top_level[0]
+    assert isinstance(stmt, N.ForEachStmt)
+    assert stmt.name == "f"
+    assert stmt.type.name == "File"
+
+
+def test_compound_assignment_desugars():
+    f = parse("x += 1;")
+    stmt = f.top_level[0]
+    assert isinstance(stmt, N.Assign)
+    assert isinstance(stmt.value, N.Binary)
+    assert stmt.value.op == "+"
+
+
+def test_array_indexing_becomes_call():
+    f = parse("x = a[0];")
+    call = f.top_level[0].value
+    assert isinstance(call, N.MethodCall)
+    assert call.name == "[]"
+
+
+def test_precedence():
+    f = parse("x = a + b * c == d;")
+    eq = f.top_level[0].value
+    assert eq.op == "=="
+    plus = eq.left
+    assert plus.op == "+"
+    assert plus.right.op == "*"
+
+
+def test_literals():
+    f = parse('x = "s"; y = 1; z = 2.5; t = true; u = null;')
+    values = [s.value for s in f.top_level]
+    assert [v.value for v in values] == ["s", 1, 2.5, True, None]
+
+
+def test_parse_error_reports_location():
+    with pytest.raises(ParseError) as err:
+        parse("int x = ;")
+    assert "line 1" in str(err.value)
+
+
+def test_unclosed_block():
+    with pytest.raises(ParseError):
+        parse("if (a) { x();")
+
+
+def test_diamond_operator():
+    f = parse("Map<String, File> m = new HashMap<>();")
+    assert f.top_level[0].init.type.args == ()

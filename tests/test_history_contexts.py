@@ -1,0 +1,75 @@
+"""Context-sensitivity of call sites in histories (paper §3.1: a call
+site comprises the statement *and its calling context*)."""
+
+from repro.events import RET, HistoryBuilder, build_event_graph
+from repro.ir import ProgramBuilder, Var
+from repro.pointsto import PointsToOptions, analyze
+
+
+def _two_callers_program():
+    """helper() contains one API call; main calls helper twice with
+    different objects."""
+    pb = ProgramBuilder()
+    helper = pb.function("helper", params=["p"])
+    helper.call("Lib.touch", receiver=Var("p"), returns=False)
+    pb.add(helper.finish())
+    main = pb.function("main")
+    a = main.alloc("A", dst=Var("a"))
+    z = main.alloc("Z", dst=Var("z"))
+    main.call("helper", args=[a], returns=False)
+    main.call("helper", args=[z], returns=False)
+    pb.add(main.finish())
+    return pb.finish()
+
+
+def _graph(program, k=1):
+    res = analyze(program, options=PointsToOptions(context_k=k))
+    return build_event_graph(HistoryBuilder(program, res).build())
+
+
+def test_context_sensitive_sites_are_distinct():
+    """With k=1 the single Lib.touch statement yields two call sites,
+    one per calling context — A's and Z's histories stay separate."""
+    g = _graph(_two_callers_program(), k=1)
+    touch_events = [e for e in g.events if e.site.method_id == "Lib.touch"]
+    assert len(touch_events) == 2
+    assert len({e.site for e in touch_events}) == 2
+    e1, e2 = touch_events
+    assert not g.may_alias(e1, e2)
+
+
+def test_context_insensitive_sites_merge():
+    """With k=0 both calls collapse onto one site, and the receiver
+    event belongs to both objects' histories."""
+    g = _graph(_two_callers_program(), k=0)
+    touch_events = [e for e in g.events if e.site.method_id == "Lib.touch"
+                    and e.pos == 0]
+    assert len({e.site for e in touch_events}) == 1
+
+
+def test_context_depth_two():
+    pb = ProgramBuilder()
+    inner = pb.function("inner", params=["x"])
+    inner.call("Lib.deep", receiver=Var("x"), returns=False)
+    pb.add(inner.finish())
+    outer = pb.function("outer", params=["y"])
+    outer.call("inner", args=[Var("y")], returns=False)
+    pb.add(outer.finish())
+    main = pb.function("main")
+    a = main.alloc("A")
+    z = main.alloc("Z")
+    main.call("outer", args=[a], returns=False)
+    main.call("outer", args=[z], returns=False)
+    pb.add(main.finish())
+    program = pb.finish()
+
+    # k=1: the two outer() call sites collapse inside inner (the last
+    # call is always inner's single call site) — one Lib.deep site
+    g1 = _graph(program, k=1)
+    sites1 = {e.site for e in g1.events if e.site.method_id == "Lib.deep"}
+    assert len(sites1) == 1
+
+    # k=2: the full chain distinguishes the two paths
+    g2 = _graph(program, k=2)
+    sites2 = {e.site for e in g2.events if e.site.method_id == "Lib.deep"}
+    assert len(sites2) == 2

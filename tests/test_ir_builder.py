@@ -1,0 +1,144 @@
+"""Tests for the IR instruction set and builders."""
+
+import pytest
+
+from repro.ir import (
+    Alloc,
+    Assign,
+    Call,
+    Const,
+    FieldLoad,
+    FieldStore,
+    FunctionBuilder,
+    If,
+    ProgramBuilder,
+    Return,
+    Var,
+    While,
+    iter_calls,
+    iter_instructions,
+)
+
+
+def test_vars_are_value_objects():
+    assert Var("x") == Var("x")
+    assert Var("x") != Var("y")
+    assert len({Var("x"), Var("x")}) == 1
+
+
+def test_instructions_use_identity_equality():
+    a = Alloc(Var("x"), "T")
+    b = Alloc(Var("x"), "T")
+    assert a == a
+    assert a != b
+    assert len({a, b}) == 2
+
+
+def test_builder_emits_in_order():
+    b = FunctionBuilder("main")
+    x = b.alloc("HashMap")
+    k = b.const("key")
+    b.call("java.util.HashMap.put", receiver=x, args=[k, k], returns=False)
+    fn = b.finish()
+    kinds = [type(i).__name__ for i in fn.body]
+    assert kinds == ["Alloc", "Const", "Call"]
+
+
+def test_builder_fresh_vars_are_unique():
+    b = FunctionBuilder("f")
+    names = {b.fresh().name for _ in range(100)}
+    assert len(names) == 100
+
+
+def test_call_defaults():
+    b = FunctionBuilder("f")
+    recv = b.alloc("T")
+    dst = b.call("T.m", receiver=recv, args=[recv])
+    call = fn_last_call(b)
+    assert call.dst == dst
+    assert call.nargs == 1
+    assert call.arg_types == ("?",)
+
+
+def fn_last_call(builder):
+    return [s for s in builder._stack[0] if isinstance(s, Call)][-1]
+
+
+def test_void_call_has_no_dst():
+    b = FunctionBuilder("f")
+    recv = b.alloc("T")
+    out = b.call("T.m", receiver=recv, returns=False)
+    assert out is None
+    assert fn_last_call(b).dst is None
+
+
+def test_structured_if_else():
+    b = FunctionBuilder("f")
+    c = b.const(True)
+    with b.if_(c) as node:
+        b.alloc("A")
+    with b.else_(node):
+        b.alloc("B")
+    fn = b.finish()
+    (const, if_node) = fn.body
+    assert isinstance(if_node, If)
+    assert isinstance(if_node.then_body[0], Alloc)
+    assert if_node.then_body[0].type_name == "A"
+    assert if_node.else_body[0].type_name == "B"
+
+
+def test_structured_while():
+    b = FunctionBuilder("f")
+    c = b.const(True)
+    with b.while_(c):
+        b.alloc("A")
+    fn = b.finish()
+    assert isinstance(fn.body[1], While)
+
+
+def test_unclosed_block_raises():
+    b = FunctionBuilder("f")
+    c = b.const(True)
+    b._stack.append([])  # simulate an unclosed block
+    with pytest.raises(RuntimeError):
+        b.finish()
+
+
+def test_iter_instructions_recurses():
+    b = FunctionBuilder("f")
+    c = b.const(1)
+    with b.while_(c):
+        with b.if_(c) as node:
+            b.alloc("A")
+        with b.else_(node):
+            b.alloc("B")
+    fn = b.finish()
+    allocs = [i for i in iter_instructions(fn.body) if isinstance(i, Alloc)]
+    assert {a.type_name for a in allocs} == {"A", "B"}
+
+
+def test_iter_calls():
+    b = FunctionBuilder("f")
+    x = b.alloc("T")
+    b.call("T.m", receiver=x)
+    with b.while_(x):
+        b.call("T.n", receiver=x)
+    fn = b.finish()
+    assert [c.method for c in iter_calls(fn)] == ["T.m", "T.n"]
+
+
+def test_program_builder_entry_check():
+    pb = ProgramBuilder(entry="main")
+    pb.add(FunctionBuilder("helper").finish())
+    with pytest.raises(ValueError):
+        pb.finish()
+
+
+def test_program_resolve():
+    pb = ProgramBuilder()
+    pb.add(FunctionBuilder("main").finish())
+    pb.add(FunctionBuilder("helper").finish())
+    prog = pb.finish()
+    assert prog.resolve("helper") is prog.functions["helper"]
+    assert prog.resolve("java.util.HashMap.get") is None
+    assert prog.entry_function is prog.functions["main"]

@@ -1,0 +1,40 @@
+"""Golden-ish tests for the IR pretty printer."""
+
+from repro.ir import FunctionBuilder, ProgramBuilder, format_function, format_program
+
+
+def test_format_function_straight_line():
+    b = FunctionBuilder("main")
+    m = b.alloc("HashMap")
+    k = b.const("key")
+    b.call("java.util.HashMap.put", receiver=m, args=[k, k], returns=False)
+    text = format_function(b.finish())
+    assert text.splitlines()[0] == "func main():"
+    assert "new HashMap" in text
+    assert "const 'key'" in text
+    assert "java.util.HashMap.put" in text
+
+
+def test_format_function_nested():
+    b = FunctionBuilder("f", params=["p"])
+    c = b.const(True)
+    with b.if_(c) as node:
+        b.alloc("A")
+    with b.else_(node):
+        with b.while_(c):
+            b.alloc("B")
+    text = format_function(b.finish())
+    lines = text.splitlines()
+    assert lines[0] == "func f(%p):"
+    assert any(line.startswith("  if") for line in lines)
+    assert any(line.startswith("  else:") for line in lines)
+    assert any(line.startswith("    while") for line in lines)
+    assert any(line.startswith("      ") for line in lines)  # B is doubly nested
+
+
+def test_format_program_entry_first():
+    pb = ProgramBuilder()
+    pb.add(pb.function("zzz").finish())
+    pb.add(pb.function("main").finish())
+    text = format_program(pb.finish())
+    assert text.index("func main") < text.index("func zzz")

@@ -1,0 +1,143 @@
+"""Tests for event-pair feature extraction and encoding (paper §4.1)."""
+
+from repro.events import RET, HistoryBuilder, build_event_graph
+from repro.ir import ProgramBuilder, Var
+from repro.model.features import (
+    FeatureConfig,
+    GuardIndex,
+    PairFeature,
+    encode_feature,
+    extract_feature,
+)
+from repro.pointsto import analyze
+
+
+def _graph(program):
+    res = analyze(program)
+    return build_event_graph(HistoryBuilder(program, res).build())
+
+
+def _event(graph, method, pos):
+    (e,) = [e for e in graph.events
+            if e.site.method_id == method and e.pos == pos]
+    return e
+
+
+def _chain_program():
+    pb = ProgramBuilder()
+    b = pb.function("main")
+    db = b.alloc("Database")
+    f = b.call("Database.getFile", receiver=db)
+    b.call("File.getName", receiver=f, returns=False)
+    pb.add(b.finish())
+    return pb.finish()
+
+
+def test_feature_contains_both_contexts():
+    g = _graph(_chain_program())
+    e1 = _event(g, "Database.getFile", RET)
+    e2 = _event(g, "File.getName", 0)
+    ftr = extract_feature(g, e1, e2)
+    assert ftr.x1 == RET and ftr.x2 == 0
+    assert any("getFile" in t for t in ftr.c1)
+    assert any("getName" in t for t in ftr.c2)
+
+
+def test_hide_pair_removes_revealing_paths():
+    """§4.2: positive samples must not leak the edge through contexts."""
+    g = _graph(_chain_program())
+    e1 = _event(g, "Database.getFile", RET)
+    e2 = _event(g, "File.getName", 0)
+    full = extract_feature(g, e1, e2, hide_pair=False)
+    hidden = extract_feature(g, e1, e2, hide_pair=True)
+    assert any("getName" in t for t in full.c1)
+    assert not any("getName" in t for t in hidden.c1)
+    assert not any("getFile" in t for t in hidden.c2)
+
+
+def test_position_key_normalises_large_positions():
+    f1 = PairFeature(RET, 7, frozenset(), frozenset(), frozenset())
+    f2 = PairFeature(RET, 9, frozenset(), frozenset(), frozenset())
+    assert f1.position_key == f2.position_key == ("ret", "arg5+")
+    f3 = PairFeature(0, 2, frozenset(), frozenset(), frozenset())
+    assert f3.position_key == ("0", "2")
+
+
+def test_name_tokens_bridge_qualified_ids():
+    g = _graph(_chain_program())
+    e1 = _event(g, "Database.getFile", RET)
+    e2 = _event(g, "File.getName", 0)
+    with_names = extract_feature(g, e1, e2,
+                                 config=FeatureConfig(name_tokens=True))
+    assert any(t.startswith("getFile") or "~" in t or t.startswith("getName")
+               for t in with_names.c1 | with_names.c2)
+    without = extract_feature(g, e1, e2,
+                              config=FeatureConfig(name_tokens=False))
+    assert len(without.c1) <= len(with_names.c1)
+
+
+def test_encoding_is_deterministic_and_bounded():
+    g = _graph(_chain_program())
+    e1 = _event(g, "Database.getFile", RET)
+    e2 = _event(g, "File.getName", 0)
+    ftr = extract_feature(g, e1, e2)
+    cfg = FeatureConfig(dim=1 << 10)
+    enc1 = encode_feature(ftr, cfg)
+    enc2 = encode_feature(ftr, cfg)
+    assert enc1 == enc2
+    assert all(0 <= i < cfg.dim for i in enc1)
+    assert enc1 == tuple(sorted(enc1))
+
+
+def test_pair_features_add_conjunctions():
+    g = _graph(_chain_program())
+    e1 = _event(g, "Database.getFile", RET)
+    e2 = _event(g, "File.getName", 0)
+    ftr = extract_feature(g, e1, e2)
+    with_pairs = encode_feature(ftr, FeatureConfig(pair_features=True))
+    without = encode_feature(ftr, FeatureConfig(pair_features=False))
+    assert len(with_pairs) > len(without)
+
+
+def test_gamma_includes_arg_types_and_guards():
+    pb = ProgramBuilder()
+    b = pb.function("main")
+    m = b.alloc("Map")
+    k = b.const("key")
+    cond = b.const(True)
+    b.call("Map.put", receiver=m, args=[k, k],
+           arg_types=("String", "File"), returns=False)
+    with b.if_(cond):
+        b.call("Map.get", receiver=m, args=[k], arg_types=("String",))
+    pb.add(b.finish())
+    prog = pb.finish()
+    g = _graph(prog)
+    guard_index = GuardIndex(prog)
+    put0 = _event(g, "Map.put", 0)
+    get0 = _event(g, "Map.get", 0)
+    ftr = extract_feature(g, put0, get0, guard_index)
+    assert "type:a:1:File" in ftr.gamma
+    assert "guard:first-encloses" in ftr.gamma
+
+
+def test_guard_index_relations():
+    pb = ProgramBuilder()
+    b = pb.function("main")
+    c = b.const(True)
+    a1 = b.alloc("A")
+    with b.if_(c) as node:
+        a2 = b.alloc("B")
+        a3 = b.alloc("C")
+    with b.else_(node):
+        a4 = b.alloc("D")
+    pb.add(b.finish())
+    prog = pb.finish()
+    gi = GuardIndex(prog)
+    instrs = {i.type_name: i for i in
+              __import__("repro.ir.traversal", fromlist=["iter_instructions"])
+              .iter_instructions(prog.functions["main"].body)
+              if hasattr(i, "type_name")}
+    assert gi.relation(instrs["B"], instrs["C"]) == "same-guard"
+    assert gi.relation(instrs["A"], instrs["B"]) == "first-encloses"
+    assert gi.relation(instrs["B"], instrs["A"]) == "second-encloses"
+    assert gi.relation(instrs["B"], instrs["D"]) == "same-guard"

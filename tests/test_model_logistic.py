@@ -1,0 +1,74 @@
+"""Tests for the from-scratch sparse logistic regression."""
+
+import math
+import random
+
+import pytest
+
+from repro.model.logistic import LogisticRegression, TrainConfig
+
+
+def test_untrained_predicts_half():
+    model = LogisticRegression(dim=128)
+    assert model.predict_proba((1, 2, 3)) == pytest.approx(0.5)
+
+
+def test_learns_linearly_separable_data():
+    model = LogisticRegression(dim=64, config=TrainConfig(epochs=12))
+    # feature 1 present → positive; feature 2 present → negative
+    examples = [((0, 1), 1), ((0, 2), 0)] * 50
+    model.fit(examples)
+    assert model.predict_proba((0, 1)) > 0.9
+    assert model.predict_proba((0, 2)) < 0.1
+    assert model.predict((0, 1)) == 1
+    assert model.predict((0, 2)) == 0
+
+
+def test_loss_decreases_over_epochs():
+    rng = random.Random(3)
+    examples = []
+    for _ in range(200):
+        label = rng.randint(0, 1)
+        base = 10 if label else 20
+        noise = rng.randrange(30, 40)
+        examples.append(((base, noise), label))
+    model = LogisticRegression(dim=64, config=TrainConfig(epochs=8))
+    losses = model.fit(examples)
+    assert losses[-1] < losses[0]
+
+
+def test_training_is_deterministic():
+    examples = [((0, 1), 1), ((0, 2), 0)] * 20
+    m1 = LogisticRegression(dim=64)
+    m2 = LogisticRegression(dim=64)
+    m1.fit(examples)
+    m2.fit(examples)
+    assert m1.predict_proba((0, 1)) == m2.predict_proba((0, 1))
+
+
+def test_colliding_features_share_weight():
+    model = LogisticRegression(dim=8)
+    model.fit([((3,), 1)] * 30)
+    # any index congruent to 3 gets the same weight cell
+    assert model.predict_proba((3,)) > 0.9
+
+
+def test_l2_shrinks_weights():
+    big_l2 = LogisticRegression(dim=16, config=TrainConfig(epochs=10, l2=0.5))
+    no_l2 = LogisticRegression(dim=16, config=TrainConfig(epochs=10, l2=0.0))
+    examples = [((1,), 1), ((2,), 0)] * 30
+    big_l2.fit(examples)
+    no_l2.fit(examples)
+    assert abs(big_l2.weights[1]) < abs(no_l2.weights[1])
+
+
+def test_partial_fit_returns_logloss():
+    model = LogisticRegression(dim=16)
+    loss = model.partial_fit((1,), 1)
+    assert loss == pytest.approx(math.log(2), rel=1e-6)
+
+
+def test_empty_indices_decision_zero():
+    model = LogisticRegression(dim=16)
+    assert model.decision(()) == 0.0
+    assert model.predict_proba(()) == pytest.approx(0.5)

@@ -1,0 +1,141 @@
+"""Edge cases of the points-to driver and solver."""
+
+import pytest
+
+from repro.events.events import RET
+from repro.ir import ProgramBuilder, Var
+from repro.pointsto import PointsToOptions, analyze
+from repro.specs import RetArg, RetSame, SpecSet
+
+GET = "M.get"
+PUT = "M.put"
+SPECS = SpecSet([RetSame(GET), RetArg(GET, PUT, 2)])
+
+
+def test_event_pts_out_of_range_positions(fig2_program):
+    res = analyze(fig2_program)
+    site = res.api_sites[0]
+    assert res.event_pts(site, 99) == frozenset()
+
+
+def test_event_pts_requires_call_site(fig2_program):
+    from repro.events.events import Site
+    from repro.ir.instructions import Alloc
+
+    res = analyze(fig2_program)
+    alloc = Alloc(Var("x"), "T")
+    with pytest.raises(TypeError):
+        res.event_pts(Site(alloc), RET)
+
+
+def test_void_call_ret_pts_empty():
+    pb = ProgramBuilder()
+    b = pb.function("main")
+    m = b.alloc("M")
+    b.call("M.touch", receiver=m, returns=False)
+    pb.add(b.finish())
+    res = analyze(pb.finish())
+    site = res.api_sites[0]
+    assert res.event_pts(site, RET) == frozenset()
+
+
+def test_recursive_functions_terminate():
+    pb = ProgramBuilder()
+    rec = pb.function("loop", params=["p"])
+    rec.call("loop", args=[Var("p")], dst=Var("r"))
+    rec.ret(Var("r"))
+    pb.add(rec.finish())
+    main = pb.function("main")
+    x = main.alloc("T")
+    main.call("loop", args=[x], dst=Var("out"))
+    pb.add(main.finish())
+    res = analyze(pb.finish())  # must not diverge
+    assert res.reachable
+
+
+def test_mutually_recursive_functions_terminate():
+    pb = ProgramBuilder()
+    f = pb.function("f", params=["p"])
+    f.call("g", args=[Var("p")], returns=False)
+    pb.add(f.finish())
+    g = pb.function("g", params=["q"])
+    g.call("f", args=[Var("q")], returns=False)
+    pb.add(g.finish())
+    main = pb.function("main")
+    x = main.alloc("T")
+    main.call("f", args=[x], returns=False)
+    pb.add(main.finish())
+    assert analyze(pb.finish()).reachable
+
+
+def test_ghost_fields_do_not_leak_across_receivers():
+    pb = ProgramBuilder()
+    b = pb.function("main")
+    m1 = b.alloc("M")
+    m2 = b.alloc("M")
+    k1 = b.const("k")
+    v = b.alloc("V", dst=Var("v"))
+    b.call(PUT, receiver=m1, args=[k1, v], returns=False)
+    k2 = b.const("k")
+    b.call(GET, receiver=m2, args=[k2], dst=Var("got"))
+    pb.add(b.finish())
+    res = analyze(pb.finish(), specs=SPECS)
+    got = res.var_pts("main", (), Var("got"))
+    stored = res.var_pts("main", (), Var("v"))
+    assert not res.may_alias(got, stored)
+
+
+def test_max_combos_caps_fanout():
+    """Many possible key values: the ghost-field product is bounded."""
+    pb = ProgramBuilder()
+    b = pb.function("main")
+    m = b.alloc("M")
+    cond = b.const(True)
+    key = Var("key")
+    b.assign(key, b.const("k0"))
+    for i in range(1, 10):
+        with b.if_(cond):
+            b.assign(key, b.const(f"k{i}"))
+    v = b.alloc("V")
+    b.call(PUT, receiver=m, args=[key, v], returns=False)
+    b.call(GET, receiver=m, args=[key], dst=Var("got"))
+    pb.add(b.finish())
+    res = analyze(pb.finish(), specs=SPECS,
+                  options=PointsToOptions(max_combos=4))
+    assert res.var_pts("main", (), Var("got"))  # analysis completed
+
+
+def test_num_ghost_objects_counter():
+    pb = ProgramBuilder()
+    b = pb.function("main")
+    m = b.alloc("M")
+    k = b.const("k")
+    b.call(GET, receiver=m, args=[k], dst=Var("a"))
+    pb.add(b.finish())
+    res = analyze(pb.finish(), specs=SPECS)
+    assert res.num_ghost_objects == 1
+
+
+def test_repr_smoke(fig2_program):
+    res = analyze(fig2_program)
+    text = repr(res)
+    assert "api sites" in text
+
+
+def test_retsame_applies_through_loops():
+    """Flow-insensitivity of the solver: a get inside a loop still reads
+    the field written before the loop."""
+    pb = ProgramBuilder()
+    b = pb.function("main")
+    m = b.alloc("M")
+    k = b.const("k")
+    v = b.alloc("V", dst=Var("v"))
+    b.call(PUT, receiver=m, args=[k, v], returns=False)
+    cond = b.const(True)
+    with b.while_(cond):
+        k2 = b.const("k")
+        b.call(GET, receiver=m, args=[k2], dst=Var("got"))
+    pb.add(b.finish())
+    res = analyze(pb.finish(), specs=SPECS)
+    assert res.may_alias(res.var_pts("main", (), Var("got")),
+                         res.var_pts("main", (), Var("v")))

@@ -1,0 +1,188 @@
+"""Tests for the standard Andersen rules (paper Tab. 2, top five rows)."""
+
+from repro.ir import ProgramBuilder, Var
+from repro.pointsto import (
+    ObjAlloc,
+    ObjApiRet,
+    ObjLiteral,
+    ObjParam,
+    PointsToOptions,
+    analyze,
+)
+
+
+def _single_fn_program(build):
+    pb = ProgramBuilder(source="t.java")
+    b = pb.function("main")
+    build(b)
+    pb.add(b.finish())
+    return pb.finish()
+
+
+def test_alloc_rule():
+    prog = _single_fn_program(lambda b: b.alloc("T", dst=Var("x")))
+    res = analyze(prog)
+    (obj,) = res.var_pts("main", (), Var("x"))
+    assert isinstance(obj, ObjAlloc)
+    assert obj.alloc.type_name == "T"
+
+
+def test_assign_rule():
+    def build(b):
+        x = b.alloc("T")
+        b.assign(Var("y"), x)
+
+    res = analyze(_single_fn_program(build))
+    assert res.var_pts("main", (), Var("y")) == res._solver.pts_of(
+        res._solver.var_node("main", (), Var("y"))
+    )
+    assert len(res.var_pts("main", (), Var("y"))) == 1
+
+
+def test_field_write_then_read():
+    def build(b):
+        box = b.alloc("Box", dst=Var("box"))
+        val = b.alloc("V", dst=Var("val"))
+        b.field_store(box, "item", val)
+        b.field_load(box, "item", dst=Var("out"))
+
+    res = analyze(_single_fn_program(build))
+    out = res.var_pts("main", (), Var("out"))
+    val = res.var_pts("main", (), Var("val"))
+    assert out == val
+    assert res.may_alias(out, val)
+
+
+def test_field_read_before_write_order_independent():
+    """Andersen is flow-insensitive over fields: a load textually before
+    the store still sees the stored object."""
+
+    def build(b):
+        box = b.alloc("Box", dst=Var("box"))
+        b.field_load(box, "item", dst=Var("out"))
+        val = b.alloc("V", dst=Var("val"))
+        b.field_store(box, "item", val)
+
+    res = analyze(_single_fn_program(build))
+    assert res.var_pts("main", (), Var("out")) == res.var_pts("main", (), Var("val"))
+
+
+def test_fields_are_distinct():
+    def build(b):
+        box = b.alloc("Box", dst=Var("box"))
+        a = b.alloc("A", dst=Var("a"))
+        z = b.alloc("Z", dst=Var("z"))
+        b.field_store(box, "fa", a)
+        b.field_store(box, "fz", z)
+        b.field_load(box, "fa", dst=Var("outa"))
+
+    res = analyze(_single_fn_program(build))
+    outa = res.var_pts("main", (), Var("outa"))
+    assert outa == res.var_pts("main", (), Var("a"))
+    assert not res.may_alias(outa, res.var_pts("main", (), Var("z")))
+
+
+def test_api_returns_fresh_object():
+    """The deliberate unsound-but-precise assumption of §3.2: API returns
+    never alias anything else."""
+
+    def build(b):
+        api = b.alloc("Api", dst=Var("api"))
+        b.call("Api.get", receiver=api, dst=Var("r1"))
+        b.call("Api.get", receiver=api, dst=Var("r2"))
+
+    res = analyze(_single_fn_program(build))
+    r1 = res.var_pts("main", (), Var("r1"))
+    r2 = res.var_pts("main", (), Var("r2"))
+    assert all(isinstance(o, ObjApiRet) for o in r1 | r2)
+    assert not res.may_alias(r1, r2)
+
+
+def test_literals_have_distinct_objects_per_occurrence():
+    def build(b):
+        b.const("key", dst=Var("k1"))
+        b.const("key", dst=Var("k2"))
+
+    res = analyze(_single_fn_program(build))
+    (o1,) = res.var_pts("main", (), Var("k1"))
+    (o2,) = res.var_pts("main", (), Var("k2"))
+    assert isinstance(o1, ObjLiteral) and isinstance(o2, ObjLiteral)
+    assert o1 != o2
+    assert o1.value == o2.value == "key"
+
+
+def test_interprocedural_param_and_return_flow():
+    pb = ProgramBuilder()
+    helper = pb.function("identity", params=["p"])
+    helper.ret(Var("p"))
+    pb.add(helper.finish())
+
+    main = pb.function("main")
+    x = main.alloc("T", dst=Var("x"))
+    main.call("identity", args=[x], dst=Var("y"))
+    pb.add(main.finish())
+
+    res = analyze(pb.finish())
+    assert res.var_pts("main", (), Var("y")) == res.var_pts("main", (), Var("x"))
+
+
+def test_context_sensitivity_separates_call_sites():
+    """1-call-site sensitivity keeps two identity() calls apart."""
+    pb = ProgramBuilder()
+    helper = pb.function("identity", params=["p"])
+    helper.ret(Var("p"))
+    pb.add(helper.finish())
+
+    main = pb.function("main")
+    a = main.alloc("A", dst=Var("a"))
+    z = main.alloc("Z", dst=Var("z"))
+    main.call("identity", args=[a], dst=Var("ra"))
+    main.call("identity", args=[z], dst=Var("rz"))
+    pb.add(main.finish())
+
+    res = analyze(pb.finish(), options=PointsToOptions(context_k=1))
+    ra = res.var_pts("main", (), Var("ra"))
+    rz = res.var_pts("main", (), Var("rz"))
+    assert not res.may_alias(ra, rz)
+
+    # context-insensitive merges them
+    res0 = analyze(pb.finish(), options=PointsToOptions(context_k=0))
+    ra0 = res0.var_pts("main", (), Var("ra"))
+    rz0 = res0.var_pts("main", (), Var("rz"))
+    assert res0.may_alias(ra0, rz0)
+
+
+def test_intraprocedural_mode_treats_internal_calls_as_api():
+    pb = ProgramBuilder()
+    helper = pb.function("identity", params=["p"])
+    helper.ret(Var("p"))
+    pb.add(helper.finish())
+    main = pb.function("main")
+    x = main.alloc("T", dst=Var("x"))
+    main.call("identity", args=[x], dst=Var("y"))
+    pb.add(main.finish())
+
+    res = analyze(pb.finish(), options=PointsToOptions(interprocedural=False))
+    y = res.var_pts("main", (), Var("y"))
+    assert all(isinstance(o, ObjApiRet) for o in y)
+
+
+def test_entry_params_get_unknown_objects():
+    pb = ProgramBuilder()
+    main = pb.function("main", params=["arg"])
+    pb.add(main.finish())
+    res = analyze(pb.finish())
+    (obj,) = res.var_pts("main", (), Var("arg"))
+    assert isinstance(obj, ObjParam)
+
+
+def test_event_pts_positions(fig2_program):
+    res = analyze(fig2_program)
+    get_site = next(s for s in res.api_sites if s.method_id.endswith(".get"))
+    put_site = next(s for s in res.api_sites if s.method_id.endswith(".put"))
+    # same receiver
+    assert res.events_may_alias(get_site, 0, put_site, 0)
+    # under the unaware analysis, get's return aliases nothing
+    from repro.events.events import RET
+
+    assert not res.events_may_alias(get_site, RET, put_site, 2)

@@ -1,0 +1,256 @@
+"""Tests for ghost fields: ReadGh/WriteGh and the GhostR/GhostW rules."""
+
+from repro.ir import ProgramBuilder, Var
+from repro.pointsto import (
+    BOTTOM,
+    EXACT,
+    TOP,
+    GhostField,
+    ObjGhost,
+    PointsToOptions,
+    analyze,
+)
+from repro.pointsto.ghost import ArgValues, ghost_reads, ghost_writes
+from repro.pointsto.objects import LitVal, ObjAlloc
+from repro.ir.instructions import Alloc
+from repro.specs import RetArg, RetSame, SpecSet
+
+GET = "java.util.HashMap.get"
+PUT = "java.util.HashMap.put"
+SPECS = SpecSet([RetSame(GET), RetArg(GET, PUT, 2)])
+
+
+# ----------------------------------------------------------------------
+# unit level: ReadGh / WriteGh
+
+
+def known(*values):
+    return ArgValues(frozenset(LitVal(v) for v in values), unknown=False)
+
+
+UNKNOWN = ArgValues(frozenset(), unknown=True)
+
+
+def test_ghost_reads_without_spec_is_empty():
+    fields, eligible = ghost_reads("Other.get", [known("k")], SPECS, False)
+    assert fields == set() and eligible == set()
+
+
+def test_ghost_reads_exact_name():
+    fields, eligible = ghost_reads(GET, [known("k")], SPECS, False)
+    assert fields == {GhostField(GET, (LitVal("k"),))}
+    assert eligible == fields
+
+
+def test_ghost_reads_multiple_values_fan_out():
+    fields, _ = ghost_reads(GET, [known("a", "b")], SPECS, False)
+    assert len(fields) == 2
+
+
+def test_ghost_reads_unknown_key_without_coverage_reads_nothing():
+    fields, _ = ghost_reads(GET, [UNKNOWN], SPECS, False)
+    assert fields == set()
+
+
+def test_ghost_reads_unknown_key_with_coverage_reads_bottom():
+    fields, eligible = ghost_reads(GET, [UNKNOWN], SPECS, True)
+    assert fields == {GhostField(GET, kind=BOTTOM)}
+    assert eligible == fields  # App. A: z allocated for every f except ⊤
+
+
+def test_ghost_reads_known_key_with_coverage_adds_top():
+    fields, eligible = ghost_reads(GET, [known("k")], SPECS, True)
+    assert GhostField(GET, kind=TOP) in fields
+    assert GhostField(GET, (LitVal("k"),)) in fields
+    assert GhostField(GET, kind=TOP) not in eligible
+
+
+def test_ghost_writes_exact():
+    alloc = Alloc(Var("o"), "File")
+    stored = frozenset({ObjAlloc(alloc)})
+    writes = ghost_writes(PUT, [known("k"), UNKNOWN], [frozenset(), stored],
+                          SPECS, False)
+    assert writes == {(ObjAlloc(alloc), GhostField(GET, (LitVal("k"),)))}
+
+
+def test_ghost_writes_unknown_key_without_coverage_writes_nothing():
+    alloc = Alloc(Var("o"), "File")
+    stored = frozenset({ObjAlloc(alloc)})
+    writes = ghost_writes(PUT, [UNKNOWN, UNKNOWN], [frozenset(), stored],
+                          SPECS, False)
+    assert writes == set()
+
+
+def test_ghost_writes_unknown_key_with_coverage_writes_top_and_bottom():
+    alloc = Alloc(Var("o"), "File")
+    stored = frozenset({ObjAlloc(alloc)})
+    writes = ghost_writes(PUT, [UNKNOWN, UNKNOWN], [frozenset(), stored],
+                          SPECS, True)
+    kinds = {gf.kind for _, gf in writes}
+    assert kinds == {TOP, BOTTOM}
+
+
+def test_ghost_writes_known_key_with_coverage_adds_bottom():
+    alloc = Alloc(Var("o"), "File")
+    stored = frozenset({ObjAlloc(alloc)})
+    writes = ghost_writes(PUT, [known("k"), UNKNOWN], [frozenset(), stored],
+                          SPECS, True)
+    kinds = {gf.kind for _, gf in writes}
+    assert kinds == {EXACT, BOTTOM}
+
+
+# ----------------------------------------------------------------------
+# analysis level: GhostW / GhostR deduction rules
+
+
+def _map_program(*, same_key: bool, with_put: bool = True):
+    pb = ProgramBuilder()
+    b = pb.function("main")
+    m = b.alloc("HashMap")
+    if with_put:
+        k1 = b.const("key")
+        v = b.alloc("File", dst=Var("stored"))
+        b.call(PUT, receiver=m, args=[k1, v], returns=False)
+    k2 = b.const("key" if same_key else "other")
+    b.call(GET, receiver=m, args=[k2], dst=Var("got"))
+    pb.add(b.finish())
+    return pb.finish()
+
+
+def test_retarg_flows_stored_object_to_get():
+    res = analyze(_map_program(same_key=True), specs=SPECS)
+    got = res.var_pts("main", (), Var("got"))
+    stored = res.var_pts("main", (), Var("stored"))
+    assert res.may_alias(got, stored)
+
+
+def test_different_key_does_not_alias():
+    res = analyze(_map_program(same_key=False), specs=SPECS)
+    got = res.var_pts("main", (), Var("got"))
+    stored = res.var_pts("main", (), Var("stored"))
+    assert not res.may_alias(got, stored)
+
+
+def test_retsame_allocates_ghost_for_unwritten_field():
+    """Two get("k") calls with no put must still alias (RetSame)."""
+    pb = ProgramBuilder()
+    b = pb.function("main")
+    m = b.alloc("HashMap")
+    ka = b.const("k")
+    b.call(GET, receiver=m, args=[ka], dst=Var("r1"))
+    kb = b.const("k")
+    b.call(GET, receiver=m, args=[kb], dst=Var("r2"))
+    pb.add(b.finish())
+    res = analyze(pb.finish(), specs=SPECS)
+    r1 = res.var_pts("main", (), Var("r1"))
+    r2 = res.var_pts("main", (), Var("r2"))
+    assert res.may_alias(r1, r2)
+    assert any(isinstance(o, ObjGhost) for o in r1 & r2)
+    assert res.num_ghost_objects >= 1
+
+
+def test_retsame_different_keys_get_different_ghosts():
+    pb = ProgramBuilder()
+    b = pb.function("main")
+    m = b.alloc("HashMap")
+    ka = b.const("k1")
+    b.call(GET, receiver=m, args=[ka], dst=Var("r1"))
+    kb = b.const("k2")
+    b.call(GET, receiver=m, args=[kb], dst=Var("r2"))
+    pb.add(b.finish())
+    res = analyze(pb.finish(), specs=SPECS)
+    assert not res.may_alias(
+        res.var_pts("main", (), Var("r1")), res.var_pts("main", (), Var("r2"))
+    )
+
+
+def test_no_ghost_alloc_when_field_written():
+    res = analyze(_map_program(same_key=True), specs=SPECS)
+    got = res.var_pts("main", (), Var("got"))
+    assert not any(isinstance(o, ObjGhost) for o in got)
+
+
+def test_empty_specs_equals_baseline():
+    prog = _map_program(same_key=True)
+    res_none = analyze(prog)
+    res_empty = analyze(prog, specs=SpecSet())
+    got_n = res_none.var_pts("main", (), Var("got"))
+    got_e = res_empty.var_pts("main", (), Var("got"))
+    assert got_n == got_e
+
+
+# ----------------------------------------------------------------------
+# §6.4 coverage mode (Fig. 6 scenarios)
+
+
+def _fig6a_program():
+    """map.put(api.foo(), obj); map.get("k1"); map.get("k2")"""
+    pb = ProgramBuilder()
+    b = pb.function("main")
+    m = b.alloc("HashMap")
+    api = b.alloc("Api")
+    unknown_key = b.call("Api.foo", receiver=api)
+    obj = b.alloc("File", dst=Var("obj"))
+    b.call(PUT, receiver=m, args=[unknown_key, obj], returns=False)
+    k1 = b.const("k1")
+    b.call(GET, receiver=m, args=[k1], dst=Var("g1"))
+    k2 = b.const("k2")
+    b.call(GET, receiver=m, args=[k2], dst=Var("g2"))
+    pb.add(b.finish())
+    return pb.finish()
+
+
+def test_fig6a_unknown_write_coverage_mode():
+    """With coverage mode, a put under an unknown key may be returned by
+    any get (via ⊤); without it, the write is dropped."""
+    prog = _fig6a_program()
+    res_cov = analyze(prog, specs=SPECS,
+                      options=PointsToOptions(coverage_mode=True))
+    obj = res_cov.var_pts("main", (), Var("obj"))
+    assert res_cov.may_alias(res_cov.var_pts("main", (), Var("g1")), obj)
+    assert res_cov.may_alias(res_cov.var_pts("main", (), Var("g2")), obj)
+
+    res_plain = analyze(prog, specs=SPECS)
+    assert not res_plain.may_alias(
+        res_plain.var_pts("main", (), Var("g1")), obj
+    )
+
+
+def test_fig6a_without_put_gets_do_not_alias():
+    """App. A: no z allocated for ⊤, so the two gets stay apart when the
+    put is missing."""
+    pb = ProgramBuilder()
+    b = pb.function("main")
+    m = b.alloc("HashMap")
+    k1 = b.const("k1")
+    b.call(GET, receiver=m, args=[k1], dst=Var("g1"))
+    k2 = b.const("k2")
+    b.call(GET, receiver=m, args=[k2], dst=Var("g2"))
+    pb.add(b.finish())
+    res = analyze(pb.finish(), specs=SPECS,
+                  options=PointsToOptions(coverage_mode=True))
+    assert not res.may_alias(
+        res.var_pts("main", (), Var("g1")), res.var_pts("main", (), Var("g2"))
+    )
+
+
+def test_fig6b_unknown_read_coverage_mode():
+    """map.put("k", obj); map.get(api.foo()); map.get("k") — both gets
+    may return obj in coverage mode (⊥ read resp. exact read)."""
+    pb = ProgramBuilder()
+    b = pb.function("main")
+    m = b.alloc("HashMap")
+    k = b.const("k")
+    obj = b.alloc("File", dst=Var("obj"))
+    b.call(PUT, receiver=m, args=[k, obj], returns=False)
+    api = b.alloc("Api")
+    unknown_key = b.call("Api.foo", receiver=api)
+    b.call(GET, receiver=m, args=[unknown_key], dst=Var("g1"))
+    k2 = b.const("k")
+    b.call(GET, receiver=m, args=[k2], dst=Var("g2"))
+    pb.add(b.finish())
+    res = analyze(pb.finish(), specs=SPECS,
+                  options=PointsToOptions(coverage_mode=True))
+    obj_pts = res.var_pts("main", (), Var("obj"))
+    assert res.may_alias(res.var_pts("main", (), Var("g1")), obj_pts)
+    assert res.may_alias(res.var_pts("main", (), Var("g2")), obj_pts)

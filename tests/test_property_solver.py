@@ -1,0 +1,69 @@
+"""Property tests on solver determinism/idempotence and serialization."""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.pointsto import analyze
+from repro.specs import RetArg, RetRecv, RetSame, SpecSet
+from repro.specs.serialize import specs_from_json, specs_to_json
+from tests.test_property_based import small_programs
+
+
+@settings(max_examples=25, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(small_programs())
+def test_solver_is_deterministic(program):
+    """Two runs over the same program agree on every points-to set."""
+    r1 = analyze(program)
+    r2 = analyze(program)
+    assert len(r1.api_sites) == len(r2.api_sites)
+    for s1, s2 in zip(r1.api_sites, r2.api_sites):
+        assert s1.method_id == s2.method_id
+        for pos in (0, 1, "ret"):
+            assert {repr(o) for o in r1.event_pts(s1, pos)} == \
+                   {repr(o) for o in r2.event_pts(s2, pos)}
+
+
+@settings(max_examples=20, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(small_programs())
+def test_specs_only_grow_alias_relations(program):
+    """The augmented analysis is a refinement-in-coverage: every baseline
+    may-alias relation between site returns survives adding specs."""
+    specs = SpecSet([
+        RetSame("B.get"),
+        RetArg("B.get", "B.put", 2),
+        RetRecv("A.use"),
+    ])
+    base = analyze(program)
+    aug = analyze(program, specs=specs)
+    sites_b = base.api_sites
+    sites_a = aug.api_sites
+    for i in range(len(sites_b)):
+        for j in range(i):
+            if base.events_may_alias(sites_b[i], "ret", sites_b[j], "ret"):
+                assert aug.events_may_alias(sites_a[i], "ret",
+                                            sites_a[j], "ret")
+
+
+_spec = st.one_of(
+    st.builds(RetSame, st.text(
+        alphabet="abcDEF.", min_size=1, max_size=20).filter(
+        lambda s: not s.startswith(".") and not s.endswith("."))),
+    st.builds(RetRecv, st.sampled_from(["A.m", "B.n", "pkg.Cls.meth"])),
+    st.builds(RetArg, st.sampled_from(["A.get", "B.load"]),
+              st.sampled_from(["A.put", "B.store"]),
+              st.integers(min_value=1, max_value=9)),
+)
+
+
+@given(st.lists(_spec, max_size=20),
+       st.dictionaries(st.sampled_from([RetSame("A.m"), RetRecv("A.m")]),
+                       st.floats(min_value=0, max_value=1), max_size=2))
+def test_serialization_roundtrip_property(specs, scores):
+    spec_set = SpecSet(specs)
+    text = specs_to_json(spec_set, scores)
+    loaded, loaded_scores = specs_from_json(text)
+    assert set(loaded) == set(spec_set)
+    for spec, score in loaded_scores.items():
+        assert abs(scores[spec] - score) < 1e-5

@@ -1,0 +1,101 @@
+"""Tests for Python module-global handling in the frontend and solver."""
+
+from repro.clients import TaintConfig, find_taint_flows
+from repro.frontend.pyfront import parse_python
+from repro.ir import GlobalRead, GlobalWrite, Var, iter_instructions
+from repro.pointsto import analyze
+from repro.specs import RetArg, RetSame, SpecSet
+
+DICT_SPECS = SpecSet([
+    RetArg("Dict.SubscriptLoad", "Dict.SubscriptStore", 2),
+    RetSame("Dict.SubscriptLoad"),
+])
+
+
+def _instrs(prog, fn):
+    return list(iter_instructions(prog.functions[fn].body))
+
+
+def test_module_assignments_publish_globals():
+    prog = parse_python("cache = {}\n")
+    writes = [i for i in _instrs(prog, "main") if isinstance(i, GlobalWrite)]
+    assert [w.name for w in writes] == ["cache"]
+
+
+def test_function_reads_global():
+    prog = parse_python(
+        "cache = {}\n"
+        "def get(k):\n"
+        "    return cache[k]\n"
+    )
+    reads = [i for i in _instrs(prog, "get") if isinstance(i, GlobalRead)]
+    assert [r.name for r in reads] == ["cache"]
+
+
+def test_global_type_propagates():
+    """A global dict is recognised as Dict inside functions, so its
+    subscripts get qualified method ids."""
+    prog = parse_python(
+        "cache = {}\n"
+        "def get(k):\n"
+        "    return cache[k]\n"
+    )
+    from repro.ir import Call
+
+    calls = [i for i in _instrs(prog, "get") if isinstance(i, Call)]
+    assert any(c.method == "Dict.SubscriptLoad" for c in calls)
+
+
+def test_global_object_flow_across_functions():
+    """The same dict object is seen at module level and inside functions."""
+    prog = parse_python(
+        "store = {}\n"
+        "def put(v):\n"
+        "    store['k'] = v\n"
+        "def get():\n"
+        "    return store['k']\n"
+        "put(make())\n"
+        "x = get()\n"
+    )
+    res = analyze(prog, specs=DICT_SPECS)
+    # the retrieved object aliases the stored one
+    from repro.ir.traversal import iter_calls
+
+    make = next(c for c in iter_calls(prog.functions["main"])
+                if c.method == "make")
+    get_call = next(c for c in iter_calls(prog.functions["main"])
+                    if c.method == "get")
+    made = res.var_pts("main", (), make.dst)
+    got = res.var_pts("main", (), get_call.dst)
+    assert res.may_alias(made, got)
+
+
+def test_global_taint_flow():
+    """Taint flows through a module-level dict across functions."""
+    prog = parse_python(
+        "sessions = {}\n"
+        "def login(user):\n"
+        "    sessions[user] = request_arg()\n"
+        "login('alice')\n"
+        "html_params(sessions['alice'])\n"
+    )
+    config = TaintConfig.of(["request_arg"], ["html_params"])
+    assert find_taint_flows(prog, config) == []  # unaware: missed
+    # with specs + coverage mode: 'user' param is unknown — the write
+    # lands in the ⊤ field and the literal read finds it
+    from repro.pointsto import PointsToOptions
+
+    flows = find_taint_flows(prog, config, specs=DICT_SPECS,
+                             options=PointsToOptions(coverage_mode=True))
+    assert flows
+
+
+def test_locals_shadow_globals():
+    prog = parse_python(
+        "name = {}\n"
+        "def f():\n"
+        "    name = []\n"
+        "    name.append(1)\n"
+    )
+    reads = [i for i in _instrs(prog, "f") if isinstance(i, GlobalRead)]
+    assert reads == []  # the local binding wins after assignment

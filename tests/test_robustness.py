@@ -1,0 +1,134 @@
+"""Failure injection and robustness: malformed inputs, empty corpora,
+degenerate configurations."""
+
+import pytest
+
+from repro.cli import main
+from repro.corpus import java_registry
+from repro.events import HistoryBuilder, build_event_graph
+from repro.frontend.minijava import ParseError, parse_minijava
+from repro.frontend.pyfront import parse_python
+from repro.ir import ProgramBuilder
+from repro.model.model import EventPairModel
+from repro.pointsto import analyze
+from repro.specs import USpecPipeline
+
+
+# ----------------------------------------------------------------------
+# frontend robustness
+
+
+@pytest.mark.parametrize("source", [
+    "int x = ;",
+    "if (a {",
+    "class {",
+    'x = "unterminated;',
+    "for (;;;;) {}",
+])
+def test_minijava_rejects_malformed_input(source):
+    with pytest.raises((ParseError, SyntaxError)):
+        parse_minijava(source)
+
+
+def test_python_frontend_rejects_syntax_errors():
+    with pytest.raises(SyntaxError):
+        parse_python("def broken(:\n")
+
+
+@pytest.mark.parametrize("source", [
+    "",  # empty file
+    "# only a comment\n",
+    "x = ...\n",  # Ellipsis constant
+    "match x:\n    case 1:\n        pass\n",  # newer syntax nodes
+    "y = (lambda a: a)(1)\n",
+    "z = [i async for i in agen()] if False else []\n",
+])
+def test_python_frontend_survives_odd_but_valid_code(source):
+    program = parse_python(source)
+    assert "main" in program.functions
+
+
+def test_minijava_empty_file():
+    program = parse_minijava("")
+    assert program.entry_function.body == []
+
+
+# ----------------------------------------------------------------------
+# pipeline degenerate inputs
+
+
+def test_pipeline_on_empty_corpus():
+    learned = USpecPipeline().learn([])
+    assert len(learned.specs) == 0
+    assert learned.scores == {}
+
+
+def test_pipeline_on_eventless_programs():
+    pb = ProgramBuilder()
+    pb.add(pb.function("main").finish())
+    learned = USpecPipeline().learn([pb.finish()])
+    assert len(learned.specs) == 0
+
+
+def test_model_predict_before_fit():
+    from repro.model.features import PairFeature
+
+    model = EventPairModel()
+    p = model.predict(PairFeature(0, 0, frozenset(), frozenset(), frozenset()))
+    assert 0.0 <= p <= 1.0
+
+
+def test_analysis_of_empty_program():
+    pb = ProgramBuilder()
+    pb.add(pb.function("main").finish())
+    program = pb.finish()
+    res = analyze(program)
+    histories = HistoryBuilder(program, res).build()
+    graph = build_event_graph(histories)
+    assert len(graph.events) == 0
+    assert list(graph.receiver_pairs()) == []
+
+
+def test_history_of_unreachable_function_is_empty():
+    pb = ProgramBuilder()
+    dead = pb.function("dead")
+    api = dead.alloc("Api")
+    dead.call("Api.use", receiver=api, returns=False)
+    pb.add(dead.finish())
+    pb.add(pb.function("main").finish())
+    program = pb.finish()
+    res = analyze(program)
+    histories = HistoryBuilder(program, res).build()
+    assert len(histories) == 0  # only entry-reachable code is walked
+
+
+# ----------------------------------------------------------------------
+# CLI failure modes
+
+
+def test_cli_missing_file(capsys):
+    assert main(["analyze", "/nonexistent/file.py"]) == 2
+    assert "no such file" in capsys.readouterr().err
+
+
+def test_cli_bad_specs_file(tmp_path, capsys):
+    bad = tmp_path / "bad.json"
+    bad.write_text('{"format": "wrong"}')
+    target = tmp_path / "t.py"
+    target.write_text("x = 1\n")
+    assert main(["analyze", str(target), "--specs", str(bad)]) == 2
+
+
+def test_cli_syntax_error_in_target(tmp_path, capsys):
+    target = tmp_path / "broken.py"
+    target.write_text("def broken(:\n")
+    assert main(["analyze", str(target)]) == 2
+
+
+def test_cli_reproduce_tiny(tmp_path, capsys):
+    out = tmp_path / "report.txt"
+    assert main(["reproduce", "--files", "15", "--seed", "3",
+                 "--out", str(out)]) == 0
+    text = out.read_text()
+    assert "Fig. 7 (java)" in text
+    assert "Atlas baseline" in text

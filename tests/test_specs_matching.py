@@ -1,0 +1,187 @@
+"""Tests for pattern matching (paper §5.1): C1–C4, induced edges."""
+
+import pytest
+
+from repro.events import RET, HistoryBuilder, build_event_graph
+from repro.ir import ProgramBuilder, Var
+from repro.pointsto import analyze
+from repro.specs import RetArg, RetSame, find_matches, induced_edges
+from repro.specs.matching import equal_g
+
+GET = "java.util.HashMap.get"
+PUT = "java.util.HashMap.put"
+
+
+def _graph(program):
+    res = analyze(program)
+    return build_event_graph(HistoryBuilder(program, res).build())
+
+
+def _matches(graph, max_distance=10):
+    out = []
+    for pair in graph.receiver_pairs(max_distance):
+        out.extend(find_matches(graph, pair))
+    return out
+
+
+def _map_put_get(key_put="key", key_get="key", use_result=True):
+    pb = ProgramBuilder()
+    b = pb.function("main")
+    m = b.alloc("HashMap")
+    k1 = b.const(key_put)
+    db = b.alloc("Database")
+    v = b.call("Database.getFile", receiver=db)
+    b.call(PUT, receiver=m, args=[k1, v], returns=False)
+    k2 = b.const(key_get)
+    got = b.call(GET, receiver=m, args=[k2], returns=use_result)
+    if use_result and got is not None:
+        b.call("File.getName", receiver=got, returns=False)
+    pb.add(b.finish())
+    return pb.finish()
+
+
+def test_retarg_match_on_fig2_shape():
+    g = _graph(_map_put_get())
+    specs = {m.spec for m in _matches(g)}
+    assert RetArg(GET, PUT, 2) in specs
+
+
+def test_no_match_with_different_keys():
+    g = _graph(_map_put_get(key_put="a", key_get="b"))
+    specs = {m.spec for m in _matches(g)}
+    assert RetArg(GET, PUT, 2) not in specs
+
+
+def test_no_match_on_different_receivers():
+    pb = ProgramBuilder()
+    b = pb.function("main")
+    m1 = b.alloc("HashMap")
+    m2 = b.alloc("HashMap")
+    k1 = b.const("k")
+    v = b.alloc("File")
+    b.call(PUT, receiver=m1, args=[k1, v], returns=False)
+    k2 = b.const("k")
+    b.call(GET, receiver=m2, args=[k2])
+    pb.add(b.finish())
+    g = _graph(pb.finish())
+    assert not _matches(g)
+
+
+def test_retsame_match_same_args():
+    pb = ProgramBuilder()
+    b = pb.function("main")
+    vg = b.alloc("ViewGroup")
+    k1 = b.const(7)
+    a = b.call("ViewGroup.find", receiver=vg, args=[k1])
+    b.call("View.use", receiver=a, returns=False)
+    k2 = b.const(7)
+    bb = b.call("ViewGroup.find", receiver=vg, args=[k2])
+    b.call("View.use2", receiver=bb, returns=False)
+    pb.add(b.finish())
+    g = _graph(pb.finish())
+    specs = {m.spec for m in _matches(g)}
+    assert RetSame("ViewGroup.find") in specs
+
+
+def test_retsame_no_match_different_args():
+    pb = ProgramBuilder()
+    b = pb.function("main")
+    vg = b.alloc("ViewGroup")
+    k1 = b.const(7)
+    b.call("ViewGroup.find", receiver=vg, args=[k1])
+    k2 = b.const(8)
+    b.call("ViewGroup.find", receiver=vg, args=[k2])
+    pb.add(b.finish())
+    g = _graph(pb.finish())
+    specs = {m.spec for m in _matches(g)}
+    assert RetSame("ViewGroup.find") not in specs
+
+
+def test_retarg_requires_nargs_offset():
+    """C1': nargs(s) must equal nargs(t) + 1."""
+    pb = ProgramBuilder()
+    b = pb.function("main")
+    m = b.alloc("Thing")
+    k = b.const("k")
+    b.call("Thing.store", receiver=m, args=[k], returns=False)  # 1 arg
+    k2 = b.const("k")
+    b.call("Thing.load", receiver=m, args=[k2])  # 1 arg — not nargs+1
+    pb.add(b.finish())
+    g = _graph(pb.finish())
+    retargs = [m for m in _matches(g) if isinstance(m.spec, RetArg)]
+    assert not retargs
+
+
+def test_constructors_excluded():
+    pb = ProgramBuilder()
+    b = pb.function("main")
+    t = b.alloc("Thing")
+    k = b.const("k")
+    b.call("Thing.<init>", receiver=t, args=[k], returns=False)
+    k2 = b.const("k")
+    b.call("Thing.load", receiver=t, args=[k2])
+    pb.add(b.finish())
+    g = _graph(pb.finish())
+    assert all("<init>" not in str(m.spec) for m in _matches(g))
+
+
+def test_later_call_must_return_value():
+    g = _graph(_map_put_get(use_result=False))
+    assert not _matches(g)
+
+
+def test_induced_edge_of_retarg(fig2_program):
+    g = _graph(fig2_program)
+    match = next(m for m in _matches(g) if isinstance(m.spec, RetArg))
+    edges = induced_edges(match, g)
+    assert len(edges) == 1
+    ((e1, e2),) = edges
+    assert e1.site.method_id == "SomeApi.getFile" and e1.pos == RET
+    assert e2.site.method_id == "java.io.File.getName" and e2.pos == 0
+
+
+def test_induced_edges_of_retsame():
+    pb = ProgramBuilder()
+    b = pb.function("main")
+    vg = b.alloc("ViewGroup")
+    k1 = b.const(7)
+    a = b.call("ViewGroup.find", receiver=vg, args=[k1])
+    b.call("View.tag", receiver=a, returns=False)
+    k2 = b.const(7)
+    bb = b.call("ViewGroup.find", receiver=vg, args=[k2])
+    b.call("View.show", receiver=bb, returns=False)
+    pb.add(b.finish())
+    g = _graph(pb.finish())
+    match = next(m for m in _matches(g) if isinstance(m.spec, RetSame))
+    edges = induced_edges(match, g)
+    assert len(edges) == 1
+    ((e1, e2),) = edges
+    assert e1.site.method_id == "View.tag"
+    assert e2.site.method_id == "View.show"
+
+
+def test_equal_g_uses_value_intersection(fig2_program):
+    g = _graph(fig2_program)
+    sites = {s.method_id: s for s in
+             {e.site for e in g.events if e.site.is_api_call}}
+    put, get = sites[PUT], sites[GET]
+    assert equal_g(g, get, 1, put, 1)  # both "key"
+
+
+def test_retarg_multi_key_alignment():
+    """C4' with x in the middle: store(k1, v, k2) / load(k1, k2)."""
+    pb = ProgramBuilder()
+    b = pb.function("main")
+    m = b.alloc("Grid")
+    k1, k2 = b.const("row"), b.const("col")
+    v = b.alloc("Cell")
+    b.call("Grid.store", receiver=m, args=[k1, v, k2], returns=False)
+    k1b, k2b = b.const("row"), b.const("col")
+    got = b.call("Grid.load", receiver=m, args=[k1b, k2b])
+    b.call("Cell.use", receiver=got, returns=False)
+    pb.add(b.finish())
+    g = _graph(pb.finish())
+    specs = {m.spec for m in _matches(g)}
+    assert RetArg("Grid.load", "Grid.store", 2) in specs
+    assert RetArg("Grid.load", "Grid.store", 1) not in specs
+    assert RetArg("Grid.load", "Grid.store", 3) not in specs

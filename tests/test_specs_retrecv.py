@@ -1,0 +1,93 @@
+"""Tests for the RetRecv extension pattern."""
+
+import pytest
+
+from repro.events import RET, HistoryBuilder, build_event_graph
+from repro.ir import ProgramBuilder, Var
+from repro.pointsto import analyze
+from repro.specs import RetRecv, SpecSet
+from repro.specs.matching import find_retrecv_matches, induced_edges
+from repro.specs.serialize import spec_from_dict, spec_to_dict
+
+
+def _graph(program, specs=None):
+    res = analyze(program, specs=specs)
+    return build_event_graph(HistoryBuilder(program, res).build())
+
+
+def _builder_program(chained=True):
+    pb = ProgramBuilder()
+    b = pb.function("main")
+    sb = b.alloc("StringBuilder")
+    a = b.const("a")
+    r1 = b.call("StringBuilder.append", receiver=sb, args=[a])
+    if chained:
+        c = b.const("b")
+        b.call("StringBuilder.append", receiver=r1, args=[c], returns=False)
+    pb.add(b.finish())
+    return pb.finish()
+
+
+def test_single_site_matches_found():
+    g = _graph(_builder_program())
+    matches = find_retrecv_matches(g)
+    specs = {m.spec for m in matches}
+    assert RetRecv("StringBuilder.append") in specs
+
+
+def test_match_requires_used_return():
+    pb = ProgramBuilder()
+    b = pb.function("main")
+    sb = b.alloc("StringBuilder")
+    a = b.const("a")
+    b.call("StringBuilder.append", receiver=sb, args=[a], returns=False)
+    pb.add(b.finish())
+    g = _graph(pb.finish())
+    assert find_retrecv_matches(g) == []
+
+
+def test_induced_edge_connects_receiver_alloc_to_return_use():
+    g = _graph(_builder_program())
+    match = next(m for m in find_retrecv_matches(g)
+                 if m.m1.instr.dst is not None)
+    edges = induced_edges(match, g)
+    assert len(edges) == 1
+    ((e1, e2),) = edges
+    assert e1.site.method_id == "new:StringBuilder" and e1.pos == RET
+    assert e2.site.method_id == "StringBuilder.append" and e2.pos == 0
+
+
+def test_solver_retrecv_aliases_receiver_and_return():
+    program = _builder_program(chained=False)
+    specs = SpecSet([RetRecv("StringBuilder.append")])
+    plain = analyze(program)
+    aware = analyze(program, specs=specs)
+    site = plain.api_sites[0]
+    assert not plain.events_may_alias(site, RET, site, 0)
+    site2 = aware.api_sites[0]
+    assert aware.events_may_alias(site2, RET, site2, 0)
+
+
+def test_retrecv_merges_chain_histories():
+    """With the spec, the chained receiver and the builder are one
+    object, so the second append lands in the builder's history."""
+    program = _builder_program(chained=True)
+    specs = SpecSet([RetRecv("StringBuilder.append")])
+    g = _graph(program, specs=specs)
+    appends = [e for e in g.events
+               if e.site.method_id == "StringBuilder.append" and e.pos == 0]
+    assert len(appends) == 2
+    assert g.may_alias(appends[0], appends[1])
+
+
+def test_retrecv_serialization_roundtrip():
+    spec = RetRecv("java.lang.StringBuilder.append")
+    assert spec_from_dict(spec_to_dict(spec)) == spec
+
+
+def test_retrecv_in_specset_lookups():
+    specs = SpecSet([RetRecv("A.b")])
+    assert specs.has_retrecv("A.b")
+    assert not specs.has_retrecv("A.c")
+    assert not specs.has_retsame("A.b")
+    assert specs.api_classes() == frozenset({"A"})
