@@ -22,10 +22,14 @@ from repro.pointsto.analysis import PointsToOptions, analyze
 from repro.specs.patterns import RetArg, RetRecv, RetSame, SpecSet
 
 __all__ = [
+    "Budget",
+    "CorpusExecutor",
     "PointsToOptions",
+    "QuarantineManifest",
     "RetArg",
     "RetRecv",
     "RetSame",
+    "RuntimeConfig",
     "SpecSet",
     "USpecPipeline",
     "analyze",
@@ -34,6 +38,10 @@ __all__ = [
 ]
 
 _LAZY = {
+    "Budget": "repro.runtime.budget",
+    "CorpusExecutor": "repro.runtime.executor",
+    "QuarantineManifest": "repro.runtime.manifest",
+    "RuntimeConfig": "repro.runtime.executor",
     "USpecPipeline": "repro.specs.pipeline",
     "java_registry": "repro.corpus.apis",
     "python_registry": "repro.corpus.apis",

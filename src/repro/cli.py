@@ -29,8 +29,40 @@ from repro.events.history import HistoryBuilder
 from repro.frontend.minijava import parse_minijava
 from repro.frontend.pyfront import parse_python
 from repro.pointsto import analyze
+from repro.runtime import Budget, BudgetExceeded, RuntimeConfig
 from repro.specs import USpecPipeline
+from repro.specs.pipeline import PipelineConfig
 from repro.specs.serialize import specs_from_json, specs_to_json
+
+#: Exit codes (also documented in ``uspec --help``):
+EXIT_OK = 0  # clean run (quarantined stragglers are still "clean")
+EXIT_ERROR = 2  # usage / missing file / malformed input
+EXIT_BUDGET = 3  # --strict run aborted by a resource-budget blow-up
+EXIT_ALL_QUARANTINED = 4  # every corpus program quarantined
+
+EXIT_CODES_HELP = """\
+exit codes:
+  0  clean (specs learned; individual quarantined programs are reported,
+     not fatal)
+  1  taint flows found (uspec taint only)
+  2  usage error, missing file, or malformed input
+  3  --strict learn run aborted because a resource budget was exhausted
+  4  learn run quarantined every corpus program — nothing to learn from
+"""
+
+
+def _runtime_config(args: argparse.Namespace) -> RuntimeConfig:
+    budget = Budget(
+        max_solver_iterations=args.budget_iterations,
+        max_constraints=args.budget_constraints,
+        max_history_events=args.budget_events,
+        deadline_seconds=args.budget_seconds,
+    )
+    return RuntimeConfig(
+        budget=budget,
+        strict=args.strict,
+        checkpoint_dir=args.checkpoint_dir,
+    )
 
 
 def _cmd_learn(args: argparse.Namespace) -> int:
@@ -42,12 +74,14 @@ def _cmd_learn(args: argparse.Namespace) -> int:
                                 registry.signatures())
         print(f"mined {args.from_dir}: {report.n_parsed} files parsed, "
               f"{len(report.skipped)} skipped")
+        for kind, count in report.skipped_by_kind().items():
+            print(f"  {kind}: {count}")
         for path, reason in report.skipped[:5]:
             print(f"  skipped {path}: {reason}")
         programs = report.programs
         if not programs:
             print("error: nothing to learn from", file=sys.stderr)
-            return 2
+            return EXIT_ERROR
     else:
         generator = CorpusGenerator(
             registry, CorpusConfig(n_files=args.files, seed=args.seed)
@@ -56,7 +90,23 @@ def _cmd_learn(args: argparse.Namespace) -> int:
         programs = generator.programs()
     print("learning specifications (analysis → model → candidates → "
           "selection)...")
-    learned = USpecPipeline().learn(programs)
+    config = PipelineConfig(runtime=_runtime_config(args))
+    learned = USpecPipeline(config).learn(programs)
+    run = learned.run
+    if run is not None and (run.n_quarantined or run.n_degraded
+                            or run.n_resumed):
+        print(f"corpus execution: {run.n_ok} ok "
+              f"({run.n_degraded} degraded, {run.n_resumed} resumed), "
+              f"{run.n_quarantined} quarantined")
+        for kind, count in run.manifest.by_kind().items():
+            print(f"  {kind}: {count}")
+    if args.quarantine_out and run is not None:
+        run.manifest.write(Path(args.quarantine_out))
+        print(f"wrote quarantine manifest to {args.quarantine_out}")
+    if run is not None and programs and run.n_ok == 0:
+        print("error: every corpus program was quarantined",
+              file=sys.stderr)
+        return EXIT_ALL_QUARANTINED
     print(f"scored {len(learned.scores)} candidates; "
           f"selected {len(learned.specs)} specifications")
     text = specs_to_json(learned.specs, learned.scores)
@@ -65,7 +115,7 @@ def _cmd_learn(args: argparse.Namespace) -> int:
         print(f"wrote {args.out}")
     else:
         print(text)
-    return 0
+    return EXIT_OK
 
 
 def _cmd_show(args: argparse.Namespace) -> int:
@@ -181,10 +231,16 @@ def build_parser() -> argparse.ArgumentParser:
         prog="uspec",
         description="Unsupervised learning of API aliasing specifications "
                     "(PLDI 2019 reproduction)",
+        epilog=EXIT_CODES_HELP,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    learn = sub.add_parser("learn", help="learn specifications from a corpus")
+    learn = sub.add_parser(
+        "learn", help="learn specifications from a corpus",
+        epilog=EXIT_CODES_HELP,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
     learn.add_argument("--language", choices=("java", "python"),
                        default="java")
     learn.add_argument("--files", type=int, default=250,
@@ -194,6 +250,26 @@ def build_parser() -> argparse.ArgumentParser:
     learn.add_argument("--from-dir",
                        help="mine an existing directory tree instead of "
                             "generating a synthetic corpus")
+    learn.add_argument("--quarantine-out", metavar="PATH",
+                       help="write the quarantine manifest (JSON) of "
+                            "programs that failed every analysis tier")
+    learn.add_argument("--strict", action="store_true",
+                       help="fail fast on the first per-program failure "
+                            "instead of degrading and quarantining "
+                            "(budget blow-ups exit with code 3)")
+    learn.add_argument("--checkpoint-dir", metavar="DIR",
+                       help="checkpoint completed programs here; a rerun "
+                            "over the same corpus resumes from the last "
+                            "completed program")
+    learn.add_argument("--budget-iterations", type=int, metavar="N",
+                       help="max points-to solver worklist iterations "
+                            "per program (default: unbounded)")
+    learn.add_argument("--budget-constraints", type=int, metavar="N",
+                       help="max constraint-graph size per program")
+    learn.add_argument("--budget-events", type=int, metavar="N",
+                       help="max history-extension events per program")
+    learn.add_argument("--budget-seconds", type=float, metavar="S",
+                       help="soft wall-clock deadline per analysis stage")
     learn.set_defaults(func=_cmd_learn)
 
     show = sub.add_parser("show", help="pretty-print a specs file")
@@ -232,13 +308,16 @@ def main(argv: Optional[List[str]] = None) -> int:
     try:
         return args.func(args)
     except BrokenPipeError:  # e.g. `uspec show … | head`
-        return 0
+        return EXIT_OK
+    except BudgetExceeded as err:  # --strict learn run blew a budget
+        print(f"error: {err}", file=sys.stderr)
+        return EXIT_BUDGET
     except FileNotFoundError as err:
         print(f"error: {err.filename}: no such file", file=sys.stderr)
-        return 2
+        return EXIT_ERROR
     except (SyntaxError, ValueError) as err:
         print(f"error: {err}", file=sys.stderr)
-        return 2
+        return EXIT_ERROR
 
 
 if __name__ == "__main__":

@@ -12,13 +12,14 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.corpus.generator import GeneratedFile
 from repro.frontend.minijava import parse_minijava
 from repro.frontend.pyfront import parse_python
 from repro.frontend.signatures import ApiSignatures
 from repro.ir.program import Program
+from repro.runtime.errors import classify_error
 
 
 def save_corpus(files: Sequence[GeneratedFile], directory: Path) -> List[Path]:
@@ -35,7 +36,12 @@ def save_corpus(files: Sequence[GeneratedFile], directory: Path) -> List[Path]:
 
 @dataclass
 class MiningReport:
-    """Outcome of mining one directory tree."""
+    """Outcome of mining one directory tree.
+
+    ``skipped`` entries carry a ``TaxonomyLabel: ExcName: message``
+    string (see :data:`repro.runtime.errors.TAXONOMY`), so downstream
+    tooling can aggregate failures by class via :meth:`skipped_by_kind`.
+    """
 
     programs: List[Program] = field(default_factory=list)
     skipped: List[Tuple[Path, str]] = field(default_factory=list)
@@ -43,6 +49,14 @@ class MiningReport:
     @property
     def n_parsed(self) -> int:
         return len(self.programs)
+
+    def skipped_by_kind(self) -> Dict[str, int]:
+        """Taxonomy label → number of skipped files."""
+        counts: Dict[str, int] = {}
+        for _, reason in self.skipped:
+            kind = reason.split(":", 1)[0]
+            counts[kind] = counts.get(kind, 0) + 1
+        return dict(sorted(counts.items()))
 
     def __repr__(self) -> str:
         return (f"<MiningReport {self.n_parsed} parsed, "
@@ -71,11 +85,29 @@ def mine_directory(
     for path in paths:
         try:
             text = path.read_text(errors="replace")
+        except (OSError, UnicodeDecodeError) as err:
+            report.skipped.append(
+                (path, _skip_reason(err, stage="read")))
+            continue
+        try:
             if path.suffix == ".java":
                 program = parse_minijava(text, signatures, str(path))
             else:
                 program = parse_python(text, signatures, str(path))
-            report.programs.append(program)
+        except RecursionError as err:
+            # deeply nested sources blow the interpreter stack; contain
+            # and classify rather than letting mining die
+            report.skipped.append(
+                (path, _skip_reason(err, stage="parse")))
+            continue
         except Exception as err:  # noqa: BLE001 - mining must not die
-            report.skipped.append((path, f"{type(err).__name__}: {err}"))
+            report.skipped.append(
+                (path, _skip_reason(err, stage="parse")))
+            continue
+        report.programs.append(program)
     return report
+
+
+def _skip_reason(err: BaseException, stage: str) -> str:
+    """``TaxonomyLabel: ExcName: message`` for a skipped-file entry."""
+    return f"{classify_error(err, stage=stage)}: {type(err).__name__}: {err}"

@@ -24,7 +24,20 @@ by a preceding ``put`` — extending that object's history with the
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Set, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    FrozenSet,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Set,
+    Tuple,
+)
+
+if TYPE_CHECKING:  # avoid a runtime import cycle with repro.runtime
+    from repro.runtime.budget import Budget, BudgetMeter
 
 from repro.events.events import RET, Event, Site
 from repro.ir.instructions import (
@@ -59,12 +72,15 @@ class HistoryOptions:
 
     ``max_depth`` bounds inlining of internal calls; ``max_histories``
     caps the history set per object at joins (deterministic prefix);
-    ``max_len`` stops extending over-long histories.
+    ``max_len`` stops extending over-long histories; ``budget`` bounds
+    the total extension work and wall clock of one build, raising
+    :class:`repro.runtime.errors.BudgetExceeded` when exhausted.
     """
 
     max_depth: int = 8
     max_histories: int = 16
     max_len: int = 60
+    budget: Optional["Budget"] = None
 
 
 class Histories:
@@ -125,10 +141,14 @@ class HistoryBuilder:
         self.pts = pts
         self.options = options or HistoryOptions()
         self._k = pts.options.context_k
+        self._meter: Optional["BudgetMeter"] = None
 
     # ------------------------------------------------------------------
 
     def build(self) -> Histories:
+        budget = self.options.budget
+        if budget is not None and not budget.unbounded:
+            self._meter = budget.meter("history")
         state: _State = {}
         entry = self.program.entry
         self._walk_body(
@@ -209,12 +229,17 @@ class HistoryBuilder:
 
     def _start_history(self, state: _State, obj: AbstractObject,
                        event: Event) -> None:
+        if self._meter is not None:
+            self._meter.tick_event()
         state.setdefault(obj, set()).add((event,))
 
     def _extend(self, state: _State, objs: Iterable[AbstractObject],
                 event: Event) -> None:
         max_len = self.options.max_len
+        meter = self._meter
         for obj in objs:
+            if meter is not None:
+                meter.tick_event()
             histories = state.get(obj)
             if not histories:
                 # object first observed here (API return, unknown param)

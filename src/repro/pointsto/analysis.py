@@ -17,7 +17,10 @@ Two standard configurations:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, FrozenSet, List, Optional, Tuple
+
+if TYPE_CHECKING:  # avoid a runtime import cycle with repro.runtime
+    from repro.runtime.budget import Budget
 
 from repro.events.events import RET, Event, Pos, Site
 from repro.ir.instructions import Call, Var
@@ -35,13 +38,19 @@ class PointsToOptions:
     insensitive); ``interprocedural=False`` degrades internal calls to
     API-like opaque calls (the "less precise intraprocedural analysis"
     of §7.1); ``coverage_mode`` enables the ⊤/⊥ ghost fields of §6.4;
-    ``max_combos`` caps ghost-field key enumeration per call site.
+    ``max_combos`` caps ghost-field key enumeration per call site;
+    ``field_sensitive=False`` merges all fields of an object into one
+    cell (the coarsest rung of the runtime degradation ladder);
+    ``budget`` bounds solver work and raises
+    :class:`repro.runtime.errors.BudgetExceeded` when exhausted.
     """
 
     context_k: int = 1
     interprocedural: bool = True
     coverage_mode: bool = False
     max_combos: int = 32
+    field_sensitive: bool = True
+    budget: Optional["Budget"] = None
 
 
 class PointsToResult:
@@ -124,6 +133,8 @@ def analyze(
         coverage_mode=options.coverage_mode,
         max_combos=options.max_combos,
         interprocedural=options.interprocedural,
+        field_sensitive=options.field_sensitive,
+        budget=options.budget,
     )
     solver.solve()
     return PointsToResult(solver, options)

@@ -25,7 +25,20 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    FrozenSet,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+if TYPE_CHECKING:  # avoid a runtime import cycle with repro.runtime
+    from repro.runtime.budget import Budget, BudgetMeter
 
 from repro.events.events import Site
 from repro.ir.instructions import (
@@ -94,6 +107,8 @@ class Solver:
         coverage_mode: bool = False,
         max_combos: int = 32,
         interprocedural: bool = True,
+        field_sensitive: bool = True,
+        budget: Optional["Budget"] = None,
     ) -> None:
         self.program = program
         self.specs = specs or SpecSet()
@@ -101,6 +116,9 @@ class Solver:
         self.coverage_mode = coverage_mode
         self.max_combos = max_combos
         self.interprocedural = interprocedural
+        self.field_sensitive = field_sensitive
+        self.budget = budget
+        self._meter: Optional["BudgetMeter"] = None
 
         self.pts: Dict[Node, Set[AbstractObject]] = {}
         self._succs: Dict[Node, Set[Node]] = {}
@@ -156,6 +174,8 @@ class Solver:
         if dst in succs:
             return
         succs.add(dst)
+        if self._meter is not None:
+            self._meter.tick_constraint()
         existing = self.pts.get(src)
         if existing:
             self.add_objects(dst, existing)
@@ -163,6 +183,8 @@ class Solver:
     def _watch(self, node: Node, op) -> None:
         self._watchers.setdefault(node, []).append(op)
         self._dirty.add(node)  # ensure the op runs at least once
+        if self._meter is not None:
+            self._meter.tick_constraint()
 
     # ------------------------------------------------------------------
     # constraint generation
@@ -196,11 +218,14 @@ class Solver:
                 self.var_node(fn, ctx, instr.src), self.var_node(fn, ctx, instr.dst)
             )
         elif isinstance(instr, FieldLoad):
-            op = ("load", self.var_node(fn, ctx, instr.obj), instr.field,
+            # field-insensitive mode merges every field into one cell
+            fieldname = instr.field if self.field_sensitive else "*"
+            op = ("load", self.var_node(fn, ctx, instr.obj), fieldname,
                   self.var_node(fn, ctx, instr.dst))
             self._watch(op[1], op)
         elif isinstance(instr, FieldStore):
-            op = ("store", self.var_node(fn, ctx, instr.obj), instr.field,
+            fieldname = instr.field if self.field_sensitive else "*"
+            op = ("store", self.var_node(fn, ctx, instr.obj), fieldname,
                   self.var_node(fn, ctx, instr.src))
             self._watch(op[1], op)
         elif isinstance(instr, GlobalRead):
@@ -329,13 +354,18 @@ class Solver:
     # fixpoint
 
     def _propagate(self) -> None:
+        meter = self._meter
         while self._worklist or self._dirty:
             while self._dirty:
                 node = self._dirty.pop()
+                if meter is not None:
+                    meter.tick_iteration()
                 for op in self._watchers.get(node, ()):
                     self._run_op(op)
             if not self._worklist:
                 break
+            if meter is not None:
+                meter.tick_iteration()
             node, delta = self._worklist.popleft()
             if self._watchers.get(node):
                 self._dirty.add(node)
@@ -362,8 +392,12 @@ class Solver:
         return changed
 
     def solve(self) -> None:
+        if self.budget is not None and not self.budget.unbounded:
+            self._meter = self.budget.meter("pointsto")
         self.build()
         self._propagate()
         # outer loop for the non-monotone empty-field allocation rule
         while self._allocate_empty_ghosts():
+            if self._meter is not None:
+                self._meter.check_deadline()
             self._propagate()

@@ -1,0 +1,81 @@
+"""Fault-isolating, resource-budgeted corpus execution (``repro.runtime``).
+
+Corpus-scale mining must survive individual-program blow-ups: this
+package provides resource :class:`~repro.runtime.budget.Budget` limits
+enforced inside the solver and history builder, a precision
+degradation ladder, structured quarantine manifests with a typed error
+taxonomy, checkpoint/resume of long runs, and deterministic fault
+injection so all of it is testable.
+"""
+
+from repro.runtime.budget import Budget, BudgetMeter
+from repro.runtime.checkpoint import CorpusCheckpoint, program_key
+from repro.runtime.errors import (
+    BUDGET_EXCEEDED,
+    LOWERING_FAILURE,
+    PARSE_FAILURE,
+    READ_FAILURE,
+    SOLVER_CRASH,
+    TAXONOMY,
+    BudgetExceeded,
+    LoweringFailure,
+    ParseFailure,
+    RuntimeFault,
+    SolverCrash,
+    classify_error,
+)
+from repro.runtime.executor import (
+    CorpusExecutor,
+    CorpusRunReport,
+    ProgramOutcome,
+    RuntimeConfig,
+)
+from repro.runtime.faults import FaultPlan, FaultSpec, STAGES
+from repro.runtime.ladder import (
+    DEFAULT_LADDER,
+    LadderTier,
+    TIER_CONTEXT_INSENSITIVE,
+    TIER_CONTEXT_SENSITIVE,
+    TIER_FIELD_INSENSITIVE,
+    TIER_QUARANTINE,
+)
+from repro.runtime.manifest import (
+    QuarantineEntry,
+    QuarantineManifest,
+    TierAttempt,
+)
+
+__all__ = [
+    "Budget",
+    "BudgetMeter",
+    "BudgetExceeded",
+    "BUDGET_EXCEEDED",
+    "classify_error",
+    "CorpusCheckpoint",
+    "CorpusExecutor",
+    "CorpusRunReport",
+    "DEFAULT_LADDER",
+    "FaultPlan",
+    "FaultSpec",
+    "LadderTier",
+    "LoweringFailure",
+    "LOWERING_FAILURE",
+    "ParseFailure",
+    "PARSE_FAILURE",
+    "program_key",
+    "ProgramOutcome",
+    "QuarantineEntry",
+    "QuarantineManifest",
+    "READ_FAILURE",
+    "RuntimeConfig",
+    "RuntimeFault",
+    "SolverCrash",
+    "SOLVER_CRASH",
+    "STAGES",
+    "TAXONOMY",
+    "TIER_CONTEXT_INSENSITIVE",
+    "TIER_CONTEXT_SENSITIVE",
+    "TIER_FIELD_INSENSITIVE",
+    "TIER_QUARANTINE",
+    "TierAttempt",
+]

@@ -1,0 +1,130 @@
+"""Resource budgets for per-program analysis stages.
+
+A :class:`Budget` is an immutable description of how much work one
+program is allowed to consume: solver worklist iterations, constraint
+graph size, history-extension events, and a soft wall-clock deadline.
+It is threaded through :class:`repro.pointsto.analysis.PointsToOptions`
+and :class:`repro.events.history.HistoryOptions`; the Andersen worklist
+loop and the :class:`~repro.events.history.HistoryBuilder` call into a
+mutable :class:`BudgetMeter` and raise
+:class:`~repro.runtime.errors.BudgetExceeded` the moment a limit is
+crossed.  Unset limits (``None``) are unbounded, so the default
+``Budget()`` changes nothing.
+
+The deadline is *soft*: it is polled every :data:`DEADLINE_POLL_MASK`+1
+ticks rather than enforced pre-emptively, trading a little overshoot
+for not calling the clock on every worklist pop.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.runtime.errors import BudgetExceeded
+
+#: Poll the wall clock once every 256 ticks.
+DEADLINE_POLL_MASK = 0xFF
+
+Clock = Callable[[], float]
+
+
+@dataclass(frozen=True)
+class Budget:
+    """Per-program resource limits; ``None`` means unbounded.
+
+    * ``max_solver_iterations`` — worklist pops in the Andersen solver;
+    * ``max_constraints`` — edges + complex ops in the constraint graph;
+    * ``max_history_events`` — total event extensions while building
+      abstract histories (per-history length is separately bounded by
+      :class:`~repro.events.history.HistoryOptions.max_len`);
+    * ``deadline_seconds`` — soft wall-clock limit per analysis stage.
+    """
+
+    max_solver_iterations: Optional[int] = None
+    max_constraints: Optional[int] = None
+    max_history_events: Optional[int] = None
+    deadline_seconds: Optional[float] = None
+
+    @property
+    def unbounded(self) -> bool:
+        return (
+            self.max_solver_iterations is None
+            and self.max_constraints is None
+            and self.max_history_events is None
+            and self.deadline_seconds is None
+        )
+
+    def meter(self, stage: str, clock: Optional[Clock] = None) -> "BudgetMeter":
+        """Start a fresh meter for one analysis stage."""
+        return BudgetMeter(self, stage, clock or time.monotonic)
+
+
+class BudgetMeter:
+    """Mutable counters charged against one :class:`Budget`.
+
+    One meter covers one stage of one program; the solver and the
+    history builder each start their own, so the deadline is per-stage.
+    """
+
+    __slots__ = (
+        "budget", "stage", "clock", "started",
+        "iterations", "constraints", "events", "_ticks",
+    )
+
+    def __init__(self, budget: Budget, stage: str, clock: Clock) -> None:
+        self.budget = budget
+        self.stage = stage
+        self.clock = clock
+        self.started = clock()
+        self.iterations = 0
+        self.constraints = 0
+        self.events = 0
+        self._ticks = 0
+
+    # ------------------------------------------------------------------
+
+    def tick_iteration(self) -> None:
+        self.iterations += 1
+        limit = self.budget.max_solver_iterations
+        if limit is not None and self.iterations > limit:
+            raise BudgetExceeded(
+                "solver_iterations", self.iterations, limit, stage=self.stage
+            )
+        self._maybe_check_deadline()
+
+    def tick_constraint(self, n: int = 1) -> None:
+        self.constraints += n
+        limit = self.budget.max_constraints
+        if limit is not None and self.constraints > limit:
+            raise BudgetExceeded(
+                "constraints", self.constraints, limit, stage=self.stage
+            )
+
+    def tick_event(self, n: int = 1) -> None:
+        self.events += n
+        limit = self.budget.max_history_events
+        if limit is not None and self.events > limit:
+            raise BudgetExceeded(
+                "history_events", self.events, limit, stage=self.stage
+            )
+        self._maybe_check_deadline()
+
+    # ------------------------------------------------------------------
+
+    def _maybe_check_deadline(self) -> None:
+        self._ticks += 1
+        if self._ticks & DEADLINE_POLL_MASK:
+            return
+        self.check_deadline()
+
+    def check_deadline(self) -> None:
+        limit = self.budget.deadline_seconds
+        if limit is None:
+            return
+        elapsed = self.clock() - self.started
+        if elapsed > limit:
+            raise BudgetExceeded(
+                "wall_clock_seconds", elapsed, limit, stage=self.stage
+            )

@@ -1,0 +1,126 @@
+"""Checkpoint/resume for long corpus runs.
+
+``analyze_corpus`` over a real crawl runs for hours; a killed run must
+restart from the last *completed* program, not from scratch.  The
+checkpoint is a directory:
+
+* ``index.json`` — program key → status (``ok``/``quarantined``) plus
+  either the pickle file name of the analysed bundle or the embedded
+  quarantine entry.  Rewritten atomically (tmp + rename) after every
+  program, so a kill at any point leaves a loadable checkpoint.
+* ``bundle-NNNNNN.pkl`` — one pickled
+  :class:`~repro.model.dataset.GraphBundle` per completed program.
+  IR instructions hash by identity, but each bundle is self-contained
+  (its graph references the same instruction objects as its program and
+  pickle preserves sharing within one file), so restored bundles are
+  fully usable downstream.
+
+Program keys combine corpus position and source name, so resuming is
+valid only over the same corpus in the same order — the executor treats
+an unknown key as simply "not done yet".
+"""
+
+from __future__ import annotations
+
+import json
+import pickle
+from pathlib import Path
+from typing import Dict, Optional
+
+from repro.ir.program import Program
+from repro.model.dataset import GraphBundle
+from repro.runtime.manifest import QuarantineEntry
+
+INDEX_NAME = "index.json"
+CHECKPOINT_VERSION = 1
+
+STATUS_OK = "ok"
+STATUS_QUARANTINED = "quarantined"
+
+
+def program_key(program: Program, index: int) -> str:
+    """Stable identity of a corpus program for checkpointing/faults."""
+    return f"{index:06d}:{program.source or '<anonymous>'}"
+
+
+class CorpusCheckpoint:
+    """Persistent per-program completion state of one corpus run."""
+
+    def __init__(self, directory: Path) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self._index: Dict[str, Dict] = {}
+        self._load_index()
+
+    # ------------------------------------------------------------------
+
+    def _index_path(self) -> Path:
+        return self.directory / INDEX_NAME
+
+    def _load_index(self) -> None:
+        path = self._index_path()
+        if not path.exists():
+            return
+        try:
+            data = json.loads(path.read_text())
+        except (OSError, ValueError):
+            return  # corrupt index ⇒ recompute everything
+        if data.get("version") != CHECKPOINT_VERSION:
+            return
+        self._index = data.get("entries", {})
+
+    def _save_index(self) -> None:
+        payload = {"version": CHECKPOINT_VERSION, "entries": self._index}
+        tmp = self._index_path().with_suffix(".json.tmp")
+        tmp.write_text(json.dumps(payload, indent=2, sort_keys=True))
+        tmp.replace(self._index_path())
+
+    # ------------------------------------------------------------------
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._index
+
+    def __len__(self) -> int:
+        return len(self._index)
+
+    def status(self, key: str) -> Optional[str]:
+        entry = self._index.get(key)
+        return entry["status"] if entry else None
+
+    def load_bundle(self, key: str) -> Optional[GraphBundle]:
+        """The checkpointed bundle, or None if absent/unreadable."""
+        entry = self._index.get(key)
+        if not entry or entry["status"] != STATUS_OK:
+            return None
+        path = self.directory / entry["file"]
+        try:
+            with path.open("rb") as fh:
+                bundle = pickle.load(fh)
+        except (OSError, pickle.UnpicklingError, EOFError, AttributeError):
+            return None
+        return bundle if isinstance(bundle, GraphBundle) else None
+
+    def load_quarantine(self, key: str) -> Optional[QuarantineEntry]:
+        entry = self._index.get(key)
+        if not entry or entry["status"] != STATUS_QUARANTINED:
+            return None
+        return QuarantineEntry.from_dict(entry["entry"])
+
+    # ------------------------------------------------------------------
+
+    def store_bundle(self, key: str, index: int, bundle: GraphBundle) -> None:
+        name = f"bundle-{index:06d}.pkl"
+        with (self.directory / name).open("wb") as fh:
+            pickle.dump(bundle, fh, protocol=pickle.HIGHEST_PROTOCOL)
+        self._index[key] = {"status": STATUS_OK, "file": name}
+        self._save_index()
+
+    def store_quarantine(self, key: str, entry: QuarantineEntry) -> None:
+        self._index[key] = {
+            "status": STATUS_QUARANTINED,
+            "entry": entry.to_dict(),
+        }
+        self._save_index()
+
+    def __repr__(self) -> str:
+        return f"<CorpusCheckpoint {self.directory} ({len(self._index)} done)>"

@@ -1,0 +1,117 @@
+"""Typed failure taxonomy for corpus-scale execution.
+
+Mining aliasing specs from millions of arbitrary files (paper §7 runs
+on 64M LoC of Java) only works when individual-unit failures are
+contained, classified and reported — never fatal.  Every error raised
+or caught by the :mod:`repro.runtime` harness maps onto one of a small
+set of taxonomy labels so quarantine manifests and mining reports stay
+machine-readable:
+
+* ``ReadFailure``     — the file could not be read from disk;
+* ``ParseFailure``    — the frontend rejected the source text;
+* ``LoweringFailure`` — parsing succeeded but lowering to IR failed;
+* ``BudgetExceeded``  — a resource budget (iterations, constraints,
+  events, wall clock) ran out mid-analysis;
+* ``SolverCrash``     — any other exception inside the analysis stages.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+#: Canonical taxonomy labels, in severity-agnostic alphabetical order.
+READ_FAILURE = "ReadFailure"
+PARSE_FAILURE = "ParseFailure"
+LOWERING_FAILURE = "LoweringFailure"
+BUDGET_EXCEEDED = "BudgetExceeded"
+SOLVER_CRASH = "SolverCrash"
+
+TAXONOMY = (
+    READ_FAILURE,
+    PARSE_FAILURE,
+    LOWERING_FAILURE,
+    BUDGET_EXCEEDED,
+    SOLVER_CRASH,
+)
+
+
+class RuntimeFault(Exception):
+    """Base of all typed faults raised by the runtime harness."""
+
+    kind: str = SOLVER_CRASH
+
+    def __init__(self, message: str = "", *, stage: Optional[str] = None) -> None:
+        super().__init__(message)
+        self.stage = stage
+
+
+class ParseFailure(RuntimeFault):
+    kind = PARSE_FAILURE
+
+
+class LoweringFailure(RuntimeFault):
+    kind = LOWERING_FAILURE
+
+
+class SolverCrash(RuntimeFault):
+    kind = SOLVER_CRASH
+
+
+class BudgetExceeded(RuntimeFault):
+    """A resource budget ran out.
+
+    ``resource`` names the exhausted budget dimension (e.g.
+    ``solver_iterations``); ``used``/``limit`` quantify it.
+    """
+
+    kind = BUDGET_EXCEEDED
+
+    def __init__(
+        self,
+        resource: str,
+        used: float,
+        limit: float,
+        *,
+        stage: Optional[str] = None,
+    ) -> None:
+        super().__init__(
+            f"{resource} budget exceeded: {used:g} > {limit:g}"
+            + (f" (stage: {stage})" if stage else ""),
+            stage=stage,
+        )
+        self.resource = resource
+        self.used = used
+        self.limit = limit
+
+
+#: Exception classes a fault-injection plan may raise, by taxonomy label.
+FAULT_CLASSES = {
+    PARSE_FAILURE: ParseFailure,
+    LOWERING_FAILURE: LoweringFailure,
+    SOLVER_CRASH: SolverCrash,
+}
+
+
+def classify_error(err: BaseException, stage: Optional[str] = None) -> str:
+    """Map an arbitrary exception onto a taxonomy label.
+
+    Typed :class:`RuntimeFault` subclasses carry their own label; other
+    exceptions are classified by type and, where ambiguous, by the
+    pipeline ``stage`` they escaped from (``read``/``parse``/``lower``
+    or an analysis stage).
+    """
+    if isinstance(err, RuntimeFault):
+        return err.kind
+    if isinstance(err, (OSError, UnicodeDecodeError)):
+        return READ_FAILURE
+    name = type(err).__name__
+    if isinstance(err, SyntaxError) or "Parse" in name:
+        return PARSE_FAILURE
+    if "Lower" in name or stage == "lower":
+        return LOWERING_FAILURE
+    if stage == "parse":
+        # e.g. a RecursionError from a deeply nested source file
+        return PARSE_FAILURE
+    if stage == "read":
+        return READ_FAILURE
+    return SOLVER_CRASH

@@ -1,0 +1,94 @@
+"""Deterministic fault injection for the execution harness.
+
+The degradation ladder and quarantine manifest are only trustworthy if
+they are testable, and real solver blow-ups are awkward to stage on
+demand.  A :class:`FaultPlan` deterministically injects a typed
+exception (or synthetic budget exhaustion) into chosen
+``(program, stage, tier)`` points of the
+:class:`~repro.runtime.executor.CorpusExecutor`; matching is by plain
+substring/equality, never randomness, so every run of the same plan
+fails identically.
+
+Stages the executor probes: ``pointsto``, ``history``, ``graph``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Optional, Sequence, Tuple
+
+from repro.runtime.errors import (
+    BUDGET_EXCEEDED,
+    FAULT_CLASSES,
+    BudgetExceeded,
+    RuntimeFault,
+    TAXONOMY,
+)
+
+#: Stages at which the executor fires injection probes.
+STAGES = ("pointsto", "history", "graph")
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One injection point.
+
+    ``program`` is matched as a substring of the program key (source
+    path or synthetic key); ``stage`` must equal one of
+    :data:`STAGES` or be ``None`` for any stage; ``tiers`` restricts the
+    fault to specific ladder tier names (``None`` = every tier).
+    ``error`` is a taxonomy label from
+    :data:`repro.runtime.errors.TAXONOMY`.
+    """
+
+    program: str
+    error: str
+    stage: Optional[str] = None
+    tiers: Optional[FrozenSet[str]] = None
+    message: str = "injected fault"
+
+    def __post_init__(self) -> None:
+        if self.error not in TAXONOMY:
+            raise ValueError(
+                f"unknown taxonomy label {self.error!r}; "
+                f"expected one of {TAXONOMY}"
+            )
+
+    def matches(self, program_key: str, stage: str, tier: str) -> bool:
+        if self.program not in program_key:
+            return False
+        if self.stage is not None and self.stage != stage:
+            return False
+        if self.tiers is not None and tier not in self.tiers:
+            return False
+        return True
+
+    def raise_fault(self, stage: str) -> None:
+        if self.error == BUDGET_EXCEEDED:
+            raise BudgetExceeded("injected", 1, 0, stage=stage)
+        message = f"{self.message} (stage: {stage})"
+        cls = FAULT_CLASSES.get(self.error)
+        if cls is not None:
+            raise cls(message, stage=stage)
+        err = RuntimeFault(message, stage=stage)
+        err.kind = self.error  # labels without a dedicated class
+        raise err
+
+
+class FaultPlan:
+    """An ordered collection of :class:`FaultSpec` injection points."""
+
+    def __init__(self, faults: Sequence[FaultSpec] = ()) -> None:
+        self.faults: Tuple[FaultSpec, ...] = tuple(faults)
+
+    def fire(self, program_key: str, stage: str, tier: str) -> None:
+        """Raise the first matching fault, if any."""
+        for fault in self.faults:
+            if fault.matches(program_key, stage, tier):
+                fault.raise_fault(stage)
+
+    def __bool__(self) -> bool:
+        return bool(self.faults)
+
+    def __repr__(self) -> str:
+        return f"<FaultPlan {len(self.faults)} faults>"

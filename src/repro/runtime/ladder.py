@@ -1,0 +1,63 @@
+"""The precision-degradation ladder (context → field → quarantine).
+
+When a program exhausts its budget or crashes the analysis, corpus
+mining should not simply drop it: a cheaper, less precise analysis
+often still succeeds and its event graph is still useful training
+signal.  The ladder retries the program one precision tier down per
+failure:
+
+1. ``context-sensitive``   — the configured analysis, unchanged;
+2. ``context-insensitive`` — ``context_k = 0`` (one copy per function);
+3. ``field-insensitive``   — additionally merges every field of an
+   object into a single cell and degrades internal calls to opaque
+   API-like calls, the coarsest configuration the solver supports.
+
+A program that fails every tier is quarantined; the tier that finally
+succeeded is recorded per program so corpus statistics can report how
+much of the corpus ran degraded.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Callable, Tuple
+
+from repro.pointsto.analysis import PointsToOptions
+
+TIER_CONTEXT_SENSITIVE = "context-sensitive"
+TIER_CONTEXT_INSENSITIVE = "context-insensitive"
+TIER_FIELD_INSENSITIVE = "field-insensitive"
+#: Pseudo-tier recorded when every real tier failed.
+TIER_QUARANTINE = "quarantine"
+
+
+@dataclass(frozen=True)
+class LadderTier:
+    """One rung: a name plus a transform of the points-to options."""
+
+    name: str
+    transform: Callable[[PointsToOptions], PointsToOptions]
+
+    def apply(self, options: PointsToOptions) -> PointsToOptions:
+        return self.transform(options)
+
+
+def _identity(options: PointsToOptions) -> PointsToOptions:
+    return options
+
+
+def _context_insensitive(options: PointsToOptions) -> PointsToOptions:
+    return replace(options, context_k=0)
+
+
+def _field_insensitive(options: PointsToOptions) -> PointsToOptions:
+    return replace(
+        options, context_k=0, field_sensitive=False, interprocedural=False
+    )
+
+
+DEFAULT_LADDER: Tuple[LadderTier, ...] = (
+    LadderTier(TIER_CONTEXT_SENSITIVE, _identity),
+    LadderTier(TIER_CONTEXT_INSENSITIVE, _context_insensitive),
+    LadderTier(TIER_FIELD_INSENSITIVE, _field_insensitive),
+)

@@ -30,6 +30,11 @@ from repro.model.features import FeatureConfig
 from repro.model.logistic import TrainConfig
 from repro.model.model import EventPairModel
 from repro.pointsto.analysis import PointsToOptions, analyze
+from repro.runtime.executor import (
+    CorpusExecutor,
+    CorpusRunReport,
+    RuntimeConfig,
+)
 from repro.specs.candidates import CandidateExtraction, extract_candidates
 from repro.specs.patterns import Spec, SpecSet
 from repro.specs.scoring import Scorer, average_top_k, score_candidates
@@ -44,6 +49,8 @@ class PipelineConfig:
     history: HistoryOptions = HistoryOptions()
     feature: FeatureConfig = FeatureConfig()
     train: TrainConfig = TrainConfig()
+    #: failure discipline of corpus analysis (budgets, ladder, faults)
+    runtime: RuntimeConfig = RuntimeConfig()
     #: Alg. 1 receiver-distance bound (§7.1)
     max_receiver_distance: int = 10
     #: k of the average-top-k score (§5.2)
@@ -70,6 +77,8 @@ class LearnedSpecs:
     extraction: CandidateExtraction
     model: EventPairModel
     config: PipelineConfig
+    #: corpus execution report (quarantines, ladder tiers, timings)
+    run: Optional[CorpusRunReport] = None
 
     def top(self, n: int = 20) -> List[Spec]:
         """The ``n`` selected specifications with the highest scores."""
@@ -96,8 +105,21 @@ class USpecPipeline:
         histories = HistoryBuilder(program, result, self.config.history).build()
         return GraphBundle.of(program, build_event_graph(histories))
 
+    def run_corpus(self, programs: Sequence[Program]) -> CorpusRunReport:
+        """Analyse a corpus under the configured failure discipline.
+
+        Per-program failures degrade down the precision ladder and end
+        up quarantined in ``report.manifest`` rather than raising (see
+        :mod:`repro.runtime`); with ``runtime.strict=True`` the first
+        failure propagates instead.
+        """
+        executor = CorpusExecutor(
+            self.config.pointsto, self.config.history, self.config.runtime
+        )
+        return executor.run(programs)
+
     def analyze_corpus(self, programs: Sequence[Program]) -> List[GraphBundle]:
-        return [self.analyze_program(p) for p in programs]
+        return self.run_corpus(programs).bundles
 
     # ------------------------------------------------------------------
     # stage 2: probabilistic model (§4)
@@ -143,10 +165,17 @@ class USpecPipeline:
     # ------------------------------------------------------------------
 
     def learn(self, programs: Sequence[Program]) -> LearnedSpecs:
-        """Run the whole pipeline on a corpus of programs."""
-        bundles = self.analyze_corpus(programs)
-        model = self.train_model(bundles)
-        extraction = self.extract_candidates(bundles, model)
+        """Run the whole pipeline on a corpus of programs.
+
+        Individual pathological programs (budget blow-ups, solver
+        crashes) are quarantined, not fatal: the returned bundle's
+        ``run.manifest`` names them and the specs come from the
+        programs that survived.
+        """
+        run = self.run_corpus(programs)
+        model = self.train_model(run.bundles)
+        extraction = self.extract_candidates(run.bundles, model)
         scores = self.score(extraction)
         specs = self.select(scores)
-        return LearnedSpecs(specs, scores, extraction, model, self.config)
+        return LearnedSpecs(specs, scores, extraction, model, self.config,
+                            run=run)

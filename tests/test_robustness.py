@@ -4,14 +4,17 @@ degenerate configurations."""
 import pytest
 
 from repro.cli import main
-from repro.corpus import java_registry
+from repro.corpus import CorpusConfig, CorpusGenerator, java_registry
+from repro.corpus.io import mine_directory
 from repro.events import HistoryBuilder, build_event_graph
 from repro.frontend.minijava import ParseError, parse_minijava
 from repro.frontend.pyfront import parse_python
 from repro.ir import ProgramBuilder
 from repro.model.model import EventPairModel
 from repro.pointsto import analyze
+from repro.runtime import BUDGET_EXCEEDED, Budget, RuntimeConfig
 from repro.specs import USpecPipeline
+from repro.specs.pipeline import PipelineConfig
 
 
 # ----------------------------------------------------------------------
@@ -100,6 +103,101 @@ def test_history_of_unreachable_function_is_empty():
     res = analyze(program)
     histories = HistoryBuilder(program, res).build()
     assert len(histories) == 0  # only entry-reachable code is walked
+
+
+# ----------------------------------------------------------------------
+# pipeline-level fault containment (repro.runtime)
+
+
+def _deep_call_chain_program(depth=2500):
+    """A pathological single-chain program exceeding small solver budgets."""
+    pb = ProgramBuilder(source="deep_chain.java")
+    fb = pb.function("main")
+    v = fb.alloc("Api")
+    for _ in range(depth):
+        w = fb.fresh()
+        fb.assign(w, v)
+        v = w
+    fb.call("Api.use", receiver=v, returns=False)
+    pb.add(fb.finish())
+    return pb.finish()
+
+
+def test_pathological_program_is_quarantined_not_fatal():
+    """Acceptance: a corpus with one budget-blowing program still yields
+    specs from the healthy programs plus one quarantine entry."""
+    healthy = CorpusGenerator(
+        java_registry(), CorpusConfig(n_files=10, seed=7)).programs()
+    corpus = healthy + [_deep_call_chain_program()]
+    config = PipelineConfig(runtime=RuntimeConfig(
+        budget=Budget(max_solver_iterations=500)))
+
+    learned = USpecPipeline(config).learn(corpus)  # must not raise
+
+    assert len(learned.specs) > 0  # healthy programs still produced specs
+    run = learned.run
+    assert run is not None
+    assert run.n_ok == len(healthy)
+    assert run.n_quarantined == 1
+    entry = run.manifest.entries[0]
+    assert entry.source == "deep_chain.java"
+    assert entry.error_kind == BUDGET_EXCEEDED
+    # the whole degradation ladder was attempted before quarantining
+    assert [a.tier for a in entry.attempts] == [
+        "context-sensitive", "context-insensitive", "field-insensitive",
+    ]
+
+
+# ----------------------------------------------------------------------
+# mining containment (taxonomy-labelled skips)
+
+
+def test_mine_directory_labels_parse_failures(tmp_path):
+    (tmp_path / "ok.py").write_text("x = 1\n")
+    (tmp_path / "broken.py").write_text("def broken(:\n")
+    report = mine_directory(tmp_path)
+    assert report.n_parsed == 1
+    assert len(report.skipped) == 1
+    assert report.skipped[0][1].startswith("ParseFailure:")
+    assert report.skipped_by_kind() == {"ParseFailure": 1}
+
+
+def test_mine_directory_contains_os_errors(tmp_path, monkeypatch):
+    (tmp_path / "gone.py").write_text("x = 1\n")
+    real_read = type(tmp_path).read_text
+
+    def flaky_read(self, *args, **kwargs):
+        if self.name == "gone.py":
+            raise OSError("I/O error reading device")
+        return real_read(self, *args, **kwargs)
+
+    monkeypatch.setattr(type(tmp_path), "read_text", flaky_read)
+    report = mine_directory(tmp_path)
+    assert report.n_parsed == 0
+    assert report.skipped[0][1].startswith("ReadFailure: OSError")
+
+
+def test_mine_directory_contains_recursion_errors(tmp_path, monkeypatch):
+    (tmp_path / "deep.py").write_text("x = 1\n")
+
+    def exploding_parse(*args, **kwargs):
+        raise RecursionError("maximum recursion depth exceeded")
+
+    monkeypatch.setattr("repro.corpus.io.parse_python", exploding_parse)
+    report = mine_directory(tmp_path)
+    assert report.n_parsed == 0
+    assert report.skipped[0][1].startswith("ParseFailure: RecursionError")
+
+
+def test_mine_directory_contains_unicode_errors(tmp_path, monkeypatch):
+    (tmp_path / "weird.py").write_text("x = 1\n")
+
+    def undecodable(self, *args, **kwargs):
+        raise UnicodeDecodeError("utf-8", b"\xff", 0, 1, "invalid byte")
+
+    monkeypatch.setattr(type(tmp_path), "read_text", undecodable)
+    report = mine_directory(tmp_path)
+    assert report.skipped[0][1].startswith("ReadFailure: UnicodeDecodeError")
 
 
 # ----------------------------------------------------------------------
