@@ -1,0 +1,126 @@
+"""Sharded mining engine — throughput vs worker count.
+
+Measures end-to-end `learn` wall-clock over one generated 200-program
+corpus for 1, 2 and 4 workers, plus a warm-cache re-run, and records
+everything in ``BENCH_mining.json`` at the repository root.
+
+Two caveats are recorded rather than papered over:
+
+* parallel speedup is bounded by the machine: on a single-core
+  container the 4-worker run is *slower* than sequential (pool +
+  pickling overhead with zero extra compute), so the speedup assertion
+  only applies when the host actually has ≥4 CPUs.  ``cpu_count`` is
+  part of the JSON record so downstream readers can interpret the
+  numbers;
+* what must hold on *any* machine — and is asserted unconditionally —
+  is that worker count never changes the learned specifications, and
+  that a warm cache eliminates re-analysis entirely.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+from conftest import emit
+from repro.corpus import CorpusConfig, CorpusGenerator, java_registry
+from repro.eval.tables import format_table
+from repro.mining import MiningConfig, MiningEngine
+from repro.specs.serialize import specs_to_json
+
+BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_mining.json"
+N_FILES = int(os.environ.get("REPRO_BENCH_MINING_FILES", "200"))
+
+
+def _mine(programs, jobs, cache_dir=None):
+    engine = MiningEngine(mining=MiningConfig(
+        jobs=jobs, cache_dir=str(cache_dir) if cache_dir else None))
+    start = time.perf_counter()
+    learned = engine.learn(programs)
+    elapsed = time.perf_counter() - start
+    return learned, elapsed
+
+
+def test_mining_throughput(benchmark, tmp_path):
+    programs = CorpusGenerator(
+        java_registry(), CorpusConfig(n_files=N_FILES, seed=9)).programs()
+    cpu_count = os.cpu_count() or 1
+
+    def measure():
+        runs = {}
+        for jobs in (1, 2, 4):
+            learned, elapsed = _mine(programs, jobs)
+            runs[jobs] = {
+                "seconds": elapsed,
+                "specs": specs_to_json(learned.specs, learned.scores),
+                "mining": learned.mining.to_dict(),
+            }
+        cold, cold_s = _mine(programs, 1, cache_dir=tmp_path / "cache")
+        warm, warm_s = _mine(programs, 1, cache_dir=tmp_path / "cache")
+        runs["warm_cache"] = {
+            "seconds": warm_s,
+            "cold_seconds": cold_s,
+            "specs": specs_to_json(warm.specs, warm.scores),
+            "mining": warm.mining.to_dict(),
+        }
+        return runs
+
+    runs = benchmark.pedantic(measure, rounds=1, iterations=1)
+
+    baseline = runs[1]["seconds"]
+    record = {
+        "corpus_files": N_FILES,
+        "cpu_count": cpu_count,
+        "note": (
+            "parallel speedup requires parallel hardware; on fewer than "
+            "4 CPUs the jobs4 number measures pool overhead, not the "
+            "engine (determinism and cache behaviour are asserted "
+            "regardless)"
+        ) if cpu_count < 4 else "",
+        "seconds_sequential": round(runs[1]["seconds"], 3),
+        "seconds_jobs2": round(runs[2]["seconds"], 3),
+        "seconds_jobs4": round(runs[4]["seconds"], 3),
+        "speedup_jobs2": round(baseline / runs[2]["seconds"], 3),
+        "speedup_jobs4": round(baseline / runs[4]["seconds"], 3),
+        "seconds_warm_cache": round(runs["warm_cache"]["seconds"], 3),
+        "warm_cache_speedup": round(
+            runs["warm_cache"]["cold_seconds"]
+            / runs["warm_cache"]["seconds"], 3),
+        "warm_cache_programs_reanalyzed":
+            runs["warm_cache"]["mining"]["n_analyzed"],
+        "results_identical_across_jobs": (
+            runs[1]["specs"] == runs[2]["specs"] == runs[4]["specs"]
+        ),
+        "mining_jobs4": runs[4]["mining"],
+    }
+    BENCH_PATH.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+
+    rows = [
+        ["sequential (--jobs 1)", f"{record['seconds_sequential']:.2f}s", "1.00×"],
+        ["--jobs 2", f"{record['seconds_jobs2']:.2f}s",
+         f"{record['speedup_jobs2']:.2f}×"],
+        ["--jobs 4", f"{record['seconds_jobs4']:.2f}s",
+         f"{record['speedup_jobs4']:.2f}×"],
+        ["warm cache (--jobs 1)", f"{record['seconds_warm_cache']:.2f}s",
+         f"{record['warm_cache_speedup']:.2f}×"],
+    ]
+    emit("mining_throughput", format_table(
+        ["configuration", "wall-clock", "speedup"], rows,
+        title=f"sharded mining over {N_FILES} files "
+              f"({cpu_count} CPU(s) available)",
+    ))
+
+    # machine-independent guarantees
+    assert record["results_identical_across_jobs"]
+    assert record["warm_cache_programs_reanalyzed"] == 0
+    # the cache can only pay for the analyze phase; training and
+    # extraction are per-run, so assert the phase, not total wall-clock
+    assert runs["warm_cache"]["mining"]["cache_hit_rate"] == 1.0
+    # parallel speedup needs parallel hardware; on fewer cores the
+    # jobs4 number measures pool overhead, not the engine
+    if cpu_count >= 4:
+        assert record["speedup_jobs4"] >= 2.0
+    elif cpu_count >= 2:
+        assert record["speedup_jobs2"] >= 1.2

@@ -12,6 +12,12 @@
 for a GitHub crawl); ``analyze``/``taint`` run the augmented may-alias
 analysis and the taint client on real source files (Python via the
 ``ast`` frontend, ``.java``-suffixed files via the MiniJava frontend).
+
+Learning always goes through the sharded mining engine
+(:mod:`repro.mining`): ``--jobs N`` fans corpus shards to worker
+processes, ``--cache-dir`` makes re-runs incremental, and the learned
+specifications are byte-identical for any ``--jobs``/``--shards``
+setting.
 """
 
 from __future__ import annotations
@@ -28,9 +34,9 @@ from repro.events.graph import build_event_graph
 from repro.events.history import HistoryBuilder
 from repro.frontend.minijava import parse_minijava
 from repro.frontend.pyfront import parse_python
+from repro.mining import MiningConfig, MiningEngine
 from repro.pointsto import analyze
 from repro.runtime import Budget, BudgetExceeded, RuntimeConfig
-from repro.specs import USpecPipeline
 from repro.specs.pipeline import PipelineConfig
 from repro.specs.serialize import specs_from_json, specs_to_json
 
@@ -65,6 +71,29 @@ def _runtime_config(args: argparse.Namespace) -> RuntimeConfig:
     )
 
 
+def _mining_config(args: argparse.Namespace) -> MiningConfig:
+    return MiningConfig(
+        jobs=args.jobs,
+        shards=args.shards,
+        cache_dir=args.cache_dir,
+    )
+
+
+def _print_mining(mining) -> None:
+    hit = f"{100.0 * mining.cache_hit_rate:.0f}%"
+    print(f"mining: {mining.n_programs} programs / {mining.n_shards} "
+          f"shard(s) / {mining.jobs} job(s) in {mining.seconds_total:.2f}s "
+          f"({mining.programs_per_second:.1f} programs/s)")
+    print(f"  analyzed {mining.n_analyzed}, cache hits {mining.n_cached} "
+          f"({hit}), resumed {mining.n_resumed}, "
+          f"quarantined {mining.n_quarantined}")
+    if mining.shards and len(mining.shards) > 1:
+        slowest = max(mining.shards, key=lambda m: m.seconds)
+        print(f"  shard wall-clock: slowest shard "
+              f"#{slowest.shard_id} at {slowest.seconds:.2f}s of "
+              f"{sum(m.seconds for m in mining.shards):.2f}s total")
+
+
 def _cmd_learn(args: argparse.Namespace) -> int:
     registry = java_registry() if args.language == "java" else python_registry()
     if args.from_dir:
@@ -91,8 +120,10 @@ def _cmd_learn(args: argparse.Namespace) -> int:
     print("learning specifications (analysis → model → candidates → "
           "selection)...")
     config = PipelineConfig(runtime=_runtime_config(args))
-    learned = USpecPipeline(config).learn(programs)
+    learned = MiningEngine(config, _mining_config(args)).learn(programs)
     run = learned.run
+    if learned.mining is not None:
+        _print_mining(learned.mining)
     if run is not None and (run.n_quarantined or run.n_degraded
                             or run.n_resumed):
         print(f"corpus execution: {run.n_ok} ok "
@@ -101,7 +132,9 @@ def _cmd_learn(args: argparse.Namespace) -> int:
         for kind, count in run.manifest.by_kind().items():
             print(f"  {kind}: {count}")
     if args.quarantine_out and run is not None:
-        run.manifest.write(Path(args.quarantine_out))
+        # timings=False: manifest bytes must not depend on wall-clock,
+        # so --jobs N and --jobs 1 runs write identical files
+        run.manifest.write(Path(args.quarantine_out), timings=False)
         print(f"wrote quarantine manifest to {args.quarantine_out}")
     if run is not None and programs and run.n_ok == 0:
         print("error: every corpus program was quarantined",
@@ -192,7 +225,9 @@ def _cmd_reproduce(args: argparse.Namespace) -> int:
         programs = CorpusGenerator(
             registry, CorpusConfig(n_files=args.files, seed=args.seed)
         ).programs()
-        learned = USpecPipeline().learn(programs)
+        learned = MiningEngine(
+            mining=MiningConfig(jobs=args.jobs)
+        ).learn(programs)
         points = precision_recall_curve(learned.scores,
                                         registry.is_true_spec,
                                         taus=(0.0, 0.4, 0.6, 0.8))
@@ -260,7 +295,29 @@ def build_parser() -> argparse.ArgumentParser:
     learn.add_argument("--checkpoint-dir", metavar="DIR",
                        help="checkpoint completed programs here; a rerun "
                             "over the same corpus resumes from the last "
-                            "completed program")
+                            "completed program (with --jobs/--shards the "
+                            "directory is split into per-shard "
+                            "subdirectories, so resume requires the same "
+                            "shard count)")
+    learn.add_argument("--jobs", type=int, default=1, metavar="N",
+                       help="worker processes for corpus analysis and "
+                            "candidate extraction (default 1 = "
+                            "sequential); results are byte-identical "
+                            "for any N, and --strict failures still "
+                            "exit with codes 3/4")
+    learn.add_argument("--shards", type=int, default=None, metavar="N",
+                       help="corpus shard count (default: 1 when "
+                            "sequential, 4×jobs when parallel); "
+                            "programs map to shards by a stable hash "
+                            "of their source path")
+    learn.add_argument("--cache-dir", metavar="DIR",
+                       help="incremental analysis cache: re-running "
+                            "after editing k corpus files re-analyzes "
+                            "only those k; keyed by content + pipeline "
+                            "config, so it is safe to share across "
+                            "--jobs/--shards settings (unlike "
+                            "--checkpoint-dir, which is positional and "
+                            "per-shard)")
     learn.add_argument("--budget-iterations", type=int, metavar="N",
                        help="max points-to solver worklist iterations "
                             "per program (default: unbounded)")
@@ -298,6 +355,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     repro.add_argument("--files", type=int, default=120)
     repro.add_argument("--seed", type=int, default=42)
+    repro.add_argument("--jobs", type=int, default=1, metavar="N",
+                       help="worker processes per language corpus "
+                            "(results are identical for any N)")
     repro.add_argument("--out", help="also write the report here")
     repro.set_defaults(func=_cmd_reproduce)
     return parser

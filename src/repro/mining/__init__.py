@@ -1,0 +1,39 @@
+"""Sharded parallel mining with mergeable partial results (scaling §7).
+
+The paper mines specifications from corpora of up to 64M LoC — far
+beyond what a single sequential pass handles comfortably.  This package
+turns :class:`~repro.specs.pipeline.USpecPipeline` into a deterministic
+map/reduce job:
+
+* :mod:`sharding` — stable hash-based corpus shards;
+* :mod:`partial` — per-shard results that merge as a monoid;
+* :mod:`cache` — content-addressed incremental analysis cache, so a
+  re-run after editing *k* corpus files re-analyses exactly *k*;
+* :mod:`engine` — the multiprocessing orchestrator; byte-identical
+  output for any worker count.
+"""
+
+from repro.mining.cache import (
+    AnalysisCache,
+    CacheHit,
+    pipeline_fingerprint,
+    program_fingerprint,
+)
+from repro.mining.engine import MiningConfig, MiningEngine, learn_sharded
+from repro.mining.partial import MiningReport, ShardMetrics, ShardPartial
+from repro.mining.sharding import ShardPlan, shard_of
+
+__all__ = [
+    "AnalysisCache",
+    "CacheHit",
+    "MiningConfig",
+    "MiningEngine",
+    "MiningReport",
+    "ShardMetrics",
+    "ShardPartial",
+    "ShardPlan",
+    "learn_sharded",
+    "pipeline_fingerprint",
+    "program_fingerprint",
+    "shard_of",
+]

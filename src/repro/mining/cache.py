@@ -1,0 +1,161 @@
+"""Content-addressed incremental analysis cache.
+
+Corpus analysis (points-to solve → histories → event graph) dominates
+mining wall-clock, yet most re-runs follow an edit to a handful of
+corpus files.  The cache keys each program's analysis *bundle* by
+
+* a **pipeline fingerprint** — every configuration knob that can change
+  the analysis result (points-to options, history options, degradation
+  ladder, budget).  Toggling any of those invalidates the whole cache;
+  knobs that only affect later stages (τ, seeds, feature hashing) or
+  testing harness state (fault plans, strictness, checkpoint dirs)
+  deliberately do not, so a cache built by a faulty/killed run is
+  reusable by the resumed one;
+* a **program fingerprint** — the source path plus the printed IR of
+  the program, so editing a file changes its key and only that file is
+  re-analysed.
+
+Entries are one file each (no shared index), written via atomic
+tmp+rename — parallel workers can fill one cache directory without
+locks, and a kill mid-run never leaves a torn entry.  Quarantine
+verdicts are cached too: a program that blew its budget last run is
+not re-attempted on a warm re-run.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import pickle
+from dataclasses import dataclass, replace
+from pathlib import Path
+from typing import Optional
+
+from repro.ir.printer import format_program
+from repro.ir.program import Program
+from repro.model.dataset import GraphBundle
+from repro.runtime.checkpoint import atomic_write_bytes
+from repro.runtime.manifest import QuarantineEntry
+
+CACHE_SCHEMA = 1
+
+BUNDLE_SUFFIX = ".bundle.pkl"
+QUARANTINE_SUFFIX = ".quarantine.json"
+
+
+def pipeline_fingerprint(config) -> str:
+    """Digest of every pipeline knob that shapes analysis bundles.
+
+    ``config`` is a :class:`~repro.specs.pipeline.PipelineConfig` (typed
+    loosely to keep this module import-light).  Ladder tiers contribute
+    their *names* — their transforms are functions whose reprs embed
+    memory addresses and are pure functions of the name.
+    """
+    runtime = config.runtime
+    payload = "\n".join([
+        f"schema={CACHE_SCHEMA}",
+        f"pointsto={config.pointsto!r}",
+        f"history={config.history!r}",
+        f"ladder={tuple(t.name for t in runtime.ladder)!r}",
+        f"budget={runtime.budget!r}",
+    ])
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def program_fingerprint(program: Program) -> str:
+    """Digest of one program's identity and content (printed IR)."""
+    payload = f"{program.source or '<anonymous>'}\n{format_program(program)}"
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+@dataclass
+class CacheHit:
+    """A cache lookup result: exactly one of bundle/entry is set."""
+
+    bundle: Optional[GraphBundle] = None
+    entry: Optional[QuarantineEntry] = None
+
+
+class AnalysisCache:
+    """One cache directory bound to one pipeline fingerprint."""
+
+    def __init__(self, directory, fingerprint: str) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.fingerprint = fingerprint
+
+    def key_of(self, program_fp: str) -> str:
+        combined = f"{self.fingerprint}\0{program_fp}"
+        return hashlib.sha256(combined.encode("utf-8")).hexdigest()[:32]
+
+    # ------------------------------------------------------------------
+
+    def lookup(self, program_fp: str, key: str) -> Optional[CacheHit]:
+        """The cached verdict for a program, or None on a miss.
+
+        ``key`` is the *current* corpus key of the program; a cached
+        quarantine entry is re-keyed to it so merged manifests always
+        name programs by their position in the present corpus.
+        Unreadable entries degrade to a miss (recompute), never raise.
+        """
+        cache_key = self.key_of(program_fp)
+        bundle_path = self.directory / f"{cache_key}{BUNDLE_SUFFIX}"
+        if bundle_path.exists():
+            bundle = self._load_bundle(bundle_path)
+            if bundle is not None:
+                return CacheHit(bundle=bundle)
+        entry_path = self.directory / f"{cache_key}{QUARANTINE_SUFFIX}"
+        if entry_path.exists():
+            entry = self._load_quarantine(entry_path)
+            if entry is not None:
+                return CacheHit(entry=replace(entry, program=key))
+        return None
+
+    def load_bundle_by_key(self, cache_key: str) -> Optional[GraphBundle]:
+        return self._load_bundle(self.directory / f"{cache_key}{BUNDLE_SUFFIX}")
+
+    # ------------------------------------------------------------------
+
+    def store_bundle(self, program_fp: str, bundle: GraphBundle) -> str:
+        cache_key = self.key_of(program_fp)
+        payload = pickle.dumps(bundle, protocol=pickle.HIGHEST_PROTOCOL)
+        atomic_write_bytes(
+            self.directory / f"{cache_key}{BUNDLE_SUFFIX}", payload
+        )
+        return cache_key
+
+    def store_quarantine(self, program_fp: str, entry: QuarantineEntry) -> str:
+        cache_key = self.key_of(program_fp)
+        payload = json.dumps(entry.to_dict(), indent=2, sort_keys=True)
+        atomic_write_bytes(
+            self.directory / f"{cache_key}{QUARANTINE_SUFFIX}",
+            payload.encode("utf-8"),
+        )
+        return cache_key
+
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _load_bundle(path: Path) -> Optional[GraphBundle]:
+        try:
+            with path.open("rb") as fh:
+                bundle = pickle.load(fh)
+        except (OSError, pickle.UnpicklingError, EOFError, AttributeError):
+            return None
+        return bundle if isinstance(bundle, GraphBundle) else None
+
+    @staticmethod
+    def _load_quarantine(path: Path) -> Optional[QuarantineEntry]:
+        try:
+            return QuarantineEntry.from_dict(json.loads(path.read_text()))
+        except (OSError, ValueError, KeyError):
+            return None
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.directory.glob(f"*{BUNDLE_SUFFIX}")) + sum(
+            1 for _ in self.directory.glob(f"*{QUARANTINE_SUFFIX}")
+        )
+
+    def __repr__(self) -> str:
+        return (f"<AnalysisCache {self.directory} "
+                f"fp={self.fingerprint[:12]} ({len(self)} entries)>")

@@ -1,0 +1,437 @@
+"""The sharded parallel mining engine.
+
+Splits :meth:`~repro.specs.pipeline.USpecPipeline.learn` into explicit
+map/reduce phases over deterministic corpus shards
+(:mod:`repro.mining.sharding`):
+
+1. **map: analyse** — each shard independently runs corpus analysis
+   under the :mod:`repro.runtime` failure discipline, consulting the
+   incremental :class:`~repro.mining.cache.AnalysisCache` first, and
+   produces a :class:`~repro.mining.partial.ShardPartial`;
+2. **reduce: train** — partials fold through ``ShardPartial.merge``
+   into one canonical set of sufficient statistics; the model trains
+   over their key-sorted, seed-shuffled sample stream;
+3. **map: extract** — each shard re-loads its analysed bundles (from
+   memory when sequential, from the cache when parallel) and runs
+   Alg. 1 candidate extraction against the broadcast model;
+4. **finalize** — extractions merge, candidates are scored and the τ
+   threshold selects the specification set.
+
+Determinism guarantee: because per-program work depends only on the
+program identity and the corpus seed, and every merge is canonicalised
+by program key, the final specifications and quarantine manifest are
+**byte-identical for any worker count, shard count and completion
+order**.  ``--jobs 4`` is a wall-clock knob, never a results knob.
+
+Parallel runs fan shards to a ``multiprocessing`` pool (fork start
+method where available, so the corpus needs no re-pickling on POSIX);
+bundles travel between the analyse and extract phases through the
+cache directory — a temp spill dir if the user did not name one — so
+the only pickles crossing process boundaries are compact partials and
+the sparse model.  ``strict=True`` aborts propagate out of the pool
+with their type intact (exit codes 3/4 survive parallelism).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import shutil
+import tempfile
+import time
+from dataclasses import dataclass, replace
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.ir.program import Program
+from repro.model.dataset import GraphBundle, bundle_seed, collect_bundle_samples
+from repro.model.features import encode_sample
+from repro.model.model import EventPairModel
+from repro.runtime.checkpoint import program_key
+from repro.runtime.executor import (
+    CorpusExecutor,
+    CorpusRunReport,
+    ProgramOutcome,
+)
+from repro.specs.candidates import CandidateExtraction, extract_candidates
+from repro.specs.pipeline import (
+    LearnedSpecs,
+    PipelineConfig,
+    USpecPipeline,
+)
+from repro.mining.cache import (
+    AnalysisCache,
+    pipeline_fingerprint,
+    program_fingerprint,
+)
+from repro.mining.partial import MiningReport, ShardMetrics, ShardPartial
+from repro.mining.sharding import ShardPlan
+
+#: default shards per worker; several shards per job keeps the pool
+#: busy when shard sizes are skewed, at negligible merge cost
+SHARDS_PER_JOB = 4
+
+#: outcome tier label for cache-satisfied programs
+TIER_CACHE = "cache"
+
+#: one corpus unit: (global index, program key, program)
+Unit = Tuple[int, str, Program]
+
+
+@dataclass(frozen=True)
+class MiningConfig:
+    """Parallelism and caching policy of one mining run."""
+
+    #: worker processes; 1 = run in-process with no pool
+    jobs: int = 1
+    #: shard count; None = 1 for sequential runs, jobs×4 for parallel
+    shards: Optional[int] = None
+    #: incremental analysis cache directory; None = no cache for
+    #: sequential runs, a private temp spill dir for parallel runs
+    cache_dir: Optional[str] = None
+    #: multiprocessing start method; None = fork if available
+    mp_context: Optional[str] = None
+
+    def resolve_jobs(self) -> int:
+        return max(1, self.jobs)
+
+    def resolve_shards(self, n_units: int) -> int:
+        jobs = self.resolve_jobs()
+        n = self.shards if self.shards is not None \
+            else (1 if jobs == 1 else SHARDS_PER_JOB * jobs)
+        return max(1, min(n, max(1, n_units)))
+
+    def resolve_context(self) -> multiprocessing.context.BaseContext:
+        method = self.mp_context
+        if method is None:
+            methods = multiprocessing.get_all_start_methods()
+            method = "fork" if "fork" in methods else methods[0]
+        return multiprocessing.get_context(method)
+
+
+# ----------------------------------------------------------------------
+# shard workers (module-level so they pickle under any start method)
+
+_WORKER: Dict[str, object] = {}
+
+
+def _init_worker(config: PipelineConfig, cache_dir: str, fingerprint: str) -> None:
+    _WORKER["config"] = config
+    _WORKER["cache_dir"] = cache_dir
+    _WORKER["fingerprint"] = fingerprint
+
+
+def _analyze_shard_task(task) -> ShardPartial:
+    shard_id, items = task
+    return _analyze_shard(
+        _WORKER["config"], shard_id, items,
+        _WORKER["cache_dir"], _WORKER["fingerprint"],
+    )
+
+
+def _extract_shard_task(task) -> Tuple[int, CandidateExtraction]:
+    shard_id, refs, model = task
+    return _extract_shard(
+        _WORKER["config"], shard_id, refs, model,
+        _WORKER["cache_dir"], _WORKER["fingerprint"],
+    )
+
+
+def _analyze_shard(
+    config: PipelineConfig,
+    shard_id: int,
+    items: Sequence[Unit],
+    cache_dir: Optional[str],
+    fingerprint: str,
+    bundle_sink: Optional[Dict[str, GraphBundle]] = None,
+) -> ShardPartial:
+    """Analyse one shard: cache lookups, then the executor over misses.
+
+    Results are persisted to the cache *per program* (via the executor
+    sink), so a run killed mid-shard keeps everything that completed.
+    ``bundle_sink`` (sequential mode) additionally keeps analysed
+    bundles in memory so the extract phase needs no reloads.
+    """
+    started = time.monotonic()
+    cache = AnalysisCache(cache_dir, fingerprint) if cache_dir else None
+    partial = ShardPartial.empty(shard_id)
+    metrics = partial.metrics[0]
+
+    def absorb(index: int, key: str, bundle: GraphBundle,
+               cache_key: Optional[str]) -> None:
+        samples = collect_bundle_samples(
+            bundle,
+            config.feature,
+            config.max_positives_per_graph,
+            config.negative_ratio,
+            bundle_seed(config.seed, bundle.program.source, index),
+        )
+        partial.stats.add(key, [
+            encode_sample(s.feature, s.label, config.feature)
+            for s in samples
+        ])
+        partial.bundle_refs.append((key, cache_key))
+        metrics.n_samples += len(samples)
+        metrics.n_events += len(bundle.graph.events)
+        metrics.n_edges += bundle.graph.edge_count
+        if bundle_sink is not None:
+            bundle_sink[key] = bundle
+
+    pending: List[Tuple[int, str, Program, Optional[str]]] = []
+    for index, key, program in items:
+        fp = program_fingerprint(program) if cache is not None else None
+        hit = cache.lookup(fp, key) if cache is not None else None
+        if hit is None:
+            pending.append((index, key, program, fp))
+            continue
+        if hit.bundle is not None:
+            partial.outcomes.append(ProgramOutcome(
+                key=key, source=program.source, tier=TIER_CACHE, cached=True,
+            ))
+            absorb(index, key, hit.bundle,
+                   cache.key_of(fp) if fp is not None else None)
+        else:
+            partial.outcomes.append(ProgramOutcome(
+                key=key, source=program.source, cached=True,
+            ))
+            partial.manifest.add(hit.entry)
+
+    if pending:
+        runtime = config.runtime
+        if runtime.checkpoint_dir:
+            # one checkpoint subdirectory per shard: workers never
+            # contend on a shared index.json
+            runtime = replace(runtime, checkpoint_dir=str(
+                Path(runtime.checkpoint_dir) / f"shard-{shard_id:04d}"
+            ))
+        by_key = {key: (index, fp) for index, key, _, fp in pending}
+
+        def sink(outcome, bundle, entry) -> None:
+            index, fp = by_key[outcome.key]
+            if bundle is not None:
+                cache_key = (
+                    cache.store_bundle(fp, bundle) if cache is not None
+                    else None
+                )
+                absorb(index, outcome.key, bundle, cache_key)
+            elif entry is not None and cache is not None:
+                cache.store_quarantine(fp, entry)
+            if not outcome.resumed:
+                partial.analyzed_keys.append(outcome.key)
+
+        executor = CorpusExecutor(config.pointsto, config.history, runtime)
+        report = executor.run(
+            [program for _, _, program, _ in pending],
+            keys=[key for _, key, _, _ in pending],
+            sink=sink,
+        )
+        partial.outcomes.extend(report.outcomes)
+        partial.manifest.merge(report.manifest)
+
+    metrics.n_programs = len(items)
+    metrics.n_analyzed = len(partial.analyzed_keys)
+    metrics.n_cached = partial.n_cached
+    metrics.n_resumed = partial.n_resumed
+    metrics.n_quarantined = len(partial.manifest)
+    metrics.seconds = time.monotonic() - started
+    return partial
+
+
+def _extract_shard(
+    config: PipelineConfig,
+    shard_id: int,
+    refs: Sequence[Tuple[str, Optional[str]]],
+    model: EventPairModel,
+    cache_dir: Optional[str],
+    fingerprint: str,
+    bundle_sink: Optional[Dict[str, GraphBundle]] = None,
+) -> Tuple[int, CandidateExtraction]:
+    """Run Alg. 1 over one shard's analysed bundles."""
+    cache = AnalysisCache(cache_dir, fingerprint) if cache_dir else None
+    extraction = CandidateExtraction()
+    for key, cache_key in refs:
+        bundle = bundle_sink.get(key) if bundle_sink is not None else None
+        if bundle is None and cache is not None and cache_key is not None:
+            bundle = cache.load_bundle_by_key(cache_key)
+        if bundle is None:
+            raise RuntimeError(
+                f"analysis cache entry vanished for {key!r} "
+                f"(cache dir {cache_dir!r})"
+            )
+        extraction.merge(extract_candidates(
+            [bundle], model, config.feature,
+            config.max_receiver_distance,
+            enable_retrecv=config.enable_retrecv,
+        ))
+    return shard_id, extraction
+
+
+# ----------------------------------------------------------------------
+
+
+class MiningEngine:
+    """Shard → map → merge orchestration around :class:`USpecPipeline`."""
+
+    def __init__(
+        self,
+        config: Optional[PipelineConfig] = None,
+        mining: Optional[MiningConfig] = None,
+    ) -> None:
+        self.pipeline = USpecPipeline(config)
+        self.config = self.pipeline.config
+        self.mining = mining or MiningConfig()
+
+    # ------------------------------------------------------------------
+
+    def learn(self, programs: Sequence[Program]) -> LearnedSpecs:
+        """The full pipeline, sharded; same contract as ``Pipeline.learn``.
+
+        Returns a :class:`LearnedSpecs` whose ``mining`` field carries
+        the :class:`~repro.mining.partial.MiningReport` (cache hit
+        rate, per-shard wall-clock, throughput).
+        """
+        t0 = time.monotonic()
+        jobs = self.mining.resolve_jobs()
+        units: List[Unit] = [
+            (index, program_key(program, index), program)
+            for index, program in enumerate(programs)
+        ]
+        n_shards = self.mining.resolve_shards(len(units))
+        plan = ShardPlan.of(
+            [program.source or key for _, key, program in units], n_shards
+        )
+        shard_items = [
+            (shard_id, [units[i] for i in plan.members(shard_id)])
+            for shard_id in range(n_shards)
+        ]
+        tasks = [(sid, items) for sid, items in shard_items if items]
+
+        fingerprint = pipeline_fingerprint(self.config)
+        spill: Optional[str] = None
+        cache_dir = self.mining.cache_dir
+        if cache_dir is None and jobs > 1:
+            # parallel bundles must cross process boundaries somewhere;
+            # a private spill dir keeps them off the pickle pipes
+            spill = tempfile.mkdtemp(prefix="uspec-mining-spill-")
+            cache_dir = spill
+        bundle_sink: Optional[Dict[str, GraphBundle]] = \
+            {} if jobs == 1 else None
+
+        pool = None
+        try:
+            if jobs > 1:
+                ctx = self.mining.resolve_context()
+                pool = ctx.Pool(
+                    processes=min(jobs, max(1, len(tasks))),
+                    initializer=_init_worker,
+                    initargs=(self.config, cache_dir, fingerprint),
+                )
+
+            # phase 1: map-analyze ------------------------------------
+            if pool is not None:
+                partials = list(
+                    pool.imap_unordered(_analyze_shard_task, tasks)
+                )
+            else:
+                partials = [
+                    _analyze_shard(self.config, sid, items, cache_dir,
+                                   fingerprint, bundle_sink)
+                    for sid, items in tasks
+                ]
+            t1 = time.monotonic()
+
+            # phase 2: reduce-train -----------------------------------
+            merged = ShardPartial()
+            for partial in sorted(
+                partials, key=lambda p: p.metrics[0].shard_id
+            ):
+                merged.merge(partial)
+            merged.canonicalize()
+            model = self.pipeline.train_from_stats(merged.stats)
+            t2 = time.monotonic()
+
+            # phase 3: map-extract ------------------------------------
+            extract_tasks = [
+                (p.metrics[0].shard_id, sorted(p.bundle_refs), model)
+                for p in sorted(partials, key=lambda p: p.metrics[0].shard_id)
+                if p.bundle_refs
+            ]
+            if pool is not None:
+                results = list(
+                    pool.imap_unordered(_extract_shard_task, extract_tasks)
+                )
+            else:
+                results = [
+                    _extract_shard(self.config, sid, refs, model,
+                                   cache_dir, fingerprint, bundle_sink)
+                    for sid, refs, model in extract_tasks
+                ]
+            extraction = CandidateExtraction()
+            for _, shard_extraction in sorted(results, key=lambda r: r[0]):
+                extraction.merge(shard_extraction)
+            t3 = time.monotonic()
+
+            # phase 4: finalize ---------------------------------------
+            scores = self.pipeline.score(extraction)
+            specs = self.pipeline.select(scores)
+        finally:
+            if pool is not None:
+                pool.terminate()
+                pool.join()
+            if spill is not None:
+                shutil.rmtree(spill, ignore_errors=True)
+
+        run = CorpusRunReport(
+            bundles=(
+                [bundle_sink[key] for key, _ in merged.bundle_refs
+                 if key in bundle_sink]
+                if bundle_sink is not None else []
+            ),
+            outcomes=merged.outcomes,
+            manifest=merged.manifest,
+        )
+        report = self._report(jobs, n_shards, merged, t0, t1, t2, t3)
+        return LearnedSpecs(
+            specs, scores, extraction, model, self.config,
+            run=run, mining=report,
+        )
+
+    # ------------------------------------------------------------------
+
+    def _report(
+        self,
+        jobs: int,
+        n_shards: int,
+        merged: ShardPartial,
+        t0: float, t1: float, t2: float, t3: float,
+    ) -> MiningReport:
+        def total(attr: str) -> int:
+            return sum(getattr(m, attr) for m in merged.metrics)
+
+        return MiningReport(
+            jobs=jobs,
+            n_shards=n_shards,
+            n_programs=merged.n_programs,
+            n_analyzed=merged.n_analyzed,
+            n_cached=merged.n_cached,
+            n_resumed=merged.n_resumed,
+            n_quarantined=len(merged.manifest),
+            n_events=total("n_events"),
+            n_edges=total("n_edges"),
+            n_samples=total("n_samples"),
+            seconds_analyze=t1 - t0,
+            seconds_train=t2 - t1,
+            seconds_extract=t3 - t2,
+            seconds_total=time.monotonic() - t0,
+            shards=list(merged.metrics),
+            analyzed_keys=list(merged.analyzed_keys),
+            cache_dir=self.mining.cache_dir,
+        )
+
+
+def learn_sharded(
+    programs: Sequence[Program],
+    config: Optional[PipelineConfig] = None,
+    mining: Optional[MiningConfig] = None,
+) -> LearnedSpecs:
+    """Convenience wrapper: one-call sharded learning."""
+    return MiningEngine(config, mining).learn(programs)

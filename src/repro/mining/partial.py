@@ -1,0 +1,203 @@
+"""Mergeable per-shard mining results.
+
+Every shard worker produces a :class:`ShardPartial` — its slice of the
+corpus analysis folded into values that are cheap to pickle and that
+*merge*: ``a.merge(b)`` is associative and, combined with the key-sorted
+canonicalisation applied after the fold, insensitive to the order in
+which shards complete.  That is the whole determinism story of the
+parallel engine: workers may finish in any order, the fold may happen in
+any order, and the canonical view is still byte-for-byte the one a
+sequential run produces.
+
+The partial carries:
+
+* per-program :class:`~repro.runtime.executor.ProgramOutcome` records;
+* the shard's :class:`~repro.runtime.manifest.QuarantineManifest`;
+* :class:`~repro.model.logistic.SufficientStats` — the hashed training
+  samples of the shard's programs, keyed by program so the merged
+  stream has one canonical order;
+* bundle references (program key → cache key) so the extraction phase
+  can reload analysed bundles without re-shipping them through pickles;
+* :class:`ShardMetrics` — event/edge counts, cache hits, wall-clock.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.model.logistic import SufficientStats
+from repro.runtime.executor import ProgramOutcome
+from repro.runtime.manifest import QuarantineManifest
+
+#: (program key, cache key) — cache key is None when the bundle stayed
+#: in memory (sequential runs without a cache directory)
+BundleRef = Tuple[str, Optional[str]]
+
+
+@dataclass
+class ShardMetrics:
+    """Counters of one shard's analysis pass."""
+
+    shard_id: int
+    n_programs: int = 0
+    n_analyzed: int = 0  # computed fresh this run
+    n_cached: int = 0  # satisfied from the analysis cache
+    n_resumed: int = 0  # satisfied from a checkpoint
+    n_quarantined: int = 0
+    n_events: int = 0  # event-graph nodes across the shard's bundles
+    n_edges: int = 0  # event-graph edges (the event-pair count)
+    n_samples: int = 0
+    seconds: float = 0.0
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "shard_id": self.shard_id,
+            "n_programs": self.n_programs,
+            "n_analyzed": self.n_analyzed,
+            "n_cached": self.n_cached,
+            "n_resumed": self.n_resumed,
+            "n_quarantined": self.n_quarantined,
+            "n_events": self.n_events,
+            "n_edges": self.n_edges,
+            "n_samples": self.n_samples,
+            "seconds": round(self.seconds, 6),
+        }
+
+
+@dataclass
+class ShardPartial:
+    """The mergeable result of mining one (or several merged) shards."""
+
+    metrics: List[ShardMetrics] = field(default_factory=list)
+    outcomes: List[ProgramOutcome] = field(default_factory=list)
+    manifest: QuarantineManifest = field(default_factory=QuarantineManifest)
+    stats: SufficientStats = field(default_factory=SufficientStats)
+    bundle_refs: List[BundleRef] = field(default_factory=list)
+    #: keys actually *computed* this run (neither cached nor resumed)
+    analyzed_keys: List[str] = field(default_factory=list)
+
+    @classmethod
+    def empty(cls, shard_id: Optional[int] = None) -> "ShardPartial":
+        partial = cls()
+        if shard_id is not None:
+            partial.metrics.append(ShardMetrics(shard_id=shard_id))
+        return partial
+
+    def merge(self, other: "ShardPartial") -> "ShardPartial":
+        """Fold ``other`` into ``self`` (associative; returns self).
+
+        Raw containers are concatenated; order-insensitivity comes from
+        :meth:`canonicalize` (and from ``SufficientStats.stream`` /
+        ``QuarantineManifest.to_json``, which sort by program key).
+        """
+        self.metrics.extend(other.metrics)
+        self.outcomes.extend(other.outcomes)
+        self.manifest.merge(other.manifest)
+        self.stats.merge(other.stats)
+        self.bundle_refs.extend(other.bundle_refs)
+        self.analyzed_keys.extend(other.analyzed_keys)
+        return self
+
+    def canonicalize(self) -> "ShardPartial":
+        """Sort every per-program container by program key (in place).
+
+        After this, two folds of the same shard set in different orders
+        compare equal field-by-field — the property the monoid-law
+        tests check, and the one the engine relies on before handing
+        outcomes/refs to the order-sensitive downstream stages.
+        """
+        self.metrics.sort(key=lambda m: m.shard_id)
+        self.outcomes.sort(key=lambda o: o.key)
+        self.manifest.entries.sort(key=lambda e: e.program)
+        self.bundle_refs.sort(key=lambda ref: ref[0])
+        self.analyzed_keys.sort()
+        return self
+
+    # ------------------------------------------------------------------
+
+    @property
+    def n_programs(self) -> int:
+        return len(self.outcomes)
+
+    @property
+    def n_analyzed(self) -> int:
+        return len(self.analyzed_keys)
+
+    @property
+    def n_cached(self) -> int:
+        return sum(1 for o in self.outcomes if o.cached)
+
+    @property
+    def n_resumed(self) -> int:
+        return sum(1 for o in self.outcomes if o.resumed)
+
+    def __repr__(self) -> str:
+        return (
+            f"<ShardPartial {len(self.metrics)} shards, "
+            f"{self.n_programs} programs ({self.n_analyzed} analyzed, "
+            f"{self.n_cached} cached), {len(self.manifest)} quarantined, "
+            f"{self.stats.n_samples} samples>"
+        )
+
+
+@dataclass
+class MiningReport:
+    """What the mining engine did, for the run report and benchmarks."""
+
+    jobs: int
+    n_shards: int
+    n_programs: int
+    n_analyzed: int
+    n_cached: int
+    n_resumed: int
+    n_quarantined: int
+    n_events: int
+    n_edges: int
+    n_samples: int
+    seconds_analyze: float
+    seconds_train: float
+    seconds_extract: float
+    seconds_total: float
+    shards: List[ShardMetrics] = field(default_factory=list)
+    analyzed_keys: List[str] = field(default_factory=list)
+    cache_dir: Optional[str] = None
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Fraction of programs satisfied from the incremental cache."""
+        return self.n_cached / self.n_programs if self.n_programs else 0.0
+
+    @property
+    def programs_per_second(self) -> float:
+        total = self.seconds_total
+        return self.n_programs / total if total > 0 else 0.0
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "jobs": self.jobs,
+            "n_shards": self.n_shards,
+            "n_programs": self.n_programs,
+            "n_analyzed": self.n_analyzed,
+            "n_cached": self.n_cached,
+            "n_resumed": self.n_resumed,
+            "n_quarantined": self.n_quarantined,
+            "n_events": self.n_events,
+            "n_edges": self.n_edges,
+            "n_samples": self.n_samples,
+            "cache_hit_rate": round(self.cache_hit_rate, 6),
+            "programs_per_second": round(self.programs_per_second, 6),
+            "seconds_analyze": round(self.seconds_analyze, 6),
+            "seconds_train": round(self.seconds_train, 6),
+            "seconds_extract": round(self.seconds_extract, 6),
+            "seconds_total": round(self.seconds_total, 6),
+            "shards": [m.to_dict() for m in self.shards],
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"<MiningReport {self.n_programs} programs / {self.n_shards} "
+            f"shards / {self.jobs} jobs: {self.n_analyzed} analyzed, "
+            f"{self.n_cached} cached, {self.n_quarantined} quarantined, "
+            f"{self.seconds_total:.2f}s>"
+        )

@@ -13,17 +13,26 @@
 """
 
 from repro.model.features import (
+    EncodedSample,
     FeatureConfig,
     GuardIndex,
     PairFeature,
     encode_feature,
+    encode_sample,
     extract_feature,
 )
-from repro.model.logistic import LogisticRegression, TrainConfig
-from repro.model.dataset import GraphBundle, LabeledSample, collect_training_samples
+from repro.model.logistic import LogisticRegression, SufficientStats, TrainConfig
+from repro.model.dataset import (
+    GraphBundle,
+    LabeledSample,
+    bundle_seed,
+    collect_bundle_samples,
+    collect_training_samples,
+)
 from repro.model.model import EventPairModel
 
 __all__ = [
+    "EncodedSample",
     "EventPairModel",
     "FeatureConfig",
     "GraphBundle",
@@ -31,8 +40,12 @@ __all__ = [
     "LabeledSample",
     "LogisticRegression",
     "PairFeature",
+    "SufficientStats",
     "TrainConfig",
+    "bundle_seed",
+    "collect_bundle_samples",
     "collect_training_samples",
     "encode_feature",
+    "encode_sample",
     "extract_feature",
 ]

@@ -6,11 +6,20 @@ the other event (otherwise the model would merely learn the transitive
 closure).  Negative samples are event pairs of the same graph that are
 *not* connected in either direction, subsampled to roughly the number
 of positives.
+
+Sampling randomness is *per program*: each bundle draws from its own
+RNG seeded by a stable mix of the corpus seed and the program's source
+name, so the samples of one program do not depend on corpus order,
+sharding, or which worker analysed it.  The final shuffle of the
+combined stream is a single seeded permutation.  This is what lets the
+sharded mining engine (:mod:`repro.mining`) reproduce the sequential
+pipeline byte-for-byte from any number of workers.
 """
 
 from __future__ import annotations
 
 import random
+import zlib
 from dataclasses import dataclass
 from typing import Iterable, List, Optional, Sequence, Tuple
 
@@ -146,6 +155,41 @@ def _negative_samples(bundle: GraphBundle, config: FeatureConfig,
     return samples
 
 
+def bundle_seed(seed: int, source: Optional[str], index: int = 0) -> int:
+    """Stable per-program sampling seed.
+
+    Mixes the corpus seed with the program's source name (or its corpus
+    position for anonymous programs), so a program draws the same
+    samples no matter where in the corpus — or on which mining worker —
+    it appears.
+    """
+    identity = source if source is not None else f"#{index}"
+    return zlib.crc32(f"{seed}:{identity}".encode("utf-8"))
+
+
+def collect_bundle_samples(
+    bundle: GraphBundle,
+    config: FeatureConfig = FeatureConfig(),
+    max_positives_per_graph: int = 64,
+    negative_ratio: float = 1.0,
+    seed: int = 13,
+    stratified_fraction: float = 0.25,
+) -> List[LabeledSample]:
+    """The labelled samples of one analysed program (map-stage unit).
+
+    ``seed`` is the already-mixed per-bundle seed from
+    :func:`bundle_seed`; the draw is fully local to the bundle.
+    """
+    rng = random.Random(seed)
+    positives = _positive_samples(bundle, config,
+                                  max_positives_per_graph, rng)
+    positions = [(s.feature.x1, s.feature.x2) for s in positives]
+    n_negatives = int(round(len(positives) * negative_ratio))
+    negatives = _negative_samples(bundle, config, positions,
+                                  n_negatives, rng, stratified_fraction)
+    return positives + negatives
+
+
 def collect_training_samples(
     bundles: Sequence[GraphBundle],
     config: FeatureConfig = FeatureConfig(),
@@ -155,16 +199,12 @@ def collect_training_samples(
     stratified_fraction: float = 0.25,
 ) -> List[LabeledSample]:
     """Extract a balanced labelled data set from analysed corpus files."""
-    rng = random.Random(seed)
     samples: List[LabeledSample] = []
-    for bundle in bundles:
-        positives = _positive_samples(bundle, config,
-                                      max_positives_per_graph, rng)
-        positions = [(s.feature.x1, s.feature.x2) for s in positives]
-        n_negatives = int(round(len(positives) * negative_ratio))
-        negatives = _negative_samples(bundle, config, positions,
-                                      n_negatives, rng, stratified_fraction)
-        samples.extend(positives)
-        samples.extend(negatives)
-    rng.shuffle(samples)
+    for index, bundle in enumerate(bundles):
+        samples.extend(collect_bundle_samples(
+            bundle, config, max_positives_per_graph, negative_ratio,
+            bundle_seed(seed, bundle.program.source, index),
+            stratified_fraction,
+        ))
+    random.Random(seed).shuffle(samples)
     return samples

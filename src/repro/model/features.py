@@ -184,6 +184,29 @@ def extract_feature(
                        _gamma_tokens(e1, e2, guard_index))
 
 
+@dataclass(frozen=True)
+class EncodedSample:
+    """One training sample after the hashing trick.
+
+    The fully-hashed form of a :class:`PairFeature` plus its label:
+    only string/int payload, so it is cheap to pickle across process
+    boundaries and to accumulate in the mergeable sufficient statistics
+    of the sharded mining engine
+    (:class:`repro.model.logistic.SufficientStats`).
+    """
+
+    position_key: Tuple[str, str]
+    indices: Tuple[int, ...]
+    label: int
+
+
+def encode_sample(feature: PairFeature, label: int,
+                  config: FeatureConfig = FeatureConfig()) -> EncodedSample:
+    """Hash one labelled pair feature into an :class:`EncodedSample`."""
+    return EncodedSample(feature.position_key,
+                         encode_feature(feature, config), label)
+
+
 def _hash_token(token: str, dim: int) -> int:
     return zlib.crc32(token.encode("utf-8")) % dim
 

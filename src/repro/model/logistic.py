@@ -10,12 +10,60 @@ from __future__ import annotations
 
 import math
 import random
-from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
 
+from repro.model.features import EncodedSample
+
 SparseExample = Tuple[Tuple[int, ...], int]  # (active indices, label 0/1)
+
+
+@dataclass
+class SufficientStats:
+    """Mergeable sufficient statistics of the event-pair training set.
+
+    The sharded mining engine cannot thread one RNG through the whole
+    corpus — shards finish in arbitrary order on arbitrary workers — so
+    each worker instead accumulates the *hashed samples of each
+    program* under the program's stable key.  ``merge`` is the monoid
+    operation (keys are disjoint across shards by construction;
+    duplicate keys concatenate defensively), and :meth:`stream`
+    linearises the accumulated blocks into the canonical training
+    order: program keys sorted, then one seeded global shuffle.  The
+    resulting SGD stream is byte-identical regardless of worker count,
+    shard count or completion order.
+    """
+
+    blocks: Dict[str, List[EncodedSample]] = field(default_factory=dict)
+
+    def add(self, program_key: str, samples: Sequence[EncodedSample]) -> None:
+        self.blocks.setdefault(program_key, []).extend(samples)
+
+    def merge(self, other: "SufficientStats") -> "SufficientStats":
+        for key, samples in other.blocks.items():
+            self.blocks.setdefault(key, []).extend(samples)
+        return self
+
+    @property
+    def n_samples(self) -> int:
+        return sum(len(v) for v in self.blocks.values())
+
+    def stream(self, seed: int) -> List[EncodedSample]:
+        """The canonical, deterministically shuffled training stream."""
+        ordered: List[EncodedSample] = []
+        for key in sorted(self.blocks):
+            ordered.extend(self.blocks[key])
+        random.Random(seed).shuffle(ordered)
+        return ordered
+
+    def __len__(self) -> int:
+        return self.n_samples
+
+    def __repr__(self) -> str:
+        return (f"<SufficientStats {self.n_samples} samples / "
+                f"{len(self.blocks)} programs>")
 
 
 @dataclass(frozen=True)
@@ -85,6 +133,33 @@ class LogisticRegression:
         return losses
 
     # ------------------------------------------------------------------
+    # pickling: the dense weight/accumulator vectors are almost entirely
+    # zeros (hashed-feature models touch only observed indices), so the
+    # pickle stores sparse (index, value) pairs.  This is what makes
+    # broadcasting a trained model to mining workers cheap — kilobytes
+    # instead of 2 × dim × 8 bytes per member.
+
+    def __getstate__(self) -> Dict:
+        nz = np.nonzero(self.weights)[0]
+        gz = np.nonzero(self._grad_sq != 1e-8)[0]
+        return {
+            "dim": self.dim,
+            "config": self.config,
+            "n_trained": self.n_trained,
+            "w_idx": nz.tolist(),
+            "w_val": self.weights[nz].tolist(),
+            "g_idx": gz.tolist(),
+            "g_val": self._grad_sq[gz].tolist(),
+        }
+
+    def __setstate__(self, state: Dict) -> None:
+        self.dim = state["dim"]
+        self.config = state["config"]
+        self.n_trained = state["n_trained"]
+        self.weights = np.zeros(self.dim, dtype=np.float64)
+        self.weights[state["w_idx"]] = state["w_val"]
+        self._grad_sq = np.full(self.dim, 1e-8, dtype=np.float64)
+        self._grad_sq[state["g_idx"]] = state["g_val"]
 
     def __repr__(self) -> str:
         nnz = int(np.count_nonzero(self.weights))

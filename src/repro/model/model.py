@@ -12,7 +12,13 @@ from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.model.dataset import LabeledSample
-from repro.model.features import FeatureConfig, PairFeature, encode_feature
+from repro.model.features import (
+    EncodedSample,
+    FeatureConfig,
+    PairFeature,
+    encode_feature,
+    encode_sample,
+)
 from repro.model.logistic import LogisticRegression, SparseExample, TrainConfig
 
 PositionKey = Tuple[str, str]
@@ -47,12 +53,25 @@ class EventPairModel:
 
     def fit(self, samples: Sequence[LabeledSample]) -> None:
         """Train the per-position ensembles (and the shared fallback)."""
+        self.fit_encoded([
+            encode_sample(s.feature, s.label, self.feature_config)
+            for s in samples
+        ])
+
+    def fit_encoded(self, samples: Sequence[EncodedSample]) -> None:
+        """Train from already-hashed samples (the map/reduce path).
+
+        The sharded mining engine hashes samples on the workers and
+        merges them into one deterministic stream; training from that
+        stream here is float-for-float identical to :meth:`fit` on the
+        corresponding :class:`LabeledSample` sequence.
+        """
         grouped: Dict[PositionKey, List[SparseExample]] = defaultdict(list)
         all_examples: List[SparseExample] = []
         for sample in samples:
-            encoded = encode_feature(sample.feature, self.feature_config)
-            grouped[sample.feature.position_key].append((encoded, sample.label))
-            all_examples.append((encoded, sample.label))
+            example = (sample.indices, sample.label)
+            grouped[sample.position_key].append(example)
+            all_examples.append(example)
         configs = self._member_configs()
         for key, examples in grouped.items():
             members = []

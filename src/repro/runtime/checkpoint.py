@@ -23,6 +23,7 @@ an unknown key as simply "not done yet".
 from __future__ import annotations
 
 import json
+import os
 import pickle
 from pathlib import Path
 from typing import Dict, Optional
@@ -36,6 +37,25 @@ CHECKPOINT_VERSION = 1
 
 STATUS_OK = "ok"
 STATUS_QUARANTINED = "quarantined"
+
+
+def atomic_write_bytes(path: Path, payload: bytes) -> None:
+    """Write ``payload`` to ``path`` via tmp-file + rename.
+
+    A kill at any point leaves either the old content or the new one,
+    never a torn file.  The tmp name embeds the pid so concurrent
+    writers (parallel mining workers filling a shared cache) never
+    clobber each other's in-flight temp file; the final ``rename`` is
+    atomic within one filesystem.
+    """
+    path = Path(path)
+    tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
+    tmp.write_bytes(payload)
+    tmp.replace(path)
+
+
+def atomic_write_text(path: Path, payload: str) -> None:
+    atomic_write_bytes(path, payload.encode("utf-8"))
 
 
 def program_key(program: Program, index: int) -> str:
@@ -71,9 +91,9 @@ class CorpusCheckpoint:
 
     def _save_index(self) -> None:
         payload = {"version": CHECKPOINT_VERSION, "entries": self._index}
-        tmp = self._index_path().with_suffix(".json.tmp")
-        tmp.write_text(json.dumps(payload, indent=2, sort_keys=True))
-        tmp.replace(self._index_path())
+        atomic_write_text(
+            self._index_path(), json.dumps(payload, indent=2, sort_keys=True)
+        )
 
     # ------------------------------------------------------------------
 

@@ -83,6 +83,22 @@ class BudgetExceeded(RuntimeFault):
         self.used = used
         self.limit = limit
 
+    def __reduce__(self):
+        # the default exception reduce replays ``args`` (the formatted
+        # message) into ``__init__``, which expects (resource, used,
+        # limit) — crossing a multiprocessing boundary would turn a
+        # strict-mode budget abort into an unpicklable-result error
+        return (
+            _rebuild_budget_exceeded,
+            (self.resource, self.used, self.limit, self.stage),
+        )
+
+
+def _rebuild_budget_exceeded(
+    resource: str, used: float, limit: float, stage: Optional[str]
+) -> "BudgetExceeded":
+    return BudgetExceeded(resource, used, limit, stage=stage)
+
 
 #: Exception classes a fault-injection plan may raise, by taxonomy label.
 FAULT_CLASSES = {

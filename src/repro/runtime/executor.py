@@ -25,7 +25,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field, replace
-from typing import List, Optional, Sequence, Tuple
+from typing import Callable, List, Optional, Sequence, Tuple
 
 from repro.events.graph import build_event_graph
 from repro.events.history import HistoryBuilder, HistoryOptions
@@ -62,6 +62,12 @@ class RuntimeConfig:
     faults: Optional[FaultPlan] = None
 
 
+#: per-program completion callback: (outcome, bundle, quarantine entry)
+ProgramSink = Callable[
+    ["ProgramOutcome", Optional[GraphBundle], Optional[QuarantineEntry]], None
+]
+
+
 @dataclass
 class ProgramOutcome:
     """What happened to one corpus program."""
@@ -72,6 +78,7 @@ class ProgramOutcome:
     tier: str = TIER_QUARANTINE  # tier that succeeded, or "quarantine"
     seconds: float = 0.0
     resumed: bool = False  # satisfied from a checkpoint, not recomputed
+    cached: bool = False  # satisfied from the incremental analysis cache
 
     @property
     def succeeded(self) -> bool:
@@ -92,6 +99,11 @@ class CorpusRunReport:
 
     @property
     def n_ok(self) -> int:
+        # outcome-based when outcomes exist: parallel mining keeps the
+        # analysed bundles in the shard cache rather than in memory, so
+        # ``bundles`` may legitimately be empty for a successful run
+        if self.outcomes:
+            return sum(1 for o in self.outcomes if o.succeeded)
         return len(self.bundles)
 
     @property
@@ -101,6 +113,10 @@ class CorpusRunReport:
     @property
     def n_resumed(self) -> int:
         return sum(1 for o in self.outcomes if o.resumed)
+
+    @property
+    def n_cached(self) -> int:
+        return sum(1 for o in self.outcomes if o.cached)
 
     @property
     def n_degraded(self) -> int:
@@ -136,7 +152,31 @@ class CorpusExecutor:
 
     # ------------------------------------------------------------------
 
-    def run(self, programs: Sequence[Program]) -> CorpusRunReport:
+    def run(
+        self,
+        programs: Sequence[Program],
+        keys: Optional[Sequence[str]] = None,
+        sink: Optional[ProgramSink] = None,
+    ) -> CorpusRunReport:
+        """Analyse ``programs``; optionally under explicit ``keys``.
+
+        ``keys`` lets a caller that owns only a *slice* of a corpus (a
+        mining shard worker) keep globally consistent program
+        identities: fault plans, checkpoints and merged quarantine
+        manifests then name the same program the same way regardless of
+        which worker processed it.
+
+        ``sink(outcome, bundle, entry)`` is invoked after *each* program
+        settles (exactly one of ``bundle``/``entry`` is non-None for a
+        success/quarantine; both None only for an unreadable resumed
+        quarantine).  The mining engine uses it to persist results to
+        the analysis cache incrementally, so a run killed mid-shard
+        keeps everything completed before the kill.
+        """
+        if keys is not None and len(keys) != len(programs):
+            raise ValueError(
+                f"{len(keys)} keys for {len(programs)} programs"
+            )
         report = CorpusRunReport()
         checkpoint = (
             CorpusCheckpoint(self.runtime.checkpoint_dir)
@@ -144,13 +184,14 @@ class CorpusExecutor:
             else None
         )
         for index, program in enumerate(programs):
-            key = program_key(program, index)
+            key = keys[index] if keys is not None else program_key(program, index)
             if checkpoint is not None and key in checkpoint:
-                if self._resume_program(key, checkpoint, report):
+                if self._resume_program(key, checkpoint, report, sink):
                     continue
                 # unreadable checkpoint payload: fall through, recompute
             outcome, bundle = self._run_program(program, key)
             report.outcomes.append(outcome)
+            entry: Optional[QuarantineEntry] = None
             if bundle is not None:
                 report.bundles.append(bundle)
                 if checkpoint is not None:
@@ -160,28 +201,40 @@ class CorpusExecutor:
                 report.manifest.add(entry)
                 if checkpoint is not None:
                     checkpoint.store_quarantine(key, entry)
+            if sink is not None:
+                sink(outcome, bundle, entry)
         return report
 
     # ------------------------------------------------------------------
 
     def _resume_program(
-        self, key: str, checkpoint: CorpusCheckpoint, report: CorpusRunReport
+        self,
+        key: str,
+        checkpoint: CorpusCheckpoint,
+        report: CorpusRunReport,
+        sink: Optional[ProgramSink] = None,
     ) -> bool:
         """Satisfy one program from the checkpoint; False to recompute."""
         bundle = checkpoint.load_bundle(key)
         if bundle is not None:
             report.bundles.append(bundle)
-            report.outcomes.append(ProgramOutcome(
+            outcome = ProgramOutcome(
                 key=key, source=bundle.program.source,
                 tier="checkpoint", resumed=True,
-            ))
+            )
+            report.outcomes.append(outcome)
+            if sink is not None:
+                sink(outcome, bundle, None)
             return True
         entry = checkpoint.load_quarantine(key)
         if entry is not None:
             report.manifest.add(entry)
-            report.outcomes.append(ProgramOutcome(
+            outcome = ProgramOutcome(
                 key=key, source=entry.source, resumed=True,
-            ))
+            )
+            report.outcomes.append(outcome)
+            if sink is not None:
+                sink(outcome, None, entry)
             return True
         return False
 

@@ -35,13 +35,15 @@ class TierAttempt:
     def succeeded(self) -> bool:
         return self.error_kind is None
 
-    def to_dict(self) -> Dict:
-        return {
+    def to_dict(self, timings: bool = True) -> Dict:
+        payload = {
             "tier": self.tier,
             "error_kind": self.error_kind,
             "error": self.error,
-            "seconds": round(self.seconds, _ROUND),
         }
+        if timings:
+            payload["seconds"] = round(self.seconds, _ROUND)
+        return payload
 
     @classmethod
     def from_dict(cls, data: Dict) -> "TierAttempt":
@@ -64,15 +66,17 @@ class QuarantineEntry:
     attempts: List[TierAttempt] = field(default_factory=list)
     seconds: float = 0.0
 
-    def to_dict(self) -> Dict:
-        return {
+    def to_dict(self, timings: bool = True) -> Dict:
+        payload = {
             "program": self.program,
             "source": self.source,
             "error_kind": self.error_kind,
             "error": self.error,
-            "attempts": [a.to_dict() for a in self.attempts],
-            "seconds": round(self.seconds, _ROUND),
+            "attempts": [a.to_dict(timings) for a in self.attempts],
         }
+        if timings:
+            payload["seconds"] = round(self.seconds, _ROUND)
+        return payload
 
     @classmethod
     def from_dict(cls, data: Dict) -> "QuarantineEntry":
@@ -95,6 +99,16 @@ class QuarantineManifest:
     def add(self, entry: QuarantineEntry) -> None:
         self.entries.append(entry)
 
+    def merge(self, other: "QuarantineManifest") -> "QuarantineManifest":
+        """Fold another manifest into this one (mergeable-monoid op).
+
+        Serialisation sorts by program key, so the merged manifest is
+        identical regardless of merge order — shard workers can report
+        quarantines in any completion order.
+        """
+        self.entries.extend(other.entries)
+        return self
+
     def by_kind(self) -> Dict[str, int]:
         """Taxonomy label → number of quarantined programs."""
         counts: Dict[str, int] = {}
@@ -102,13 +116,15 @@ class QuarantineManifest:
             counts[entry.error_kind] = counts.get(entry.error_kind, 0) + 1
         return dict(sorted(counts.items()))
 
-    def to_json(self, indent: int = 2) -> str:
+    def to_json(self, indent: int = 2, timings: bool = True) -> str:
+        """Deterministic JSON; ``timings=False`` drops wall-clock fields
+        so runs with different worker counts produce identical bytes."""
         payload = {
             "schema_version": SCHEMA_VERSION,
             "n_quarantined": len(self.entries),
             "by_kind": self.by_kind(),
             "entries": [
-                e.to_dict()
+                e.to_dict(timings)
                 for e in sorted(self.entries, key=lambda e: e.program)
             ],
         }
@@ -124,8 +140,8 @@ class QuarantineManifest:
             )
         return cls([QuarantineEntry.from_dict(e) for e in data["entries"]])
 
-    def write(self, path: Path) -> None:
-        Path(path).write_text(self.to_json() + "\n")
+    def write(self, path: Path, timings: bool = True) -> None:
+        Path(path).write_text(self.to_json(timings=timings) + "\n")
 
     def __len__(self) -> int:
         return len(self.entries)

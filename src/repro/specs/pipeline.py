@@ -20,14 +20,18 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
 from functools import partial
-from typing import Dict, List, Optional, Sequence
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
 
 from repro.events.graph import build_event_graph
 from repro.events.history import HistoryBuilder, HistoryOptions
 from repro.ir.program import Program
-from repro.model.dataset import GraphBundle, collect_training_samples
-from repro.model.features import FeatureConfig
-from repro.model.logistic import TrainConfig
+from repro.model.dataset import (
+    GraphBundle,
+    bundle_seed,
+    collect_bundle_samples,
+)
+from repro.model.features import FeatureConfig, encode_sample
+from repro.model.logistic import SufficientStats, TrainConfig
 from repro.model.model import EventPairModel
 from repro.pointsto.analysis import PointsToOptions, analyze
 from repro.runtime.executor import (
@@ -39,6 +43,9 @@ from repro.specs.candidates import CandidateExtraction, extract_candidates
 from repro.specs.patterns import Spec, SpecSet
 from repro.specs.scoring import Scorer, average_top_k, score_candidates
 from repro.specs.selection import extend_with_retsame, select_specs
+
+if TYPE_CHECKING:  # avoid the repro.mining → pipeline import cycle
+    from repro.mining.partial import MiningReport
 
 
 @dataclass(frozen=True)
@@ -79,6 +86,9 @@ class LearnedSpecs:
     config: PipelineConfig
     #: corpus execution report (quarantines, ladder tiers, timings)
     run: Optional[CorpusRunReport] = None
+    #: sharded-mining report (cache hits, per-shard wall-clock); set
+    #: when learning went through :class:`repro.mining.MiningEngine`
+    mining: Optional["MiningReport"] = None
 
     def top(self, n: int = 20) -> List[Spec]:
         """The ``n`` selected specifications with the highest scores."""
@@ -122,19 +132,46 @@ class USpecPipeline:
         return self.run_corpus(programs).bundles
 
     # ------------------------------------------------------------------
-    # stage 2: probabilistic model (§4)
+    # stage 2: probabilistic model (§4), split into map/reduce halves so
+    # the sharded mining engine can run the map on workers
+
+    def collect_stats(
+        self,
+        bundles: Sequence[GraphBundle],
+        keys: Optional[Sequence[str]] = None,
+    ) -> SufficientStats:
+        """Map stage: per-program hashed training samples.
+
+        ``keys`` names each bundle for the merge order (defaults to the
+        program source).  Each program's samples depend only on that
+        program and the corpus seed, never on corpus order — the
+        precondition for order-independent merging.
+        """
+        stats = SufficientStats()
+        for index, bundle in enumerate(bundles):
+            key = keys[index] if keys is not None \
+                else (bundle.program.source or f"#{index}")
+            samples = collect_bundle_samples(
+                bundle,
+                self.config.feature,
+                self.config.max_positives_per_graph,
+                self.config.negative_ratio,
+                bundle_seed(self.config.seed, bundle.program.source, index),
+            )
+            stats.add(key, [
+                encode_sample(s.feature, s.label, self.config.feature)
+                for s in samples
+            ])
+        return stats
+
+    def train_from_stats(self, stats: SufficientStats) -> EventPairModel:
+        """Reduce stage: seeded SGD over the canonical merged stream."""
+        model = EventPairModel(self.config.feature, self.config.train)
+        model.fit_encoded(stats.stream(self.config.seed))
+        return model
 
     def train_model(self, bundles: Sequence[GraphBundle]) -> EventPairModel:
-        samples = collect_training_samples(
-            bundles,
-            self.config.feature,
-            self.config.max_positives_per_graph,
-            self.config.negative_ratio,
-            self.config.seed,
-        )
-        model = EventPairModel(self.config.feature, self.config.train)
-        model.fit(samples)
-        return model
+        return self.train_from_stats(self.collect_stats(bundles))
 
     # ------------------------------------------------------------------
     # stage 3: candidates and scores (§5.1–5.2)

@@ -40,17 +40,39 @@ def spec_from_dict(data: Mapping[str, object]) -> Spec:
     raise ValueError(f"unknown specification kind: {kind!r}")
 
 
+def spec_sort_key(spec: Spec) -> Tuple[str, str, str, int]:
+    """Canonical ordering of specifications in serialized output.
+
+    Sorts by (kind, method/target, source, arg index) — a total order
+    on the spec payload itself, independent of set/dict insertion order
+    and therefore of worker scheduling in parallel mining runs.
+    """
+    data = spec_to_dict(spec)
+    return (
+        str(data["kind"]),
+        str(data.get("method") or data.get("target") or ""),
+        str(data.get("source") or ""),
+        int(data.get("arg_index") or 0),  # type: ignore[call-overload]
+    )
+
+
 def specs_to_json(specs: SpecSet,
                   scores: Optional[Mapping[Spec, float]] = None) -> str:
-    """Serialize a specification set (optionally with scores)."""
+    """Serialize a specification set (optionally with scores).
+
+    Output is byte-deterministic: entries are sorted by
+    :func:`spec_sort_key` and keys within each entry are sorted, so two
+    runs that learn the same specs serialize identically — the property
+    the ``--jobs 1`` vs ``--jobs N`` mining equivalence tests pin down.
+    """
     entries: List[Dict[str, object]] = []
-    for spec in specs:
+    for spec in sorted(specs, key=spec_sort_key):
         entry = spec_to_dict(spec)
         if scores is not None and spec in scores:
             entry["score"] = round(scores[spec], 6)
         entries.append(entry)
     return json.dumps({"format": "uspec-specs", "version": 1,
-                       "specs": entries}, indent=2)
+                       "specs": entries}, indent=2, sort_keys=True)
 
 
 def specs_from_json(text: str) -> Tuple[SpecSet, Dict[Spec, float]]:
