@@ -34,6 +34,47 @@ BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_mining.json"
 N_FILES = int(os.environ.get("REPRO_BENCH_MINING_FILES", "200"))
 
 
+#: history entries kept in BENCH_mining.json; one per benchmark run,
+#: so successive PRs accumulate a throughput trend line
+HISTORY_LIMIT = 50
+
+
+def _git_revision() -> str:
+    import subprocess
+
+    try:
+        return subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=BENCH_PATH.parent, capture_output=True, text=True,
+            timeout=10, check=True,
+        ).stdout.strip()
+    except Exception:
+        return "unknown"
+
+
+def _throughput_history(runs) -> list:
+    """Prior runs' summaries plus this run's, oldest first."""
+    history = []
+    if BENCH_PATH.exists():
+        try:
+            history = json.loads(BENCH_PATH.read_text()).get("history", [])
+        except (ValueError, OSError):
+            history = []
+    history.append({
+        "revision": _git_revision(),
+        "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "corpus_files": N_FILES,
+        "cpu_count": os.cpu_count() or 1,
+        "seconds_sequential": round(runs[1]["seconds"], 3),
+        "seconds_jobs4": round(runs[4]["seconds"], 3),
+        "seconds_warm_cache": round(runs["warm_cache"]["seconds"], 3),
+        "programs_per_second_sequential": round(
+            runs[1]["mining"]["programs_per_second"], 3),
+        "supervised_jobs4": runs[4]["mining"]["supervised"],
+    })
+    return history[-HISTORY_LIMIT:]
+
+
 def _mine(programs, jobs, cache_dir=None):
     engine = MiningEngine(mining=MiningConfig(
         jobs=jobs, cache_dir=str(cache_dir) if cache_dir else None))
@@ -71,6 +112,7 @@ def test_mining_throughput(benchmark, tmp_path):
 
     baseline = runs[1]["seconds"]
     record = {
+        "history": _throughput_history(runs),
         "corpus_files": N_FILES,
         "cpu_count": cpu_count,
         "note": (

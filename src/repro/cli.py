@@ -34,9 +34,16 @@ from repro.events.graph import build_event_graph
 from repro.events.history import HistoryBuilder
 from repro.frontend.minijava import parse_minijava
 from repro.frontend.pyfront import parse_python
-from repro.mining import MiningConfig, MiningEngine
+from repro.mining import MiningConfig, MiningEngine, SupervisionConfig
 from repro.pointsto import analyze
-from repro.runtime import Budget, BudgetExceeded, RuntimeConfig
+from repro.runtime import (
+    Budget,
+    BudgetExceeded,
+    ChaosPlan,
+    ChaosSpec,
+    RuntimeConfig,
+    RuntimeFault,
+)
 from repro.specs.pipeline import PipelineConfig
 from repro.specs.serialize import specs_from_json, specs_to_json
 
@@ -71,11 +78,46 @@ def _runtime_config(args: argparse.Namespace) -> RuntimeConfig:
     )
 
 
+_SIZE_UNITS = {"": 1, "K": 1024, "M": 1024 ** 2, "G": 1024 ** 3}
+
+
+def _parse_size(text: str) -> int:
+    """``500M`` / ``2G`` / ``1048576`` → bytes (for ``--cache-budget``)."""
+    raw = text.strip().upper().removesuffix("B")
+    unit = raw[-1:] if raw[-1:] in _SIZE_UNITS and not raw[-1:].isdigit() else ""
+    try:
+        value = float(raw[: len(raw) - len(unit)] or "x")
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"{text!r} is not a size (expected e.g. 500M, 2G, or bytes)"
+        ) from None
+    return int(value * _SIZE_UNITS[unit])
+
+
+def _chaos_spec(text: str) -> ChaosSpec:
+    try:
+        return ChaosSpec.parse(text)
+    except ValueError as err:
+        raise argparse.ArgumentTypeError(str(err)) from None
+
+
+def _supervision_config(args: argparse.Namespace) -> SupervisionConfig:
+    chaos = ChaosPlan(tuple(args.chaos)) if getattr(args, "chaos", None) \
+        else None
+    return SupervisionConfig(
+        max_retries=args.max_retries,
+        shard_deadline=args.shard_deadline,
+        chaos=chaos,
+    )
+
+
 def _mining_config(args: argparse.Namespace) -> MiningConfig:
     return MiningConfig(
         jobs=args.jobs,
         shards=args.shards,
         cache_dir=args.cache_dir,
+        cache_budget=args.cache_budget,
+        supervision=_supervision_config(args),
     )
 
 
@@ -92,6 +134,19 @@ def _print_mining(mining) -> None:
         print(f"  shard wall-clock: slowest shard "
               f"#{slowest.shard_id} at {slowest.seconds:.2f}s of "
               f"{sum(m.seconds for m in mining.shards):.2f}s total")
+    if mining.n_evicted:
+        print(f"  cache budget: evicted {mining.n_evicted} entr"
+              f"{'y' if mining.n_evicted == 1 else 'ies'}")
+    ledger = mining.ledger
+    if ledger is not None and not ledger.clean:
+        print(f"supervision: {ledger.n_retries} retried "
+              f"({ledger.n_worker_crashes} crashes, "
+              f"{ledger.n_worker_timeouts} timeouts, "
+              f"{ledger.n_corrupt_results} corrupt, "
+              f"{ledger.n_worker_errors} errors), "
+              f"{ledger.n_bisections} bisected, "
+              f"{ledger.n_poisoned} poisoned, "
+              f"{ledger.n_stragglers} stragglers")
 
 
 def _cmd_learn(args: argparse.Namespace) -> int:
@@ -219,6 +274,7 @@ def _cmd_reproduce(args: argparse.Namespace) -> int:
     from repro.eval.tables import format_table, tab3_rows
 
     out: List[str] = []
+    mining_rows: List[List[str]] = []
     for language, registry in (("java", java_registry()),
                                ("python", python_registry())):
         print(f"[{language}] learning from {args.files} files ...")
@@ -228,6 +284,23 @@ def _cmd_reproduce(args: argparse.Namespace) -> int:
         learned = MiningEngine(
             mining=MiningConfig(jobs=args.jobs)
         ).learn(programs)
+        mining = learned.mining
+        if mining is not None:
+            ledger = mining.ledger
+            supervision = "clean" if ledger is None or ledger.clean else (
+                f"{ledger.n_retries} retried / "
+                f"{ledger.n_bisections} bisected / "
+                f"{ledger.n_poisoned} poisoned"
+            )
+            mining_rows.append([
+                language,
+                str(mining.n_programs),
+                f"{mining.n_shards}x{mining.jobs}",
+                str(mining.n_quarantined),
+                f"{mining.programs_per_second:.1f}",
+                f"{mining.seconds_total:.2f}",
+                supervision,
+            ])
         points = precision_recall_curve(learned.scores,
                                         registry.is_true_spec,
                                         taus=(0.0, 0.4, 0.6, 0.8))
@@ -252,6 +325,14 @@ def _cmd_reproduce(args: argparse.Namespace) -> int:
         atlas_rows.append([result.cls, status])
     out.append(format_table(["API class", "Atlas outcome"], atlas_rows,
                             title="§7.5 — Atlas baseline"))
+
+    if mining_rows:
+        out.append(format_table(
+            ["corpus", "programs", "shards×jobs", "quarantined",
+             "prog/s", "seconds", "supervision"],
+            mining_rows,
+            title="§7.6 — mining throughput and supervision",
+        ))
 
     report = "\n\n".join(out)
     print("\n" + report)
@@ -318,6 +399,31 @@ def build_parser() -> argparse.ArgumentParser:
                             "--jobs/--shards settings (unlike "
                             "--checkpoint-dir, which is positional and "
                             "per-shard)")
+    learn.add_argument("--cache-budget", type=_parse_size, metavar="SIZE",
+                       help="evict least-recently-used --cache-dir "
+                            "entries until the cache fits SIZE "
+                            "(e.g. 500M, 2G, or plain bytes); evictions "
+                            "only cost recomputes, never correctness")
+    learn.add_argument("--max-retries", type=int, default=2, metavar="N",
+                       help="retry a crashed/timed-out/corrupt shard "
+                            "task up to N times with exponential "
+                            "backoff before bisecting it (default 2)")
+    learn.add_argument("--shard-deadline", type=float, default=None,
+                       metavar="S",
+                       help="wall-clock watchdog per shard-task "
+                            "attempt: a worker running longer than S "
+                            "seconds is killed and the task retried "
+                            "(enables supervised dispatch even with "
+                            "--jobs 1)")
+    learn.add_argument("--chaos", action="append", type=_chaos_spec,
+                       default=[], metavar="MODE:PROGRAM[:UNTIL]",
+                       help="deterministic fault injection for testing "
+                            "the supervisor: kill, hang, or corrupt the "
+                            "worker analysing any program whose key "
+                            "contains PROGRAM (repeatable; UNTIL bounds "
+                            "the last attempt that fails, so omitted = "
+                            "toxic forever → the program is bisected "
+                            "out and quarantined)")
     learn.add_argument("--budget-iterations", type=int, metavar="N",
                        help="max points-to solver worklist iterations "
                             "per program (default: unbounded)")
@@ -372,6 +478,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     except BudgetExceeded as err:  # --strict learn run blew a budget
         print(f"error: {err}", file=sys.stderr)
         return EXIT_BUDGET
+    except RuntimeFault as err:  # e.g. --strict + an unretriable worker
+        print(f"error: {err}", file=sys.stderr)
+        return EXIT_ERROR
     except FileNotFoundError as err:
         print(f"error: {err.filename}: no such file", file=sys.stderr)
         return EXIT_ERROR

@@ -8,9 +8,13 @@ map/reduce job:
 * :mod:`sharding` — stable hash-based corpus shards;
 * :mod:`partial` — per-shard results that merge as a monoid;
 * :mod:`cache` — content-addressed incremental analysis cache, so a
-  re-run after editing *k* corpus files re-analyses exactly *k*;
-* :mod:`engine` — the multiprocessing orchestrator; byte-identical
-  output for any worker count.
+  re-run after editing *k* corpus files re-analyses exactly *k*, with
+  LRU-by-mtime size budgeting;
+* :mod:`supervisor` — fault-tolerant shard dispatch: worker watchdogs,
+  bounded retry/backoff, poison-shard bisection, failure ledger;
+* :mod:`engine` — the orchestrator; byte-identical output for any
+  worker count, with or without injected chaos (modulo quarantined
+  toxic programs).
 """
 
 from repro.mining.cache import (
@@ -22,16 +26,24 @@ from repro.mining.cache import (
 from repro.mining.engine import MiningConfig, MiningEngine, learn_sharded
 from repro.mining.partial import MiningReport, ShardMetrics, ShardPartial
 from repro.mining.sharding import ShardPlan, shard_of
+from repro.mining.supervisor import (
+    FailureLedger,
+    ShardSupervisor,
+    SupervisionConfig,
+)
 
 __all__ = [
     "AnalysisCache",
     "CacheHit",
+    "FailureLedger",
     "MiningConfig",
     "MiningEngine",
     "MiningReport",
     "ShardMetrics",
     "ShardPartial",
     "ShardPlan",
+    "ShardSupervisor",
+    "SupervisionConfig",
     "learn_sharded",
     "pipeline_fingerprint",
     "program_fingerprint",

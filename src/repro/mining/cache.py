@@ -19,17 +19,26 @@ Entries are one file each (no shared index), written via atomic
 tmp+rename — parallel workers can fill one cache directory without
 locks, and a kill mid-run never leaves a torn entry.  Quarantine
 verdicts are cached too: a program that blew its budget last run is
-not re-attempted on a warm re-run.
+not re-attempted on a warm re-run — including the supervisor's
+``worker-*`` verdicts, so a program that kills workers is poisoned
+exactly once.
+
+Because entries are content-addressed and independent, size budgeting
+is plain LRU-by-mtime: lookups touch the entry's mtime, and
+:meth:`AnalysisCache.evict_to_budget` deletes the coldest entries
+until the directory fits the budget.  Evicting an entry only costs a
+recompute on the next run — never correctness.
 """
 
 from __future__ import annotations
 
 import hashlib
 import json
+import os
 import pickle
 from dataclasses import dataclass, replace
 from pathlib import Path
-from typing import Optional
+from typing import List, Optional, Tuple
 
 from repro.ir.printer import format_program
 from repro.ir.program import Program
@@ -103,11 +112,13 @@ class AnalysisCache:
         if bundle_path.exists():
             bundle = self._load_bundle(bundle_path)
             if bundle is not None:
+                self._touch(bundle_path)
                 return CacheHit(bundle=bundle)
         entry_path = self.directory / f"{cache_key}{QUARANTINE_SUFFIX}"
         if entry_path.exists():
             entry = self._load_quarantine(entry_path)
             if entry is not None:
+                self._touch(entry_path)
                 return CacheHit(entry=replace(entry, program=key))
         return None
 
@@ -132,6 +143,62 @@ class AnalysisCache:
             payload.encode("utf-8"),
         )
         return cache_key
+
+    # ------------------------------------------------------------------
+    # size budgeting
+
+    def _entry_files(self) -> List[Path]:
+        return [
+            p for suffix in (BUNDLE_SUFFIX, QUARANTINE_SUFFIX)
+            for p in self.directory.glob(f"*{suffix}")
+        ]
+
+    def total_bytes(self) -> int:
+        """Bytes currently held by cache entries (index-free scan)."""
+        total = 0
+        for path in self._entry_files():
+            try:
+                total += path.stat().st_size
+            except OSError:
+                continue  # evicted/renamed concurrently
+        return total
+
+    def evict_to_budget(self, max_bytes: int) -> int:
+        """Delete least-recently-used entries until the cache fits.
+
+        Recency is entry mtime — refreshed on every lookup hit, so a
+        warm working set survives and cold entries go first.  Returns
+        the number of entries evicted.  Concurrent misses of unlinked
+        files degrade to recomputes, never errors.
+        """
+        entries: List[Tuple[float, str, int, Path]] = []
+        for path in self._entry_files():
+            try:
+                stat = path.stat()
+            except OSError:
+                continue
+            # name tiebreak: deterministic order when mtimes collide
+            entries.append((stat.st_mtime, path.name, stat.st_size, path))
+        total = sum(size for _, _, size, _ in entries)
+        evicted = 0
+        for _, _, size, path in sorted(entries):
+            if total <= max_bytes:
+                break
+            try:
+                path.unlink()
+            except OSError:
+                continue
+            total -= size
+            evicted += 1
+        return evicted
+
+    @staticmethod
+    def _touch(path: Path) -> None:
+        """Refresh an entry's mtime (its LRU recency mark)."""
+        try:
+            os.utime(path)
+        except OSError:
+            pass  # entry raced an eviction; the load already succeeded
 
     # ------------------------------------------------------------------
 

@@ -23,13 +23,18 @@ by program key, the final specifications and quarantine manifest are
 **byte-identical for any worker count, shard count and completion
 order**.  ``--jobs 4`` is a wall-clock knob, never a results knob.
 
-Parallel runs fan shards to a ``multiprocessing`` pool (fork start
-method where available, so the corpus needs no re-pickling on POSIX);
-bundles travel between the analyse and extract phases through the
+Parallel runs dispatch shards through the
+:class:`~repro.mining.supervisor.ShardSupervisor`: every task attempt
+runs in its own worker process under a wall-clock deadline, dead or
+hung workers trigger bounded retries with exponential backoff, and a
+shard that keeps killing workers is bisected until the toxic program
+is isolated and quarantined with a ``worker-*`` taxonomy label.
+Bundles travel between the analyse and extract phases through the
 cache directory — a temp spill dir if the user did not name one — so
 the only pickles crossing process boundaries are compact partials and
-the sparse model.  ``strict=True`` aborts propagate out of the pool
-with their type intact (exit codes 3/4 survive parallelism).
+the sparse model.  ``strict=True`` aborts propagate out of the workers
+with their type intact (exit codes 3/4 survive parallelism and
+supervision).
 """
 
 from __future__ import annotations
@@ -38,7 +43,7 @@ import multiprocessing
 import shutil
 import tempfile
 import time
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -52,6 +57,8 @@ from repro.runtime.executor import (
     CorpusRunReport,
     ProgramOutcome,
 )
+from repro.runtime.faults import ChaosPlan
+from repro.runtime.manifest import QuarantineEntry, TierAttempt
 from repro.specs.candidates import CandidateExtraction, extract_candidates
 from repro.specs.pipeline import (
     LearnedSpecs,
@@ -63,8 +70,13 @@ from repro.mining.cache import (
     pipeline_fingerprint,
     program_fingerprint,
 )
-from repro.mining.partial import MiningReport, ShardMetrics, ShardPartial
+from repro.mining.partial import MiningReport, ShardPartial
 from repro.mining.sharding import ShardPlan
+from repro.mining.supervisor import (
+    FailureLedger,
+    ShardSupervisor,
+    SupervisionConfig,
+)
 
 #: default shards per worker; several shards per job keeps the pool
 #: busy when shard sizes are skewed, at negligible merge cost
@@ -73,23 +85,35 @@ SHARDS_PER_JOB = 4
 #: outcome tier label for cache-satisfied programs
 TIER_CACHE = "cache"
 
+#: attempt tier label for supervisor-level quarantines (the program
+#: never reached the analysis ladder — it killed the worker instead)
+TIER_SUPERVISED = "supervised"
+
 #: one corpus unit: (global index, program key, program)
 Unit = Tuple[int, str, Program]
 
 
 @dataclass(frozen=True)
 class MiningConfig:
-    """Parallelism and caching policy of one mining run."""
+    """Parallelism, caching and supervision policy of one mining run."""
 
-    #: worker processes; 1 = run in-process with no pool
+    #: worker processes; 1 = run in-process with no pool (unless
+    #: supervision — chaos or a shard deadline — forces one worker)
     jobs: int = 1
     #: shard count; None = 1 for sequential runs, jobs×4 for parallel
     shards: Optional[int] = None
     #: incremental analysis cache directory; None = no cache for
-    #: sequential runs, a private temp spill dir for parallel runs
+    #: sequential runs, a private temp spill dir for supervised runs
     cache_dir: Optional[str] = None
+    #: cache size budget in bytes; LRU-by-mtime eviction runs after the
+    #: extract phase (None = unbounded, the pre-PR-3 behaviour)
+    cache_budget: Optional[int] = None
     #: multiprocessing start method; None = fork if available
     mp_context: Optional[str] = None
+    #: watchdog / retry / bisection / chaos policy
+    supervision: SupervisionConfig = field(
+        default_factory=SupervisionConfig
+    )
 
     def resolve_jobs(self) -> int:
         return max(1, self.jobs)
@@ -107,33 +131,40 @@ class MiningConfig:
             method = "fork" if "fork" in methods else methods[0]
         return multiprocessing.get_context(method)
 
+    @property
+    def supervised(self) -> bool:
+        """Whether shard tasks run in supervised worker processes."""
+        return self.resolve_jobs() > 1 or self.supervision.wants_supervision
+
 
 # ----------------------------------------------------------------------
-# shard workers (module-level so they pickle under any start method)
-
-_WORKER: Dict[str, object] = {}
+# shard work (module-level so everything pickles under any start method)
 
 
-def _init_worker(config: PipelineConfig, cache_dir: str, fingerprint: str) -> None:
-    _WORKER["config"] = config
-    _WORKER["cache_dir"] = cache_dir
-    _WORKER["fingerprint"] = fingerprint
+@dataclass(frozen=True)
+class AnalyzeTask:
+    """One analyse-phase payload; self-contained and picklable."""
+
+    config: PipelineConfig
+    cache_dir: Optional[str]
+    fingerprint: str
+    shard_id: int
+    items: Tuple[Unit, ...]
+    #: process-level fault injection; rides on the payload (not the
+    #: pipeline config) so it can never perturb the cache fingerprint
+    chaos: Optional[ChaosPlan] = None
 
 
-def _analyze_shard_task(task) -> ShardPartial:
-    shard_id, items = task
-    return _analyze_shard(
-        _WORKER["config"], shard_id, items,
-        _WORKER["cache_dir"], _WORKER["fingerprint"],
-    )
+@dataclass(frozen=True)
+class ExtractTask:
+    """One extract-phase payload; self-contained and picklable."""
 
-
-def _extract_shard_task(task) -> Tuple[int, CandidateExtraction]:
-    shard_id, refs, model = task
-    return _extract_shard(
-        _WORKER["config"], shard_id, refs, model,
-        _WORKER["cache_dir"], _WORKER["fingerprint"],
-    )
+    config: PipelineConfig
+    cache_dir: Optional[str]
+    fingerprint: str
+    shard_id: int
+    refs: Tuple[Tuple[str, Optional[str]], ...]
+    model: EventPairModel
 
 
 def _analyze_shard(
@@ -143,6 +174,7 @@ def _analyze_shard(
     cache_dir: Optional[str],
     fingerprint: str,
     bundle_sink: Optional[Dict[str, GraphBundle]] = None,
+    before=None,
 ) -> ShardPartial:
     """Analyse one shard: cache lookups, then the executor over misses.
 
@@ -150,6 +182,8 @@ def _analyze_shard(
     sink), so a run killed mid-shard keeps everything that completed.
     ``bundle_sink`` (sequential mode) additionally keeps analysed
     bundles in memory so the extract phase needs no reloads.
+    ``before`` is threaded into the executor as its pre-program hook
+    (the supervisor's chaos probe).
     """
     started = time.monotonic()
     cache = AnalysisCache(cache_dir, fingerprint) if cache_dir else None
@@ -223,6 +257,7 @@ def _analyze_shard(
             [program for _, _, program, _ in pending],
             keys=[key for _, key, _, _ in pending],
             sink=sink,
+            before=before,
         )
         partial.outcomes.extend(report.outcomes)
         partial.manifest.merge(report.manifest)
@@ -244,8 +279,14 @@ def _extract_shard(
     cache_dir: Optional[str],
     fingerprint: str,
     bundle_sink: Optional[Dict[str, GraphBundle]] = None,
-) -> Tuple[int, CandidateExtraction]:
-    """Run Alg. 1 over one shard's analysed bundles."""
+) -> Tuple[int, str, CandidateExtraction]:
+    """Run Alg. 1 over one shard's analysed bundles.
+
+    The return value is tagged ``(shard_id, first ref key, extraction)``
+    so the engine can merge extractions in the canonical sorted-ref
+    order even when supervision bisected a shard's refs into several
+    results.
+    """
     cache = AnalysisCache(cache_dir, fingerprint) if cache_dir else None
     extraction = CandidateExtraction()
     for key, cache_key in refs:
@@ -262,7 +303,62 @@ def _extract_shard(
             config.max_receiver_distance,
             enable_retrecv=config.enable_retrecv,
         ))
-    return shard_id, extraction
+    return shard_id, refs[0][0] if refs else "", extraction
+
+
+# ----------------------------------------------------------------------
+# supervised runners / splitters / validators (module-level: they cross
+# the process boundary by pickle under the spawn start method)
+
+
+def _supervised_analyze(payload: AnalyzeTask, attempt: int) -> ShardPartial:
+    before = payload.chaos.probe(attempt) if payload.chaos is not None \
+        else None
+    return _analyze_shard(
+        payload.config, payload.shard_id, payload.items,
+        payload.cache_dir, payload.fingerprint, before=before,
+    )
+
+
+def _supervised_extract(
+    payload: ExtractTask, attempt: int
+) -> Tuple[int, str, CandidateExtraction]:
+    return _extract_shard(
+        payload.config, payload.shard_id, payload.refs, payload.model,
+        payload.cache_dir, payload.fingerprint,
+    )
+
+
+def _split_analyze(payload: AnalyzeTask):
+    if len(payload.items) <= 1:
+        return None
+    mid = len(payload.items) // 2
+    return (
+        replace(payload, items=payload.items[:mid]),
+        replace(payload, items=payload.items[mid:]),
+    )
+
+
+def _split_extract(payload: ExtractTask):
+    if len(payload.refs) <= 1:
+        return None
+    mid = len(payload.refs) // 2
+    return (
+        replace(payload, refs=payload.refs[:mid]),
+        replace(payload, refs=payload.refs[mid:]),
+    )
+
+
+def _valid_partial(result) -> bool:
+    return isinstance(result, ShardPartial)
+
+
+def _valid_extraction(result) -> bool:
+    return (
+        isinstance(result, tuple) and len(result) == 3
+        and isinstance(result[0], int) and isinstance(result[1], str)
+        and isinstance(result[2], CandidateExtraction)
+    )
 
 
 # ----------------------------------------------------------------------
@@ -287,10 +383,11 @@ class MiningEngine:
 
         Returns a :class:`LearnedSpecs` whose ``mining`` field carries
         the :class:`~repro.mining.partial.MiningReport` (cache hit
-        rate, per-shard wall-clock, throughput).
+        rate, per-shard wall-clock, throughput, failure ledger).
         """
         t0 = time.monotonic()
         jobs = self.mining.resolve_jobs()
+        supervised = self.mining.supervised
         units: List[Unit] = [
             (index, program_key(program, index), program)
             for index, program in enumerate(programs)
@@ -304,32 +401,44 @@ class MiningEngine:
             for shard_id in range(n_shards)
         ]
         tasks = [(sid, items) for sid, items in shard_items if items]
+        unit_sources = {key: program.source for _, key, program in units}
+        unit_programs = {key: program for _, key, program in units}
 
         fingerprint = pipeline_fingerprint(self.config)
         spill: Optional[str] = None
         cache_dir = self.mining.cache_dir
-        if cache_dir is None and jobs > 1:
-            # parallel bundles must cross process boundaries somewhere;
-            # a private spill dir keeps them off the pickle pipes
+        if cache_dir is None and supervised:
+            # supervised bundles must cross process boundaries somewhere;
+            # a private spill dir keeps them off the result pipes
             spill = tempfile.mkdtemp(prefix="uspec-mining-spill-")
             cache_dir = spill
         bundle_sink: Optional[Dict[str, GraphBundle]] = \
-            {} if jobs == 1 else None
+            None if supervised else {}
 
-        pool = None
+        ledger = FailureLedger() if supervised else None
+        supervisor: Optional[ShardSupervisor] = None
+        if supervised:
+            supervisor = ShardSupervisor(
+                self.mining.resolve_context(), jobs,
+                self.mining.supervision,
+                strict=self.config.runtime.strict,
+                ledger=ledger,
+            )
+        chaos = self.mining.supervision.chaos
+
         try:
-            if jobs > 1:
-                ctx = self.mining.resolve_context()
-                pool = ctx.Pool(
-                    processes=min(jobs, max(1, len(tasks))),
-                    initializer=_init_worker,
-                    initargs=(self.config, cache_dir, fingerprint),
-                )
-
             # phase 1: map-analyze ------------------------------------
-            if pool is not None:
-                partials = list(
-                    pool.imap_unordered(_analyze_shard_task, tasks)
+            if supervisor is not None:
+                partials = supervisor.run_phase(
+                    "analyze",
+                    [(sid, AnalyzeTask(self.config, cache_dir,
+                                       fingerprint, sid, tuple(items),
+                                       chaos))
+                     for sid, items in tasks],
+                    runner=_supervised_analyze,
+                    splitter=_split_analyze,
+                    poisoner=self._poison_analyze(cache_dir, fingerprint),
+                    validator=_valid_partial,
                 )
             else:
                 partials = [
@@ -350,33 +459,57 @@ class MiningEngine:
             t2 = time.monotonic()
 
             # phase 3: map-extract ------------------------------------
+            # regroup refs per shard: bisection may have split one
+            # shard's analysis across several partials, but extraction
+            # must still visit refs in one canonical sorted order
+            refs_by_shard: Dict[int, List[Tuple[str, Optional[str]]]] = {}
+            for p in partials:
+                refs_by_shard.setdefault(
+                    p.metrics[0].shard_id, []
+                ).extend(p.bundle_refs)
             extract_tasks = [
-                (p.metrics[0].shard_id, sorted(p.bundle_refs), model)
-                for p in sorted(partials, key=lambda p: p.metrics[0].shard_id)
-                if p.bundle_refs
+                (sid, sorted(refs))
+                for sid, refs in sorted(refs_by_shard.items())
+                if refs
             ]
-            if pool is not None:
-                results = list(
-                    pool.imap_unordered(_extract_shard_task, extract_tasks)
+            if supervisor is not None:
+                results = supervisor.run_phase(
+                    "extract",
+                    [(sid, ExtractTask(self.config, cache_dir,
+                                       fingerprint, sid, tuple(refs), model))
+                     for sid, refs in extract_tasks],
+                    runner=_supervised_extract,
+                    splitter=_split_extract,
+                    poisoner=self._poison_extract(
+                        merged, unit_sources, cache_dir, fingerprint,
+                        unit_programs,
+                    ),
+                    validator=_valid_extraction,
                 )
             else:
                 results = [
                     _extract_shard(self.config, sid, refs, model,
                                    cache_dir, fingerprint, bundle_sink)
-                    for sid, refs, model in extract_tasks
+                    for sid, refs in extract_tasks
                 ]
             extraction = CandidateExtraction()
-            for _, shard_extraction in sorted(results, key=lambda r: r[0]):
+            for _, _, shard_extraction in sorted(
+                results, key=lambda r: (r[0], r[1])
+            ):
                 extraction.merge(shard_extraction)
             t3 = time.monotonic()
 
             # phase 4: finalize ---------------------------------------
             scores = self.pipeline.score(extraction)
             specs = self.pipeline.select(scores)
+
+            n_evicted = 0
+            if (self.mining.cache_budget is not None
+                    and self.mining.cache_dir):
+                n_evicted = AnalysisCache(
+                    self.mining.cache_dir, fingerprint
+                ).evict_to_budget(self.mining.cache_budget)
         finally:
-            if pool is not None:
-                pool.terminate()
-                pool.join()
             if spill is not None:
                 shutil.rmtree(spill, ignore_errors=True)
 
@@ -389,11 +522,77 @@ class MiningEngine:
             outcomes=merged.outcomes,
             manifest=merged.manifest,
         )
-        report = self._report(jobs, n_shards, merged, t0, t1, t2, t3)
+        report = self._report(
+            jobs, n_shards, merged, t0, t1, t2, t3,
+            ledger=ledger, n_evicted=n_evicted, supervised=supervised,
+        )
         return LearnedSpecs(
             specs, scores, extraction, model, self.config,
             run=run, mining=report,
         )
+
+    # ------------------------------------------------------------------
+
+    def _poison_analyze(self, cache_dir: Optional[str], fingerprint: str):
+        def poison(payload: AnalyzeTask, label: str, error: str):
+            ((index, key, program),) = payload.items
+            entry = QuarantineEntry(
+                program=key,
+                source=program.source,
+                error_kind=label,
+                error=error,
+                attempts=[TierAttempt(
+                    tier=TIER_SUPERVISED, error_kind=label, error=error,
+                )],
+            )
+            if cache_dir:
+                AnalysisCache(cache_dir, fingerprint).store_quarantine(
+                    program_fingerprint(program), entry
+                )
+            partial = ShardPartial.empty(payload.shard_id)
+            partial.outcomes.append(ProgramOutcome(
+                key=key, source=program.source,
+                attempts=list(entry.attempts),
+            ))
+            partial.manifest.add(entry)
+            metrics = partial.metrics[0]
+            metrics.n_programs = 1
+            metrics.n_quarantined = 1
+            return partial
+
+        return poison
+
+    def _poison_extract(
+        self,
+        merged: ShardPartial,
+        unit_sources: Dict[str, Optional[str]],
+        cache_dir: Optional[str],
+        fingerprint: str,
+        unit_programs: Dict[str, Program],
+    ):
+        def poison(payload: ExtractTask, label: str, error: str):
+            # the program analysed fine but extraction keeps killing
+            # workers: quarantine it (its candidates are dropped; its
+            # training samples already contributed — recorded honestly
+            # in the manifest entry)
+            ((key, _),) = payload.refs
+            entry = QuarantineEntry(
+                program=key,
+                source=unit_sources.get(key),
+                error_kind=label,
+                error=f"extract phase: {error}",
+                attempts=[TierAttempt(
+                    tier=TIER_SUPERVISED, error_kind=label, error=error,
+                )],
+            )
+            if cache_dir and key in unit_programs:
+                AnalysisCache(cache_dir, fingerprint).store_quarantine(
+                    program_fingerprint(unit_programs[key]), entry
+                )
+            merged.manifest.add(entry)
+            return payload.shard_id, key, CandidateExtraction()
+
+        return poison
 
     # ------------------------------------------------------------------
 
@@ -403,6 +602,9 @@ class MiningEngine:
         n_shards: int,
         merged: ShardPartial,
         t0: float, t1: float, t2: float, t3: float,
+        ledger: Optional[FailureLedger] = None,
+        n_evicted: int = 0,
+        supervised: bool = False,
     ) -> MiningReport:
         def total(attr: str) -> int:
             return sum(getattr(m, attr) for m in merged.metrics)
@@ -425,6 +627,9 @@ class MiningEngine:
             shards=list(merged.metrics),
             analyzed_keys=list(merged.analyzed_keys),
             cache_dir=self.mining.cache_dir,
+            ledger=ledger,
+            n_evicted=n_evicted,
+            supervised=supervised,
         )
 
 

@@ -24,11 +24,14 @@ The partial carries:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 from repro.model.logistic import SufficientStats
 from repro.runtime.executor import ProgramOutcome
 from repro.runtime.manifest import QuarantineManifest
+
+if TYPE_CHECKING:  # avoid the partial → supervisor import cycle
+    from repro.mining.supervisor import FailureLedger
 
 #: (program key, cache key) — cache key is None when the bundle stayed
 #: in memory (sequential runs without a cache directory)
@@ -106,7 +109,23 @@ class ShardPartial:
         compare equal field-by-field — the property the monoid-law
         tests check, and the one the engine relies on before handing
         outcomes/refs to the order-sensitive downstream stages.
+
+        Metrics carrying the same shard id — the sub-partials a
+        supervised bisection produced for one shard — are coalesced
+        into a single per-shard entry, so reports look the same whether
+        a shard ran whole or in pieces.
         """
+        by_id: Dict[int, ShardMetrics] = {}
+        for m in self.metrics:
+            agg = by_id.get(m.shard_id)
+            if agg is None:
+                by_id[m.shard_id] = m
+                continue
+            for attr in ("n_programs", "n_analyzed", "n_cached",
+                         "n_resumed", "n_quarantined", "n_events",
+                         "n_edges", "n_samples", "seconds"):
+                setattr(agg, attr, getattr(agg, attr) + getattr(m, attr))
+        self.metrics = list(by_id.values())
         self.metrics.sort(key=lambda m: m.shard_id)
         self.outcomes.sort(key=lambda o: o.key)
         self.manifest.entries.sort(key=lambda e: e.program)
@@ -162,6 +181,13 @@ class MiningReport:
     shards: List[ShardMetrics] = field(default_factory=list)
     analyzed_keys: List[str] = field(default_factory=list)
     cache_dir: Optional[str] = None
+    #: supervision history (retries, bisections, poisoned programs);
+    #: None when the run was unsupervised (sequential, no chaos)
+    ledger: Optional["FailureLedger"] = None
+    #: cache entries removed by --cache-budget LRU eviction
+    n_evicted: int = 0
+    #: whether shard tasks ran in supervised worker processes
+    supervised: bool = False
 
     @property
     def cache_hit_rate(self) -> float:
@@ -191,6 +217,11 @@ class MiningReport:
             "seconds_train": round(self.seconds_train, 6),
             "seconds_extract": round(self.seconds_extract, 6),
             "seconds_total": round(self.seconds_total, 6),
+            "n_evicted": self.n_evicted,
+            "supervised": self.supervised,
+            "supervision": (
+                self.ledger.to_dict() if self.ledger is not None else None
+            ),
             "shards": [m.to_dict() for m in self.shards],
         }
 

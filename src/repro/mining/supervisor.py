@@ -1,0 +1,659 @@
+"""Fault-tolerant shard supervision for the mining engine.
+
+PR 2's engine fanned shard tasks to a bare ``multiprocessing.Pool``:
+one worker that segfaults, hangs, or gets OOM-killed took the whole
+``uspec learn`` run with it.  :class:`ShardSupervisor` replaces that
+fan-out with a watchdog dispatcher built from per-task worker
+processes:
+
+* **liveness + deadlines** — every task attempt runs in its own
+  process with a result pipe; a process that dies without reporting
+  (EOF on the pipe) is a *crash*, one that outlives the shard
+  wall-clock deadline is *terminated* and recorded as a *timeout*, and
+  a result that does not decode to the expected shape is *corrupt*;
+* **bounded retries with exponential backoff** — a failed task is
+  re-queued with a deterministic backoff schedule (``base × factor^n``,
+  capped); backoff is implemented as a not-before timestamp so the
+  supervisor keeps dispatching other work while a retry cools down;
+* **poison-shard bisection** — a task that exhausts its retries is
+  split in half and both halves re-enter the queue with fresh retry
+  budgets; recursion isolates the toxic program in O(log shard)
+  rounds, at which point the singleton is *poisoned*: quarantined with
+  a ``worker-crash``/``worker-timeout`` taxonomy label (flowing into
+  the PR 1 manifest and the PR 2 analysis cache, so it is never
+  re-attempted) while every other program's results are kept;
+* **failure ledger** — the complete per-task attempt history (retries,
+  bisections, stragglers, backoff) is recorded in a
+  :class:`FailureLedger` and merged into the
+  :class:`~repro.mining.partial.MiningReport`.
+
+Determinism: supervision changes *scheduling*, never *results*.  A
+killed attempt contributes nothing (its per-program cache writes are
+idempotent and content-addressed), a retried attempt recomputes or
+cache-hits the same per-program values, and bisected halves produce the
+same mergeable partials the whole shard would have — so specs and
+manifest stay byte-identical with chaos on or off, for any ``--jobs``
+and ``--shards``, modulo the quarantined toxic programs.
+
+``strict=True`` keeps fail-fast semantics: a typed error shipped back
+by a worker re-raises in the parent with its type intact (``--strict``
+budget blow-ups still exit with code 3), and crash/timeout exhaustion
+raises :class:`~repro.runtime.errors.WorkerCrash` /
+:class:`~repro.runtime.errors.WorkerTimeout` instead of bisecting.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from multiprocessing.connection import wait as connection_wait
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.runtime.errors import (
+    WORKER_CRASH,
+    WORKER_TIMEOUT,
+    WorkerCrash,
+    WorkerTimeout,
+)
+from repro.runtime.faults import ChaosPlan, CorruptResult
+
+#: attempt outcomes recorded in the ledger
+OUTCOME_OK = "ok"
+OUTCOME_CRASH = "crash"  # worker died without reporting (EOF on pipe)
+OUTCOME_TIMEOUT = "timeout"  # watchdog reclaimed the worker at the deadline
+OUTCOME_CORRUPT = "corrupt"  # worker reported, but the payload is garbage
+OUTCOME_ERROR = "error"  # worker shipped a typed exception back
+
+#: supervisor poll granularity (seconds); bounds how stale the deadline
+#: watchdog can be when no pipe activity wakes it earlier
+_POLL_SECONDS = 0.25
+
+
+@dataclass(frozen=True)
+class SupervisionConfig:
+    """Retry/deadline/bisection policy of one supervised mining run."""
+
+    #: retries per task before bisection (strict mode: before raising)
+    max_retries: int = 2
+    #: wall-clock seconds one shard-task attempt may run; None = no
+    #: watchdog (hung workers are then only reclaimable by the user)
+    shard_deadline: Optional[float] = None
+    #: exponential backoff schedule: base × factor^(attempt-1), capped
+    backoff_base: float = 0.05
+    backoff_factor: float = 2.0
+    backoff_max: float = 2.0
+    #: an OK attempt slower than this fraction of the deadline is
+    #: counted as a straggler in the ledger
+    straggler_fraction: float = 0.5
+    #: deterministic process-level fault injection (kill/hang/corrupt)
+    chaos: Optional[ChaosPlan] = None
+
+    def backoff(self, attempt: int) -> float:
+        """Cooldown before retry ``attempt`` (1-based) of a task."""
+        if attempt <= 0 or self.backoff_base <= 0:
+            return 0.0
+        return min(
+            self.backoff_max,
+            self.backoff_base * self.backoff_factor ** (attempt - 1),
+        )
+
+    @property
+    def wants_supervision(self) -> bool:
+        """True if this config only makes sense with worker processes.
+
+        Chaos must be able to kill a process without killing the run,
+        and a deadline needs a watchdog outside the worker — both force
+        the engine onto the supervised path even for ``--jobs 1``.
+        """
+        return bool(self.chaos) or self.shard_deadline is not None
+
+
+# ----------------------------------------------------------------------
+# failure ledger
+
+
+@dataclass
+class AttemptRecord:
+    """One launch of one task."""
+
+    attempt: int
+    outcome: str
+    seconds: float = 0.0
+    error: Optional[str] = None
+    straggler: bool = False
+
+    def to_dict(self, timings: bool = True) -> Dict[str, object]:
+        payload: Dict[str, object] = {
+            "attempt": self.attempt,
+            "outcome": self.outcome,
+            "error": self.error,
+            "straggler": self.straggler,
+        }
+        if timings:
+            payload["seconds"] = round(self.seconds, 6)
+        return payload
+
+
+@dataclass
+class TaskRecord:
+    """The full supervision history of one (possibly bisected) task.
+
+    ``task_id`` encodes the bisection lineage: shard 3 splits into
+    ``3.0`` and ``3.1``, which may split again (``3.1.0`` …) until a
+    singleton is isolated.
+    """
+
+    task_id: str
+    shard_id: int
+    phase: str
+    n_programs: int
+    attempts: List[AttemptRecord] = field(default_factory=list)
+    bisected: bool = False
+    poisoned: Optional[str] = None  # taxonomy label of the isolated toxin
+
+    @property
+    def n_failures(self) -> int:
+        return sum(1 for a in self.attempts if a.outcome != OUTCOME_OK)
+
+    def to_dict(self, timings: bool = True) -> Dict[str, object]:
+        return {
+            "task_id": self.task_id,
+            "shard_id": self.shard_id,
+            "phase": self.phase,
+            "n_programs": self.n_programs,
+            "bisected": self.bisected,
+            "poisoned": self.poisoned,
+            "attempts": [a.to_dict(timings) for a in self.attempts],
+        }
+
+
+@dataclass
+class FailureLedger:
+    """Everything the supervisor had to do beyond a clean dispatch."""
+
+    tasks: List[TaskRecord] = field(default_factory=list)
+
+    def record(self, record: TaskRecord) -> TaskRecord:
+        self.tasks.append(record)
+        return record
+
+    def _count(self, outcome: str) -> int:
+        return sum(
+            1 for t in self.tasks for a in t.attempts if a.outcome == outcome
+        )
+
+    @property
+    def n_tasks(self) -> int:
+        return len(self.tasks)
+
+    @property
+    def n_attempts(self) -> int:
+        return sum(len(t.attempts) for t in self.tasks)
+
+    @property
+    def n_retries(self) -> int:
+        """Re-launches of the *same* task (excludes bisection children)."""
+        return sum(max(0, len(t.attempts) - 1) for t in self.tasks)
+
+    @property
+    def n_worker_crashes(self) -> int:
+        return self._count(OUTCOME_CRASH)
+
+    @property
+    def n_worker_timeouts(self) -> int:
+        return self._count(OUTCOME_TIMEOUT)
+
+    @property
+    def n_corrupt_results(self) -> int:
+        return self._count(OUTCOME_CORRUPT)
+
+    @property
+    def n_worker_errors(self) -> int:
+        return self._count(OUTCOME_ERROR)
+
+    @property
+    def n_bisections(self) -> int:
+        return sum(1 for t in self.tasks if t.bisected)
+
+    @property
+    def n_poisoned(self) -> int:
+        return sum(1 for t in self.tasks if t.poisoned is not None)
+
+    @property
+    def n_stragglers(self) -> int:
+        return sum(
+            1 for t in self.tasks for a in t.attempts if a.straggler
+        )
+
+    @property
+    def clean(self) -> bool:
+        return self.n_attempts == self.n_tasks and self.n_failures == 0
+
+    @property
+    def n_failures(self) -> int:
+        return sum(t.n_failures for t in self.tasks)
+
+    def to_dict(self, timings: bool = True) -> Dict[str, object]:
+        """Deterministic dict: counters plus only the *troubled* tasks.
+
+        Clean single-attempt tasks are summarised by the counters; the
+        per-attempt trail is kept only where something went wrong, so
+        ledgers stay small on healthy runs of many shards.
+        """
+        troubled = sorted(
+            (t for t in self.tasks
+             if t.bisected or t.poisoned or t.n_failures
+             or any(a.straggler for a in t.attempts)),
+            key=lambda t: (t.phase, t.shard_id, t.task_id),
+        )
+        return {
+            "n_tasks": self.n_tasks,
+            "n_attempts": self.n_attempts,
+            "n_retries": self.n_retries,
+            "n_worker_crashes": self.n_worker_crashes,
+            "n_worker_timeouts": self.n_worker_timeouts,
+            "n_corrupt_results": self.n_corrupt_results,
+            "n_worker_errors": self.n_worker_errors,
+            "n_bisections": self.n_bisections,
+            "n_poisoned": self.n_poisoned,
+            "n_stragglers": self.n_stragglers,
+            "tasks": [t.to_dict(timings) for t in troubled],
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"<FailureLedger {self.n_tasks} tasks / {self.n_attempts} "
+            f"attempts: {self.n_retries} retries, "
+            f"{self.n_bisections} bisections, {self.n_poisoned} poisoned>"
+        )
+
+
+# ----------------------------------------------------------------------
+# worker side
+
+
+def _child_main(conn, runner, payload, attempt: int) -> None:
+    """Entry point of one supervised task attempt (runs in the child).
+
+    The protocol back to the supervisor is a single message: ``("ok",
+    result)`` or ``("error", exc)``.  Anything else — including the
+    deliberately malformed frame a :class:`CorruptResult` produces and
+    the *absence* of a message when the process dies — is a supervision
+    failure, not a result.
+    """
+    try:
+        try:
+            message: Tuple = ("ok", runner(payload, attempt))
+        except CorruptResult as marker:
+            # simulate a worker whose result pipe carries garbage
+            message = ("corrupt-partial", str(marker))
+        except BaseException as err:  # ships typed errors to the parent
+            try:
+                import pickle
+
+                pickle.dumps(err)
+                message = ("error", err)
+            except Exception:
+                message = ("error", RuntimeError(
+                    f"{type(err).__name__}: {err}"
+                ))
+        conn.send(message)
+    except Exception:
+        pass  # broken pipe etc.: the parent sees EOF and records a crash
+    finally:
+        conn.close()
+
+
+# ----------------------------------------------------------------------
+# parent side
+
+
+@dataclass
+class _Task:
+    """One schedulable unit: a payload plus its supervision state."""
+
+    task_id: str
+    shard_id: int
+    payload: object
+    record: TaskRecord
+    attempt: int = 0
+    ready_at: float = 0.0
+    seq: int = 0  # launch-order tiebreak
+
+
+@dataclass
+class _Running:
+    task: _Task
+    process: object
+    conn: object
+    started: float
+    deadline: Optional[float]
+
+
+class ShardSupervisor:
+    """Watchdog dispatcher for one mining run's shard tasks.
+
+    One instance supervises both engine phases (analyse, extract) and
+    accumulates their histories in a shared :class:`FailureLedger`.
+    ``clock`` is injectable for tests and must be monotone.
+    """
+
+    def __init__(
+        self,
+        ctx,
+        jobs: int,
+        supervision: Optional[SupervisionConfig] = None,
+        *,
+        strict: bool = False,
+        ledger: Optional[FailureLedger] = None,
+        clock: Callable[[], float] = time.monotonic,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
+        self.ctx = ctx
+        self.jobs = max(1, jobs)
+        self.supervision = supervision or SupervisionConfig()
+        self.strict = strict
+        self.ledger = ledger if ledger is not None else FailureLedger()
+        self._clock = clock
+        self._sleep = sleep
+        self._seq = 0
+
+    # ------------------------------------------------------------------
+
+    def run_phase(
+        self,
+        phase: str,
+        tasks: Sequence[Tuple[int, object]],
+        *,
+        runner: Callable,
+        splitter: Callable[[object], Optional[Tuple[object, object]]],
+        poisoner: Callable[[object, str, str], object],
+        validator: Callable[[object], bool],
+    ) -> List[object]:
+        """Dispatch ``tasks`` (``(shard_id, payload)``) under supervision.
+
+        ``runner(payload, attempt)`` is the module-level function the
+        worker process executes (module-level so it pickles under any
+        start method).  ``splitter(payload)`` returns two halves for
+        bisection, or None for an unsplittable singleton.
+        ``poisoner(payload, outcome, error)`` converts an isolated
+        toxic singleton into a phase result (quarantine entry + empty
+        partial); it runs in the parent, so it may close over engine
+        state.  ``validator(result)`` rejects corrupt result payloads.
+
+        Returns one result per surviving leaf task, in no particular
+        order — callers merge through the order-insensitive partials.
+        """
+        queue: List[_Task] = [
+            self._make_task(str(shard_id), shard_id, phase, payload)
+            for shard_id, payload in tasks
+        ]
+        results: List[object] = []
+        running: Dict[object, _Running] = {}
+        try:
+            while queue or running:
+                now = self._clock()
+                self._launch_ready(queue, running, runner, now)
+                timeout = self._wait_timeout(queue, running, now)
+                if running:
+                    ready = connection_wait(
+                        [r.conn for r in running.values()], timeout=timeout
+                    )
+                else:
+                    # everything is cooling down in backoff
+                    if timeout:
+                        self._sleep(timeout)
+                    ready = []
+                now = self._clock()
+                for conn in ready:
+                    self._handle_result(
+                        conn, running, queue, results, now,
+                        splitter, poisoner, validator,
+                    )
+                self._reap_deadlines(
+                    running, queue, results, splitter, poisoner, validator,
+                )
+        finally:
+            self._shutdown(running)
+        return results
+
+    # ------------------------------------------------------------------
+
+    def _make_task(
+        self, task_id: str, shard_id: int, phase: str, payload: object
+    ) -> _Task:
+        self._seq += 1
+        record = self.ledger.record(TaskRecord(
+            task_id=task_id, shard_id=shard_id, phase=phase,
+            n_programs=self._payload_size(payload),
+        ))
+        return _Task(
+            task_id=task_id, shard_id=shard_id, payload=payload,
+            record=record, seq=self._seq,
+        )
+
+    @staticmethod
+    def _payload_size(payload: object) -> int:
+        items = getattr(payload, "items", None)
+        if items is None:
+            items = getattr(payload, "refs", None)
+        try:
+            return len(items) if items is not None else 1
+        except TypeError:
+            return 1
+
+    def _launch_ready(
+        self,
+        queue: List[_Task],
+        running: Dict[object, _Running],
+        runner: Callable,
+        now: float,
+    ) -> None:
+        queue.sort(key=lambda t: (t.ready_at, t.seq))
+        while len(running) < self.jobs and queue \
+                and queue[0].ready_at <= now:
+            task = queue.pop(0)
+            parent_conn, child_conn = self.ctx.Pipe(duplex=False)
+            process = self.ctx.Process(
+                target=_child_main,
+                args=(child_conn, runner, task.payload, task.attempt),
+                daemon=True,
+            )
+            process.start()
+            child_conn.close()
+            deadline = self.supervision.shard_deadline
+            running[parent_conn] = _Running(
+                task=task, process=process, conn=parent_conn,
+                started=now,
+                deadline=(now + deadline) if deadline is not None else None,
+            )
+
+    def _wait_timeout(
+        self,
+        queue: List[_Task],
+        running: Dict[object, _Running],
+        now: float,
+    ) -> Optional[float]:
+        horizons = [_POLL_SECONDS]
+        horizons += [
+            r.deadline - now for r in running.values()
+            if r.deadline is not None
+        ]
+        if len(running) < self.jobs and queue:
+            horizons.append(queue[0].ready_at - now)
+        return max(0.0, min(horizons))
+
+    # ------------------------------------------------------------------
+
+    def _handle_result(
+        self,
+        conn,
+        running: Dict[object, _Running],
+        queue: List[_Task],
+        results: List[object],
+        now: float,
+        splitter,
+        poisoner,
+        validator,
+    ) -> None:
+        attempt = running.pop(conn, None)
+        if attempt is None:
+            return
+        task = attempt.task
+        seconds = now - attempt.started
+        try:
+            message = conn.recv()
+        except (EOFError, OSError):
+            message = None
+        finally:
+            self._reap_process(attempt)
+        if message is None:
+            exitcode = attempt.process.exitcode
+            self._failed(
+                task, OUTCOME_CRASH,
+                f"worker died without reporting (exit code {exitcode})",
+                seconds, now, queue, results, splitter, poisoner,
+            )
+            return
+        if (isinstance(message, tuple) and len(message) == 2
+                and message[0] == "ok" and validator(message[1])):
+            straggler = (
+                attempt.deadline is not None
+                and seconds > self.supervision.straggler_fraction
+                * self.supervision.shard_deadline
+            )
+            task.record.attempts.append(AttemptRecord(
+                attempt=task.attempt, outcome=OUTCOME_OK,
+                seconds=seconds, straggler=bool(straggler),
+            ))
+            results.append(message[1])
+            return
+        if (isinstance(message, tuple) and len(message) == 2
+                and message[0] == "error"
+                and isinstance(message[1], BaseException)):
+            err = message[1]
+            task.record.attempts.append(AttemptRecord(
+                attempt=task.attempt, outcome=OUTCOME_ERROR,
+                seconds=seconds, error=f"{type(err).__name__}: {err}",
+            ))
+            if self.strict:
+                # fail fast with the worker's typed error intact
+                # (exit codes 3/4 survive supervision)
+                raise err
+            self._failed(
+                task, OUTCOME_ERROR, f"{type(err).__name__}: {err}",
+                seconds, now, queue, results, splitter, poisoner,
+                recorded=True,
+            )
+            return
+        self._failed(
+            task, OUTCOME_CORRUPT,
+            "worker result failed validation (corrupt payload)",
+            seconds, now, queue, results, splitter, poisoner,
+        )
+
+    def _reap_deadlines(
+        self,
+        running: Dict[object, _Running],
+        queue: List[_Task],
+        results: List[object],
+        splitter,
+        poisoner,
+        validator,
+    ) -> None:
+        now = self._clock()
+        for conn, attempt in list(running.items()):
+            if attempt.deadline is None or now < attempt.deadline:
+                continue
+            if conn.poll():
+                # the result raced the deadline: results win
+                self._handle_result(
+                    conn, running, queue, results, self._clock(),
+                    splitter, poisoner, validator,
+                )
+                continue
+            running.pop(conn, None)
+            self._kill_process(attempt)
+            conn.close()
+            self._failed(
+                attempt.task, OUTCOME_TIMEOUT,
+                f"shard deadline of {self.supervision.shard_deadline:g}s "
+                f"exceeded",
+                now - attempt.started, now, queue, results,
+                splitter, poisoner,
+            )
+
+    # ------------------------------------------------------------------
+
+    def _failed(
+        self,
+        task: _Task,
+        outcome: str,
+        error: str,
+        seconds: float,
+        now: float,
+        queue: List[_Task],
+        results: List[object],
+        splitter,
+        poisoner,
+        recorded: bool = False,
+    ) -> None:
+        if not recorded:
+            task.record.attempts.append(AttemptRecord(
+                attempt=task.attempt, outcome=outcome,
+                seconds=seconds, error=error,
+            ))
+        if task.attempt < self.supervision.max_retries:
+            task.attempt += 1
+            task.ready_at = now + self.supervision.backoff(task.attempt)
+            queue.append(task)
+            return
+        if self.strict:
+            cls = WorkerTimeout if outcome == OUTCOME_TIMEOUT else WorkerCrash
+            raise cls(
+                f"task {task.task_id} ({task.record.phase}) failed "
+                f"{task.attempt + 1} attempt(s): {error}"
+            )
+        halves = splitter(task.payload)
+        if halves is None:
+            # the toxic program is isolated: quarantine, keep the rest
+            label = WORKER_TIMEOUT if outcome == OUTCOME_TIMEOUT \
+                else WORKER_CRASH
+            task.record.poisoned = label
+            results.append(poisoner(task.payload, label, error))
+            return
+        task.record.bisected = True
+        for half_index, half in enumerate(halves):
+            child = self._make_task(
+                f"{task.task_id}.{half_index}", task.shard_id,
+                task.record.phase, half,
+            )
+            child.ready_at = now
+            queue.append(child)
+
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _reap_process(attempt: _Running, grace: float = 5.0) -> None:
+        attempt.process.join(timeout=grace)
+        if attempt.process.is_alive():
+            attempt.process.kill()
+            attempt.process.join()
+        attempt.conn.close()
+
+    @staticmethod
+    def _kill_process(attempt: _Running) -> None:
+        attempt.process.terminate()
+        attempt.process.join(timeout=2.0)
+        if attempt.process.is_alive():
+            attempt.process.kill()
+            attempt.process.join()
+
+    def _shutdown(self, running: Dict[object, _Running]) -> None:
+        for attempt in running.values():
+            try:
+                self._kill_process(attempt)
+                attempt.conn.close()
+            except Exception:
+                pass
+        running.clear()

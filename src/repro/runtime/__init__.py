@@ -17,11 +17,15 @@ from repro.runtime.errors import (
     READ_FAILURE,
     SOLVER_CRASH,
     TAXONOMY,
+    WORKER_CRASH,
+    WORKER_TIMEOUT,
     BudgetExceeded,
     LoweringFailure,
     ParseFailure,
     RuntimeFault,
     SolverCrash,
+    WorkerCrash,
+    WorkerTimeout,
     classify_error,
 )
 from repro.runtime.executor import (
@@ -30,7 +34,18 @@ from repro.runtime.executor import (
     ProgramOutcome,
     RuntimeConfig,
 )
-from repro.runtime.faults import FaultPlan, FaultSpec, STAGES
+from repro.runtime.faults import (
+    CHAOS_CORRUPT,
+    CHAOS_HANG,
+    CHAOS_KILL,
+    CHAOS_MODES,
+    ChaosPlan,
+    ChaosSpec,
+    CorruptResult,
+    FaultPlan,
+    FaultSpec,
+    STAGES,
+)
 from repro.runtime.ladder import (
     DEFAULT_LADDER,
     LadderTier,
@@ -50,6 +65,13 @@ __all__ = [
     "BudgetMeter",
     "BudgetExceeded",
     "BUDGET_EXCEEDED",
+    "CHAOS_CORRUPT",
+    "CHAOS_HANG",
+    "CHAOS_KILL",
+    "CHAOS_MODES",
+    "ChaosPlan",
+    "ChaosSpec",
+    "CorruptResult",
     "classify_error",
     "CorpusCheckpoint",
     "CorpusExecutor",
@@ -78,4 +100,8 @@ __all__ = [
     "TIER_FIELD_INSENSITIVE",
     "TIER_QUARANTINE",
     "TierAttempt",
+    "WORKER_CRASH",
+    "WORKER_TIMEOUT",
+    "WorkerCrash",
+    "WorkerTimeout",
 ]

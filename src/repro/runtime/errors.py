@@ -13,6 +13,14 @@ machine-readable:
 * ``BudgetExceeded``  — a resource budget (iterations, constraints,
   events, wall clock) ran out mid-analysis;
 * ``SolverCrash``     — any other exception inside the analysis stages.
+
+Two labels live one level up, at the process/pool layer — they are
+assigned by the mining supervisor, never by in-process analysis:
+
+* ``worker-crash``    — analysing the program repeatedly killed the
+  worker process (segfault, OOM kill, corrupted result);
+* ``worker-timeout``  — analysing the program repeatedly blew the
+  shard wall-clock deadline (hung worker).
 """
 
 from __future__ import annotations
@@ -25,6 +33,10 @@ PARSE_FAILURE = "ParseFailure"
 LOWERING_FAILURE = "LoweringFailure"
 BUDGET_EXCEEDED = "BudgetExceeded"
 SOLVER_CRASH = "SolverCrash"
+#: process-level labels, assigned by the shard supervisor after
+#: poison-shard bisection isolates the toxic program
+WORKER_CRASH = "worker-crash"
+WORKER_TIMEOUT = "worker-timeout"
 
 TAXONOMY = (
     READ_FAILURE,
@@ -32,6 +44,8 @@ TAXONOMY = (
     LOWERING_FAILURE,
     BUDGET_EXCEEDED,
     SOLVER_CRASH,
+    WORKER_CRASH,
+    WORKER_TIMEOUT,
 )
 
 
@@ -55,6 +69,22 @@ class LoweringFailure(RuntimeFault):
 
 class SolverCrash(RuntimeFault):
     kind = SOLVER_CRASH
+
+
+class WorkerCrash(RuntimeFault):
+    """A worker process died (or returned garbage) and retries ran out.
+
+    Raised by the shard supervisor in strict mode; in containment mode
+    the label lands in the quarantine manifest instead.
+    """
+
+    kind = WORKER_CRASH
+
+
+class WorkerTimeout(RuntimeFault):
+    """A worker blew its shard deadline and retries ran out (strict)."""
+
+    kind = WORKER_TIMEOUT
 
 
 class BudgetExceeded(RuntimeFault):

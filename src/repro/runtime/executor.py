@@ -157,6 +157,7 @@ class CorpusExecutor:
         programs: Sequence[Program],
         keys: Optional[Sequence[str]] = None,
         sink: Optional[ProgramSink] = None,
+        before: Optional[Callable[[str], None]] = None,
     ) -> CorpusRunReport:
         """Analyse ``programs``; optionally under explicit ``keys``.
 
@@ -172,6 +173,13 @@ class CorpusExecutor:
         quarantine).  The mining engine uses it to persist results to
         the analysis cache incrementally, so a run killed mid-shard
         keeps everything completed before the kill.
+
+        ``before(key)`` fires just before a program is *computed*
+        (never for checkpoint-resumed programs) and runs outside the
+        per-program containment: exceptions it raises — and
+        process-level chaos it performs — abort the whole call.  The
+        mining supervisor uses it to inject worker kills/hangs at a
+        chosen program.
         """
         if keys is not None and len(keys) != len(programs):
             raise ValueError(
@@ -189,6 +197,8 @@ class CorpusExecutor:
                 if self._resume_program(key, checkpoint, report, sink):
                     continue
                 # unreadable checkpoint payload: fall through, recompute
+            if before is not None:
+                before(key)
             outcome, bundle = self._run_program(program, key)
             report.outcomes.append(outcome)
             entry: Optional[QuarantineEntry] = None
