@@ -1,7 +1,8 @@
 """Sharded mining engine — throughput vs worker count.
 
 Measures end-to-end `learn` wall-clock over one generated 200-program
-corpus for 1, 2 and 4 workers, plus a warm-cache re-run, and records
+corpus for 1, 2 and 4 workers, plus a warm-cache re-run and a
+distributed run against a 2-worker loopback cluster, and records
 everything in ``BENCH_mining.json`` at the repository root.
 
 Two caveats are recorded rather than papered over:
@@ -26,6 +27,7 @@ from pathlib import Path
 
 from conftest import emit
 from repro.corpus import CorpusConfig, CorpusGenerator, java_registry
+from repro.dist import Coordinator, DistConfig, run_worker
 from repro.eval.tables import format_table
 from repro.mining import MiningConfig, MiningEngine
 from repro.specs.serialize import specs_to_json
@@ -71,6 +73,8 @@ def _throughput_history(runs) -> list:
         "programs_per_second_sequential": round(
             runs[1]["mining"]["programs_per_second"], 3),
         "supervised_jobs4": runs[4]["mining"]["supervised"],
+        "seconds_distributed": round(runs["distributed"]["seconds"], 3),
+        "distributed_workers": runs["distributed"]["n_workers"],
     })
     return history[-HISTORY_LIMIT:]
 
@@ -81,6 +85,34 @@ def _mine(programs, jobs, cache_dir=None):
     start = time.perf_counter()
     learned = engine.learn(programs)
     elapsed = time.perf_counter() - start
+    return learned, elapsed
+
+
+def _mine_distributed(programs, n_workers):
+    """A loopback cluster: one coordinator, thread workers, same box."""
+    import threading
+
+    coordinator = Coordinator(DistConfig(min_workers=n_workers))
+    host, port = coordinator.bind()
+    workers = [
+        threading.Thread(
+            target=run_worker, args=(host, port),
+            kwargs={"name": f"bench-{i}", "connect_retries": 60},
+            daemon=True,
+        )
+        for i in range(n_workers)
+    ]
+    for thread in workers:
+        thread.start()
+    try:
+        engine = MiningEngine(mining=MiningConfig(), coordinator=coordinator)
+        start = time.perf_counter()
+        learned = engine.learn(programs)
+        elapsed = time.perf_counter() - start
+    finally:
+        coordinator.close()
+        for thread in workers:
+            thread.join(timeout=10.0)
     return learned, elapsed
 
 
@@ -105,6 +137,13 @@ def test_mining_throughput(benchmark, tmp_path):
             "cold_seconds": cold_s,
             "specs": specs_to_json(warm.specs, warm.scores),
             "mining": warm.mining.to_dict(),
+        }
+        dist, dist_s = _mine_distributed(programs, n_workers=2)
+        runs["distributed"] = {
+            "seconds": dist_s,
+            "n_workers": 2,
+            "specs": specs_to_json(dist.specs, dist.scores),
+            "mining": dist.mining.to_dict(),
         }
         return runs
 
@@ -135,6 +174,12 @@ def test_mining_throughput(benchmark, tmp_path):
         "results_identical_across_jobs": (
             runs[1]["specs"] == runs[2]["specs"] == runs[4]["specs"]
         ),
+        "seconds_distributed": round(runs["distributed"]["seconds"], 3),
+        "distributed_workers": runs["distributed"]["n_workers"],
+        "results_identical_distributed": (
+            runs["distributed"]["specs"] == runs[1]["specs"]
+        ),
+        "cluster_distributed": runs["distributed"]["mining"].get("cluster"),
         "mining_jobs4": runs[4]["mining"],
     }
     BENCH_PATH.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
@@ -147,6 +192,9 @@ def test_mining_throughput(benchmark, tmp_path):
          f"{record['speedup_jobs4']:.2f}×"],
         ["warm cache (--jobs 1)", f"{record['seconds_warm_cache']:.2f}s",
          f"{record['warm_cache_speedup']:.2f}×"],
+        ["distributed (2 loopback workers)",
+         f"{record['seconds_distributed']:.2f}s",
+         f"{baseline / runs['distributed']['seconds']:.2f}×"],
     ]
     emit("mining_throughput", format_table(
         ["configuration", "wall-clock", "speedup"], rows,
@@ -156,6 +204,7 @@ def test_mining_throughput(benchmark, tmp_path):
 
     # machine-independent guarantees
     assert record["results_identical_across_jobs"]
+    assert record["results_identical_distributed"]
     assert record["warm_cache_programs_reanalyzed"] == 0
     # the cache can only pay for the analyze phase; training and
     # extraction are per-run, so assert the phase, not total wall-clock

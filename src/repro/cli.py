@@ -107,6 +107,7 @@ def _supervision_config(args: argparse.Namespace) -> SupervisionConfig:
     return SupervisionConfig(
         max_retries=args.max_retries,
         shard_deadline=args.shard_deadline,
+        adaptive_deadline=args.adaptive_deadline,
         chaos=chaos,
     )
 
@@ -118,7 +119,36 @@ def _mining_config(args: argparse.Namespace) -> MiningConfig:
         cache_dir=args.cache_dir,
         cache_budget=args.cache_budget,
         supervision=_supervision_config(args),
+        parallel_train=args.parallel_train,
     )
+
+
+def _parse_endpoint(text: str):
+    """``host:port`` → (host, port) for --bind / --connect."""
+    host, sep, port = text.rpartition(":")
+    if not sep or not port.isdigit():
+        raise argparse.ArgumentTypeError(
+            f"{text!r} is not host:port (e.g. 127.0.0.1:7777)"
+        )
+    return host or "127.0.0.1", int(port)
+
+
+def _make_coordinator(args: argparse.Namespace):
+    """Build, bind and announce the cluster coordinator (lazy import:
+    repro.dist pulls in the mining stack only when asked for)."""
+    from repro.dist import Coordinator, DistConfig
+
+    host, port = args.bind
+    coordinator = Coordinator(DistConfig(
+        host=host, port=port,
+        min_workers=args.min_workers,
+        lease_seconds=args.lease,
+    ))
+    host, port = coordinator.bind()
+    print(f"coordinator listening on {host}:{port} "
+          f"(waiting for {args.min_workers} worker(s); start them with: "
+          f"uspec worker --connect {host}:{port})")
+    return coordinator
 
 
 def _print_mining(mining) -> None:
@@ -137,6 +167,17 @@ def _print_mining(mining) -> None:
     if mining.n_evicted:
         print(f"  cache budget: evicted {mining.n_evicted} entr"
               f"{'y' if mining.n_evicted == 1 else 'ies'}")
+    if mining.distributed and mining.cluster:
+        c = mining.cluster
+        print(f"cluster: {c['n_workers_seen']} worker(s) "
+              f"({c['n_workers_lost']} lost, "
+              f"{c['n_lease_expiries']} lease expiries), "
+              f"{c['n_tasks_dispatched']} tasks dispatched, "
+              f"{c['n_speculated']} speculated "
+              f"({c['n_speculation_wins']} wins)")
+    if mining.parallel_train:
+        print(f"  training reduce ran in the worker pool "
+              f"({mining.seconds_train:.2f}s)")
     ledger = mining.ledger
     if ledger is not None and not ledger.clean:
         print(f"supervision: {ledger.n_retries} retried "
@@ -175,7 +216,14 @@ def _cmd_learn(args: argparse.Namespace) -> int:
     print("learning specifications (analysis → model → candidates → "
           "selection)...")
     config = PipelineConfig(runtime=_runtime_config(args))
-    learned = MiningEngine(config, _mining_config(args)).learn(programs)
+    coordinator = _make_coordinator(args) if args.distributed else None
+    try:
+        learned = MiningEngine(
+            config, _mining_config(args), coordinator
+        ).learn(programs)
+    finally:
+        if coordinator is not None:
+            coordinator.close()
     run = learned.run
     if learned.mining is not None:
         _print_mining(learned.mining)
@@ -203,6 +251,28 @@ def _cmd_learn(args: argparse.Namespace) -> int:
         print(f"wrote {args.out}")
     else:
         print(text)
+    return EXIT_OK
+
+
+def _cmd_worker(args: argparse.Namespace) -> int:
+    from repro.dist import run_worker
+
+    host, port = args.connect
+    log = (lambda line: None) if args.quiet else \
+        (lambda line: print(line, flush=True))
+    try:
+        n_done = run_worker(
+            host, port,
+            name=args.name,
+            connect_retries=args.connect_retries,
+            retry_delay=args.retry_delay,
+            max_tasks=args.max_tasks,
+            log=log,
+        )
+    except ConnectionError as err:
+        print(f"error: {err}", file=sys.stderr)
+        return EXIT_ERROR
+    print(f"worker done: {n_done} task(s) served")
     return EXIT_OK
 
 
@@ -342,21 +412,8 @@ def _cmd_reproduce(args: argparse.Namespace) -> int:
     return 0
 
 
-def build_parser() -> argparse.ArgumentParser:
-    parser = argparse.ArgumentParser(
-        prog="uspec",
-        description="Unsupervised learning of API aliasing specifications "
-                    "(PLDI 2019 reproduction)",
-        epilog=EXIT_CODES_HELP,
-        formatter_class=argparse.RawDescriptionHelpFormatter,
-    )
-    sub = parser.add_subparsers(dest="command", required=True)
-
-    learn = sub.add_parser(
-        "learn", help="learn specifications from a corpus",
-        epilog=EXIT_CODES_HELP,
-        formatter_class=argparse.RawDescriptionHelpFormatter,
-    )
+def _add_learn_arguments(learn: argparse.ArgumentParser) -> None:
+    """The full ``learn`` option set (shared with ``coordinator``)."""
     learn.add_argument("--language", choices=("java", "python"),
                        default="java")
     learn.add_argument("--files", type=int, default=250,
@@ -433,7 +490,90 @@ def build_parser() -> argparse.ArgumentParser:
                        help="max history-extension events per program")
     learn.add_argument("--budget-seconds", type=float, metavar="S",
                        help="soft wall-clock deadline per analysis stage")
+    learn.add_argument("--adaptive-deadline", action="store_true",
+                       help="derive the effective per-attempt deadline "
+                            "from observed per-program analysis times "
+                            "(p95 × slack × task size) so slow-but-"
+                            "healthy shards are not killed as hangs; "
+                            "--shard-deadline stays as the floor")
+    learn.add_argument("--parallel-train", action="store_true",
+                       help="run the training reduce in the worker "
+                            "pool (one task per position-key ensemble "
+                            "plus the shared fallback); specs stay "
+                            "byte-identical to the sequential reduce")
+    learn.add_argument("--distributed", action="store_true",
+                       help="dispatch shard tasks to remote uspec "
+                            "workers instead of local processes (see "
+                            "--bind/--min-workers/--lease; equivalent "
+                            "to the 'coordinator' subcommand)")
+    learn.add_argument("--bind", type=_parse_endpoint,
+                       default=("127.0.0.1", 0), metavar="HOST:PORT",
+                       help="interface the coordinator listens on "
+                            "(default 127.0.0.1:0 = loopback, "
+                            "ephemeral port; the bound address is "
+                            "printed at startup)")
+    learn.add_argument("--min-workers", type=int, default=1, metavar="N",
+                       help="wait for N registered workers before "
+                            "dispatching (default 1)")
+    learn.add_argument("--lease", type=float, default=15.0, metavar="S",
+                       help="seconds a dispatched task survives without "
+                            "a worker heartbeat before it is "
+                            "re-dispatched and the silent worker "
+                            "dropped (default 15)")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="uspec",
+        description="Unsupervised learning of API aliasing specifications "
+                    "(PLDI 2019 reproduction)",
+        epilog=EXIT_CODES_HELP,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    learn = sub.add_parser(
+        "learn", help="learn specifications from a corpus",
+        epilog=EXIT_CODES_HELP,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    _add_learn_arguments(learn)
     learn.set_defaults(func=_cmd_learn)
+
+    coord = sub.add_parser(
+        "coordinator",
+        help="learn over a worker cluster (learn --distributed)",
+        epilog=EXIT_CODES_HELP,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    _add_learn_arguments(coord)
+    coord.set_defaults(func=_cmd_learn, distributed=True)
+
+    worker = sub.add_parser(
+        "worker",
+        help="serve shard tasks for a coordinator until it shuts down",
+    )
+    worker.add_argument("--connect", type=_parse_endpoint, required=True,
+                        metavar="HOST:PORT",
+                        help="coordinator address (printed by "
+                             "'uspec coordinator' at startup)")
+    worker.add_argument("--name", default=None,
+                        help="worker name in coordinator stats "
+                             "(default: host + pid)")
+    worker.add_argument("--connect-retries", type=int, default=20,
+                        metavar="N",
+                        help="connection attempts before giving up "
+                             "(default 20; lets workers start before "
+                             "the coordinator)")
+    worker.add_argument("--retry-delay", type=float, default=0.5,
+                        metavar="S", help="seconds between attempts")
+    worker.add_argument("--max-tasks", type=int, default=None,
+                        metavar="N",
+                        help="exit after N tasks (default: serve until "
+                             "the coordinator shuts the cluster down)")
+    worker.add_argument("--quiet", action="store_true",
+                        help="suppress per-task log lines")
+    worker.set_defaults(func=_cmd_worker)
 
     show = sub.add_parser("show", help="pretty-print a specs file")
     show.add_argument("specs")

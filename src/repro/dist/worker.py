@@ -1,0 +1,238 @@
+"""The worker daemon: pulls shard tasks from a coordinator and runs
+them through the exact in-process mining path.
+
+One worker is the remote analogue of one supervised child process: it
+connects, registers (``hello``/``welcome``), then loops ``ready`` →
+``task`` → ``result``.  The task frame names a module-level runner
+(restricted to the ``repro.`` namespace) and carries the pickled
+payload; the worker executes ``runner(payload, attempt)`` — the same
+entry point :func:`repro.mining.supervisor._child_main` uses — so the
+analysis cache, budget ladder and chaos hooks all behave identically
+to local mining.
+
+While a task runs, a daemon thread heartbeats the coordinator at a
+third of the lease interval; a worker that dies (or whose network
+does) simply stops heartbeating and its lease lapses.  Result frames
+mirror the supervised child's pipe protocol: ``ok`` with a pickled
+result, ``corrupt`` for a :class:`~repro.runtime.faults.CorruptResult`
+chaos marker, ``error`` with the pickled typed exception otherwise.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import socket
+import threading
+import time
+from typing import Callable, Dict, List, Optional
+
+from repro.dist.protocol import (
+    PROTOCOL_VERSION,
+    FrameDecoder,
+    ProtocolError,
+    pack_payload,
+    recv_frame,
+    resolve_runner,
+    send_frame,
+    unpack_payload,
+)
+from repro.runtime.faults import CorruptResult
+
+#: heartbeats per lease interval — 3 gives two chances to survive one
+#: dropped frame before the lease lapses
+_BEATS_PER_LEASE = 3.0
+
+#: floor/ceiling on the heartbeat period (seconds)
+_MIN_BEAT = 0.05
+_MAX_BEAT = 30.0
+
+
+class _Heartbeat:
+    """Background lease renewal for the currently running task."""
+
+    def __init__(self, sock: socket.socket, lock: threading.Lock,
+                 task_id: str, period: float) -> None:
+        self._sock = sock
+        self._lock = lock
+        self._task_id = task_id
+        self._period = period
+        self._stop = threading.Event()
+        self._thread = threading.Thread(target=self._run, daemon=True)
+
+    def __enter__(self) -> "_Heartbeat":
+        self._thread.start()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self._stop.set()
+        self._thread.join(timeout=self._period * 2 + 1.0)
+
+    def _run(self) -> None:
+        while not self._stop.wait(self._period):
+            try:
+                with self._lock:
+                    send_frame(self._sock, {
+                        "type": "heartbeat", "task_id": self._task_id,
+                    })
+            except OSError:
+                return  # connection gone; the main loop will notice
+
+
+def _connect(
+    host: str,
+    port: int,
+    retries: int,
+    retry_delay: float,
+    sleep: Callable[[float], None],
+) -> socket.socket:
+    last: Optional[OSError] = None
+    for attempt in range(max(1, retries)):
+        if attempt:
+            sleep(retry_delay)
+        try:
+            return socket.create_connection((host, port), timeout=30.0)
+        except OSError as err:
+            last = err
+    raise ConnectionError(
+        f"could not reach coordinator at {host}:{port} after "
+        f"{max(1, retries)} attempt(s): {last}"
+    )
+
+
+def _execute(runner: Callable, payload: object, attempt: int,
+             task_id: str) -> Dict[str, object]:
+    """Run one task; mirror ``_child_main``'s ok/corrupt/error protocol."""
+    try:
+        result = runner(payload, attempt)
+    except CorruptResult as marker:
+        return {"type": "result", "task_id": task_id,
+                "status": "corrupt", "error": str(marker)}
+    except BaseException as err:
+        try:
+            payload_text = pack_payload(err)
+        except Exception:
+            payload_text = pack_payload(RuntimeError(
+                f"{type(err).__name__}: {err}"
+            ))
+        return {"type": "result", "task_id": task_id, "status": "error",
+                "payload": payload_text,
+                "error": f"{type(err).__name__}: {err}"}
+    try:
+        return {"type": "result", "task_id": task_id, "status": "ok",
+                "payload": pack_payload(result)}
+    except (pickle.PicklingError, TypeError, ValueError) as err:
+        return {"type": "result", "task_id": task_id, "status": "error",
+                "payload": pack_payload(RuntimeError(
+                    f"unpicklable result: {err}"
+                )),
+                "error": f"unpicklable result: {err}"}
+
+
+def run_worker(
+    host: str,
+    port: int,
+    *,
+    name: Optional[str] = None,
+    connect_retries: int = 1,
+    retry_delay: float = 0.5,
+    max_tasks: Optional[int] = None,
+    sleep: Callable[[float], None] = time.sleep,
+    log: Callable[[str], None] = lambda line: None,
+) -> int:
+    """Serve one coordinator until it says ``shutdown``.
+
+    Returns the number of tasks completed (any status).  Raises
+    :class:`ConnectionError` if the coordinator is unreachable after
+    ``connect_retries`` attempts, and :class:`ProtocolError` on a
+    version mismatch.  ``max_tasks`` bounds this worker's life for
+    tests and canary deployments.
+    """
+    label = name or f"worker-{socket.gethostname()}-{os.getpid()}"
+    sock = _connect(host, port, connect_retries, retry_delay, sleep)
+    decoder = FrameDecoder()
+    pending: List[Dict[str, object]] = []
+    send_lock = threading.Lock()
+    done = [0]  # shared with _serve so a lost connection keeps the tally
+    try:
+        try:
+            return _serve(sock, decoder, pending, send_lock, label,
+                          max_tasks, log, done)
+        except OSError:
+            # the coordinator vanished mid-frame (closed the cluster,
+            # crashed, network cut): a worker just goes home
+            log(f"{label}: connection lost")
+            return done[0]
+    finally:
+        try:
+            sock.close()
+        except OSError:
+            pass
+
+
+def _serve(
+    sock: socket.socket,
+    decoder: FrameDecoder,
+    pending: List[Dict[str, object]],
+    send_lock: threading.Lock,
+    label: str,
+    max_tasks: Optional[int],
+    log: Callable[[str], None],
+    done: List[int],
+) -> int:
+    """The registration handshake and the ready/task/result loop."""
+    send_frame(sock, {
+        "type": "hello", "worker": label, "pid": os.getpid(),
+        "version": PROTOCOL_VERSION,
+    })
+    welcome = recv_frame(sock, decoder, pending)
+    if welcome is None:
+        raise ConnectionError("coordinator hung up during handshake")
+    if welcome.get("type") != "welcome":
+        raise ProtocolError(
+            f"registration rejected: {welcome.get('error', welcome)}"
+        )
+    lease = float(welcome.get("lease") or 15.0)
+    beat = min(_MAX_BEAT, max(_MIN_BEAT, lease / _BEATS_PER_LEASE))
+    log(f"{label}: registered (lease {lease:g}s)")
+    with send_lock:
+        send_frame(sock, {"type": "ready"})
+    while True:
+        message = recv_frame(sock, decoder, pending)
+        if message is None:
+            log(f"{label}: coordinator hung up")
+            return done[0]
+        kind = message.get("type")
+        if kind == "shutdown":
+            with send_lock:
+                send_frame(sock, {"type": "goodbye"})
+            log(f"{label}: shutdown after {done[0]} task(s)")
+            return done[0]
+        if kind != "task":
+            continue  # tolerate unknown control frames
+        task_id = str(message.get("task_id"))
+        attempt = int(message.get("attempt") or 0)
+        log(f"{label}: task {task_id} attempt {attempt}")
+        try:
+            runner = resolve_runner(str(message.get("runner")))
+            payload = unpack_payload(str(message.get("payload")))
+        except Exception as err:
+            reply: Dict[str, object] = {
+                "type": "result", "task_id": task_id,
+                "status": "error",
+                "payload": pack_payload(RuntimeError(
+                    f"undecodable task: {err}"
+                )),
+                "error": f"undecodable task: {err}",
+            }
+        else:
+            with _Heartbeat(sock, send_lock, task_id, beat):
+                reply = _execute(runner, payload, attempt, task_id)
+        done[0] += 1
+        with send_lock:
+            send_frame(sock, reply)
+            if max_tasks is not None and done[0] >= max_tasks:
+                send_frame(sock, {"type": "goodbye"})
+                log(f"{label}: max-tasks reached ({done[0]})")
+                return done[0]
+            send_frame(sock, {"type": "ready"})

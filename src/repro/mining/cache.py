@@ -92,6 +92,10 @@ class AnalysisCache:
         self.directory = Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
         self.fingerprint = fingerprint
+        #: sticky: cleared the first time a recency touch is denied
+        #: (read-only cache dir), so lookups degrade to no-touch
+        #: instead of attempting — or worse, crashing on — every entry
+        self._touchable = True
 
     def key_of(self, program_fp: str) -> str:
         combined = f"{self.fingerprint}\0{program_fp}"
@@ -192,13 +196,24 @@ class AnalysisCache:
             evicted += 1
         return evicted
 
-    @staticmethod
-    def _touch(path: Path) -> None:
-        """Refresh an entry's mtime (its LRU recency mark)."""
+    def _touch(self, path: Path) -> None:
+        """Refresh an entry's mtime (its LRU recency mark).
+
+        Touching is best-effort: a cache shared read-only (a corpus
+        snapshot mounted into workers, a root-owned prewarmed cache)
+        still serves hits, it just loses LRU recency.  Permission-type
+        failures latch ``_touchable`` off so the cost is paid once per
+        cache instance, not per lookup; a missing file (an entry that
+        raced an eviction) stays a per-call no-op.
+        """
+        if not self._touchable:
+            return
         try:
             os.utime(path)
-        except OSError:
+        except FileNotFoundError:
             pass  # entry raced an eviction; the load already succeeded
+        except (PermissionError, OSError):
+            self._touchable = False
 
     # ------------------------------------------------------------------
 

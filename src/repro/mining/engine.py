@@ -45,13 +45,32 @@ import tempfile
 import time
 from dataclasses import dataclass, field, replace
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from repro.ir.program import Program
 from repro.model.dataset import GraphBundle, bundle_seed, collect_bundle_samples
-from repro.model.features import encode_sample
-from repro.model.model import EventPairModel
+from repro.model.features import FeatureConfig, encode_sample
+from repro.model.logistic import (
+    LogisticRegression,
+    SparseExample,
+    SufficientStats,
+    TrainConfig,
+)
+from repro.model.model import (
+    EventPairModel,
+    PositionKey,
+    member_configs,
+    train_members,
+)
 from repro.runtime.checkpoint import program_key
+from repro.runtime.errors import WorkerCrash
 from repro.runtime.executor import (
     CorpusExecutor,
     CorpusRunReport,
@@ -77,6 +96,11 @@ from repro.mining.supervisor import (
     ShardSupervisor,
     SupervisionConfig,
 )
+
+if TYPE_CHECKING:  # engine → dist would close an import cycle at
+    # runtime (repro.dist.coordinator imports repro.mining.supervisor),
+    # so the coordinator is injected, never constructed here
+    from repro.dist.coordinator import Coordinator
 
 #: default shards per worker; several shards per job keeps the pool
 #: busy when shard sizes are skewed, at negligible merge cost
@@ -114,12 +138,21 @@ class MiningConfig:
     supervision: SupervisionConfig = field(
         default_factory=SupervisionConfig
     )
+    #: run the training reduce in the worker pool: one task per
+    #: position-key ensemble plus the shared fallback, specs
+    #: byte-identical to the sequential reduce
+    parallel_train: bool = False
 
     def resolve_jobs(self) -> int:
         return max(1, self.jobs)
 
-    def resolve_shards(self, n_units: int) -> int:
-        jobs = self.resolve_jobs()
+    def resolve_shards(
+        self, n_units: int, workers: Optional[int] = None
+    ) -> int:
+        """Default shard count; ``workers`` (a distributed run's
+        registered worker count) widens the default the same way
+        ``--jobs`` does locally."""
+        jobs = max(self.resolve_jobs(), workers or 0)
         n = self.shards if self.shards is not None \
             else (1 if jobs == 1 else SHARDS_PER_JOB * jobs)
         return max(1, min(n, max(1, n_units)))
@@ -134,7 +167,9 @@ class MiningConfig:
     @property
     def supervised(self) -> bool:
         """Whether shard tasks run in supervised worker processes."""
-        return self.resolve_jobs() > 1 or self.supervision.wants_supervision
+        return (self.resolve_jobs() > 1
+                or self.supervision.wants_supervision
+                or self.parallel_train)
 
 
 # ----------------------------------------------------------------------
@@ -349,6 +384,65 @@ def _split_extract(payload: ExtractTask):
     )
 
 
+@dataclass(frozen=True)
+class TrainTask:
+    """One training-reduce payload: a single ensemble's example stream.
+
+    ``key`` is the position key whose ensemble this task trains, or
+    None for the shared fallback (which sees every example).  The
+    examples arrive already in canonical stream order, so training is
+    float-identical to the sequential reduce.
+    """
+
+    feature: FeatureConfig
+    train: TrainConfig
+    n_members: int
+    group_id: int
+    key: Optional[PositionKey]
+    examples: Tuple[SparseExample, ...]
+
+    @property
+    def items(self) -> Tuple[SparseExample, ...]:
+        # sized like its example stream so adaptive deadlines scale
+        # with the actual work (see TaskScheduler._payload_size)
+        return self.examples
+
+
+def _supervised_train(
+    payload: TrainTask, attempt: int
+) -> Tuple[int, Optional[PositionKey], List[LogisticRegression]]:
+    configs = member_configs(payload.train, payload.n_members)
+    members = train_members(
+        payload.feature.dim, configs, payload.examples
+    )
+    return payload.group_id, payload.key, members
+
+
+def _split_train(payload: TrainTask):
+    # an ensemble is atomic: its members must see the full example
+    # stream, so a failing train task cannot be bisected
+    return None
+
+
+def _poison_train(payload: TrainTask, label: str, error: str):
+    # dropping an ensemble would silently change the learned specs, so
+    # an unrecoverable training failure is fatal even outside --strict
+    what = "fallback" if payload.key is None else f"key {payload.key}"
+    raise WorkerCrash(
+        f"training task for {what} failed permanently ({label}): {error}"
+    )
+
+
+def _valid_training(result) -> bool:
+    return (
+        isinstance(result, tuple) and len(result) == 3
+        and isinstance(result[0], int)
+        and (result[1] is None or isinstance(result[1], tuple))
+        and isinstance(result[2], list) and len(result[2]) > 0
+        and all(isinstance(m, LogisticRegression) for m in result[2])
+    )
+
+
 def _valid_partial(result) -> bool:
     return isinstance(result, ShardPartial)
 
@@ -371,10 +465,16 @@ class MiningEngine:
         self,
         config: Optional[PipelineConfig] = None,
         mining: Optional[MiningConfig] = None,
+        coordinator: Optional["Coordinator"] = None,
     ) -> None:
         self.pipeline = USpecPipeline(config)
         self.config = self.pipeline.config
         self.mining = mining or MiningConfig()
+        #: a bound repro.dist Coordinator makes the run distributed:
+        #: every phase dispatches to its registered workers instead of
+        #: local worker processes (injected, not built — see the
+        #: import-cycle note above)
+        self.coordinator = coordinator
 
     # ------------------------------------------------------------------
 
@@ -387,12 +487,36 @@ class MiningEngine:
         """
         t0 = time.monotonic()
         jobs = self.mining.resolve_jobs()
-        supervised = self.mining.supervised
+        distributed = self.coordinator is not None
+        supervised = self.mining.supervised or distributed
+        ledger = FailureLedger() if supervised else None
+        supervisor = None  # the dispatcher: supervisor or coordinator
+        if distributed:
+            self.coordinator.configure(
+                self.mining.supervision,
+                strict=self.config.runtime.strict,
+                ledger=ledger,
+            )
+            self.coordinator.bind()
+            self.coordinator.wait_for_workers(
+                self.coordinator.dist.min_workers
+            )
+            supervisor = self.coordinator
+        elif supervised:
+            supervisor = ShardSupervisor(
+                self.mining.resolve_context(), jobs,
+                self.mining.supervision,
+                strict=self.config.runtime.strict,
+                ledger=ledger,
+            )
         units: List[Unit] = [
             (index, program_key(program, index), program)
             for index, program in enumerate(programs)
         ]
-        n_shards = self.mining.resolve_shards(len(units))
+        n_shards = self.mining.resolve_shards(
+            len(units),
+            workers=self.coordinator.n_workers if distributed else None,
+        )
         plan = ShardPlan.of(
             [program.source or key for _, key, program in units], n_shards
         )
@@ -415,15 +539,6 @@ class MiningEngine:
         bundle_sink: Optional[Dict[str, GraphBundle]] = \
             None if supervised else {}
 
-        ledger = FailureLedger() if supervised else None
-        supervisor: Optional[ShardSupervisor] = None
-        if supervised:
-            supervisor = ShardSupervisor(
-                self.mining.resolve_context(), jobs,
-                self.mining.supervision,
-                strict=self.config.runtime.strict,
-                ledger=ledger,
-            )
         chaos = self.mining.supervision.chaos
 
         try:
@@ -455,7 +570,10 @@ class MiningEngine:
             ):
                 merged.merge(partial)
             merged.canonicalize()
-            model = self.pipeline.train_from_stats(merged.stats)
+            if supervisor is not None and self.mining.parallel_train:
+                model = self._parallel_train(supervisor, merged.stats)
+            else:
+                model = self.pipeline.train_from_stats(merged.stats)
             t2 = time.monotonic()
 
             # phase 3: map-extract ------------------------------------
@@ -525,10 +643,69 @@ class MiningEngine:
         report = self._report(
             jobs, n_shards, merged, t0, t1, t2, t3,
             ledger=ledger, n_evicted=n_evicted, supervised=supervised,
+            distributed=distributed,
+            parallel_train=bool(
+                supervised and self.mining.parallel_train
+            ),
+            cluster=(
+                self.coordinator.stats.to_dict() if distributed else None
+            ),
         )
         return LearnedSpecs(
             specs, scores, extraction, model, self.config,
             run=run, mining=report,
+        )
+
+    # ------------------------------------------------------------------
+
+    def _parallel_train(
+        self, dispatcher, stats: SufficientStats
+    ) -> EventPairModel:
+        """The training reduce as a supervised/distributed phase.
+
+        The canonical seed-shuffled stream is built in the parent, then
+        split into one task per position-key ensemble plus one for the
+        shared fallback.  Each ensemble depends only on its own
+        (stream-ordered) example subsequence and the member seed
+        configs, so the reassembled model — and therefore the specs —
+        is float-identical to the sequential reduce.
+        """
+        cfg = self.config
+        n_members = EventPairModel(cfg.feature, cfg.train).n_members
+        stream = stats.stream(cfg.seed)
+        grouped: Dict[PositionKey, List[SparseExample]] = {}
+        all_examples: List[SparseExample] = []
+        for sample in stream:
+            example = (sample.indices, sample.label)
+            grouped.setdefault(sample.position_key, []).append(example)
+            all_examples.append(example)
+        tasks: List[Tuple[int, TrainTask]] = []
+        for group_id, (key, examples) in enumerate(sorted(grouped.items())):
+            tasks.append((group_id, TrainTask(
+                cfg.feature, cfg.train, n_members, group_id, key,
+                tuple(examples),
+            )))
+        tasks.append((len(tasks), TrainTask(
+            cfg.feature, cfg.train, n_members, len(tasks), None,
+            tuple(all_examples),
+        )))
+        results = dispatcher.run_phase(
+            "train", tasks,
+            runner=_supervised_train,
+            splitter=_split_train,
+            poisoner=_poison_train,
+            validator=_valid_training,
+        )
+        models: Dict[PositionKey, List[LogisticRegression]] = {}
+        fallback: List[LogisticRegression] = []
+        for _, key, members in results:
+            if key is None:
+                fallback = members
+            else:
+                models[key] = members
+        return EventPairModel.from_trained(
+            cfg.feature, cfg.train, models, fallback, len(stream),
+            n_members=n_members,
         )
 
     # ------------------------------------------------------------------
@@ -605,6 +782,9 @@ class MiningEngine:
         ledger: Optional[FailureLedger] = None,
         n_evicted: int = 0,
         supervised: bool = False,
+        distributed: bool = False,
+        parallel_train: bool = False,
+        cluster: Optional[Dict[str, object]] = None,
     ) -> MiningReport:
         def total(attr: str) -> int:
             return sum(getattr(m, attr) for m in merged.metrics)
@@ -630,6 +810,9 @@ class MiningEngine:
             ledger=ledger,
             n_evicted=n_evicted,
             supervised=supervised,
+            distributed=distributed,
+            parallel_train=parallel_train,
+            cluster=cluster,
         )
 
 
@@ -637,6 +820,7 @@ def learn_sharded(
     programs: Sequence[Program],
     config: Optional[PipelineConfig] = None,
     mining: Optional[MiningConfig] = None,
+    coordinator: Optional["Coordinator"] = None,
 ) -> LearnedSpecs:
     """Convenience wrapper: one-call sharded learning."""
-    return MiningEngine(config, mining).learn(programs)
+    return MiningEngine(config, mining, coordinator).learn(programs)

@@ -188,6 +188,12 @@ class MiningReport:
     n_evicted: int = 0
     #: whether shard tasks ran in supervised worker processes
     supervised: bool = False
+    #: whether shard tasks were dispatched to a repro.dist cluster
+    distributed: bool = False
+    #: whether the training reduce ran in the worker pool
+    parallel_train: bool = False
+    #: repro.dist ClusterStats.to_dict() of a distributed run
+    cluster: Optional[Dict[str, object]] = None
 
     @property
     def cache_hit_rate(self) -> float:
@@ -219,6 +225,9 @@ class MiningReport:
             "seconds_total": round(self.seconds_total, 6),
             "n_evicted": self.n_evicted,
             "supervised": self.supervised,
+            "distributed": self.distributed,
+            "parallel_train": self.parallel_train,
+            "cluster": self.cluster,
             "supervision": (
                 self.ledger.to_dict() if self.ledger is not None else None
             ),

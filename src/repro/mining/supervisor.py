@@ -78,6 +78,15 @@ class SupervisionConfig:
     #: wall-clock seconds one shard-task attempt may run; None = no
     #: watchdog (hung workers are then only reclaimable by the user)
     shard_deadline: Optional[float] = None
+    #: derive the effective per-attempt deadline from observed
+    #: per-program analysis times (p95 × slack × task size) once enough
+    #: OK attempts have been seen; ``shard_deadline`` stays as the
+    #: floor, so slow-but-healthy shards are not killed as hangs
+    adaptive_deadline: bool = False
+    #: adaptive deadline = p95(per-program seconds) × slack × n_programs
+    deadline_slack: float = 8.0
+    #: OK attempts observed before the adaptive estimate kicks in
+    deadline_min_samples: int = 3
     #: exponential backoff schedule: base × factor^(attempt-1), capped
     backoff_base: float = 0.05
     backoff_factor: float = 2.0
@@ -105,7 +114,50 @@ class SupervisionConfig:
         and a deadline needs a watchdog outside the worker — both force
         the engine onto the supervised path even for ``--jobs 1``.
         """
-        return bool(self.chaos) or self.shard_deadline is not None
+        return (bool(self.chaos) or self.shard_deadline is not None
+                or self.adaptive_deadline)
+
+
+class DeadlineTracker:
+    """Adaptive per-attempt deadlines from observed analysis times.
+
+    A fixed ``--shard-deadline`` mistakes slow-but-healthy shards for
+    hangs: shard wall-clock scales with shard size and per-program
+    cost, neither of which the flag knows.  The tracker records the
+    per-program seconds of every OK attempt and, once
+    ``deadline_min_samples`` have been seen, derives the allowance for
+    a task of ``n`` programs as ``p95 × deadline_slack × n``.  The
+    fixed flag survives as a *floor* (and as the whole policy until
+    the estimate warms up), so a hang is always reclaimable even on
+    the first wave of tasks.
+
+    Shared by the in-process :class:`ShardSupervisor` and the
+    :class:`repro.dist.coordinator.Coordinator` — both observe through
+    the same instance per run, so remote and local attempts pool their
+    evidence.
+    """
+
+    def __init__(self, supervision: SupervisionConfig) -> None:
+        self.supervision = supervision
+        self.samples: List[float] = []
+
+    def observe(self, seconds: float, n_programs: int) -> None:
+        """Record one OK attempt's per-program wall-clock."""
+        if self.supervision.adaptive_deadline and seconds >= 0:
+            self.samples.append(seconds / max(1, n_programs))
+
+    def effective(self, n_programs: int) -> Optional[float]:
+        """The deadline for a task of ``n_programs``, or None."""
+        fixed = self.supervision.shard_deadline
+        if (not self.supervision.adaptive_deadline
+                or len(self.samples) < max(
+                    1, self.supervision.deadline_min_samples)):
+            return fixed
+        ordered = sorted(self.samples)
+        p95 = ordered[int(0.95 * (len(ordered) - 1))]
+        candidate = (p95 * self.supervision.deadline_slack
+                     * max(1, n_programs))
+        return candidate if fixed is None else max(fixed, candidate)
 
 
 # ----------------------------------------------------------------------
@@ -328,9 +380,111 @@ class _Running:
     conn: object
     started: float
     deadline: Optional[float]
+    allowed: Optional[float] = None  # the deadline in relative seconds
 
 
-class ShardSupervisor:
+class TaskScheduler:
+    """Shared retry / bisection / poison policy of one mining run.
+
+    The in-process :class:`ShardSupervisor` and the socket-based
+    :class:`repro.dist.coordinator.Coordinator` differ in *where*
+    attempts run (local worker processes vs remote worker daemons) but
+    not in *what happens when one fails*: bounded retries with
+    deterministic backoff, poison-shard bisection down to a singleton,
+    quarantine of the isolated toxin, strict-mode fail-fast, and a
+    shared :class:`FailureLedger`.  That policy lives here so both
+    dispatchers stay byte-identical in their failure semantics.
+    """
+
+    def __init__(
+        self,
+        supervision: Optional[SupervisionConfig] = None,
+        *,
+        strict: bool = False,
+        ledger: Optional[FailureLedger] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.supervision = supervision or SupervisionConfig()
+        self.strict = strict
+        self.ledger = ledger if ledger is not None else FailureLedger()
+        self._clock = clock
+        self._seq = 0
+        self._deadlines = DeadlineTracker(self.supervision)
+
+    # ------------------------------------------------------------------
+
+    def _make_task(
+        self, task_id: str, shard_id: int, phase: str, payload: object
+    ) -> _Task:
+        self._seq += 1
+        record = self.ledger.record(TaskRecord(
+            task_id=task_id, shard_id=shard_id, phase=phase,
+            n_programs=self._payload_size(payload),
+        ))
+        return _Task(
+            task_id=task_id, shard_id=shard_id, payload=payload,
+            record=record, seq=self._seq,
+        )
+
+    @staticmethod
+    def _payload_size(payload: object) -> int:
+        items = getattr(payload, "items", None)
+        if items is None:
+            items = getattr(payload, "refs", None)
+        try:
+            return len(items) if items is not None else 1
+        except TypeError:
+            return 1
+
+    def _failed(
+        self,
+        task: _Task,
+        outcome: str,
+        error: str,
+        seconds: float,
+        now: float,
+        queue: List[_Task],
+        results: List[object],
+        splitter,
+        poisoner,
+        recorded: bool = False,
+    ) -> None:
+        """Retry, bisect, or poison a task whose attempt just failed."""
+        if not recorded:
+            task.record.attempts.append(AttemptRecord(
+                attempt=task.attempt, outcome=outcome,
+                seconds=seconds, error=error,
+            ))
+        if task.attempt < self.supervision.max_retries:
+            task.attempt += 1
+            task.ready_at = now + self.supervision.backoff(task.attempt)
+            queue.append(task)
+            return
+        if self.strict:
+            cls = WorkerTimeout if outcome == OUTCOME_TIMEOUT else WorkerCrash
+            raise cls(
+                f"task {task.task_id} ({task.record.phase}) failed "
+                f"{task.attempt + 1} attempt(s): {error}"
+            )
+        halves = splitter(task.payload)
+        if halves is None:
+            # the toxic program is isolated: quarantine, keep the rest
+            label = WORKER_TIMEOUT if outcome == OUTCOME_TIMEOUT \
+                else WORKER_CRASH
+            task.record.poisoned = label
+            results.append(poisoner(task.payload, label, error))
+            return
+        task.record.bisected = True
+        for half_index, half in enumerate(halves):
+            child = self._make_task(
+                f"{task.task_id}.{half_index}", task.shard_id,
+                task.record.phase, half,
+            )
+            child.ready_at = now
+            queue.append(child)
+
+
+class ShardSupervisor(TaskScheduler):
     """Watchdog dispatcher for one mining run's shard tasks.
 
     One instance supervises both engine phases (analyse, extract) and
@@ -349,14 +503,11 @@ class ShardSupervisor:
         clock: Callable[[], float] = time.monotonic,
         sleep: Callable[[float], None] = time.sleep,
     ) -> None:
+        super().__init__(supervision, strict=strict, ledger=ledger,
+                         clock=clock)
         self.ctx = ctx
         self.jobs = max(1, jobs)
-        self.supervision = supervision or SupervisionConfig()
-        self.strict = strict
-        self.ledger = ledger if ledger is not None else FailureLedger()
-        self._clock = clock
         self._sleep = sleep
-        self._seq = 0
 
     # ------------------------------------------------------------------
 
@@ -419,29 +570,6 @@ class ShardSupervisor:
 
     # ------------------------------------------------------------------
 
-    def _make_task(
-        self, task_id: str, shard_id: int, phase: str, payload: object
-    ) -> _Task:
-        self._seq += 1
-        record = self.ledger.record(TaskRecord(
-            task_id=task_id, shard_id=shard_id, phase=phase,
-            n_programs=self._payload_size(payload),
-        ))
-        return _Task(
-            task_id=task_id, shard_id=shard_id, payload=payload,
-            record=record, seq=self._seq,
-        )
-
-    @staticmethod
-    def _payload_size(payload: object) -> int:
-        items = getattr(payload, "items", None)
-        if items is None:
-            items = getattr(payload, "refs", None)
-        try:
-            return len(items) if items is not None else 1
-        except TypeError:
-            return 1
-
     def _launch_ready(
         self,
         queue: List[_Task],
@@ -461,11 +589,14 @@ class ShardSupervisor:
             )
             process.start()
             child_conn.close()
-            deadline = self.supervision.shard_deadline
+            allowed = self._deadlines.effective(
+                self._payload_size(task.payload)
+            )
             running[parent_conn] = _Running(
                 task=task, process=process, conn=parent_conn,
                 started=now,
-                deadline=(now + deadline) if deadline is not None else None,
+                deadline=(now + allowed) if allowed is not None else None,
+                allowed=allowed,
             )
 
     def _wait_timeout(
@@ -518,14 +649,17 @@ class ShardSupervisor:
         if (isinstance(message, tuple) and len(message) == 2
                 and message[0] == "ok" and validator(message[1])):
             straggler = (
-                attempt.deadline is not None
+                attempt.allowed is not None
                 and seconds > self.supervision.straggler_fraction
-                * self.supervision.shard_deadline
+                * attempt.allowed
             )
             task.record.attempts.append(AttemptRecord(
                 attempt=task.attempt, outcome=OUTCOME_OK,
                 seconds=seconds, straggler=bool(straggler),
             ))
+            self._deadlines.observe(
+                seconds, self._payload_size(task.payload)
+            )
             results.append(message[1])
             return
         if (isinstance(message, tuple) and len(message) == 2
@@ -577,59 +711,10 @@ class ShardSupervisor:
             conn.close()
             self._failed(
                 attempt.task, OUTCOME_TIMEOUT,
-                f"shard deadline of {self.supervision.shard_deadline:g}s "
-                f"exceeded",
+                f"shard deadline of {attempt.allowed:g}s exceeded",
                 now - attempt.started, now, queue, results,
                 splitter, poisoner,
             )
-
-    # ------------------------------------------------------------------
-
-    def _failed(
-        self,
-        task: _Task,
-        outcome: str,
-        error: str,
-        seconds: float,
-        now: float,
-        queue: List[_Task],
-        results: List[object],
-        splitter,
-        poisoner,
-        recorded: bool = False,
-    ) -> None:
-        if not recorded:
-            task.record.attempts.append(AttemptRecord(
-                attempt=task.attempt, outcome=outcome,
-                seconds=seconds, error=error,
-            ))
-        if task.attempt < self.supervision.max_retries:
-            task.attempt += 1
-            task.ready_at = now + self.supervision.backoff(task.attempt)
-            queue.append(task)
-            return
-        if self.strict:
-            cls = WorkerTimeout if outcome == OUTCOME_TIMEOUT else WorkerCrash
-            raise cls(
-                f"task {task.task_id} ({task.record.phase}) failed "
-                f"{task.attempt + 1} attempt(s): {error}"
-            )
-        halves = splitter(task.payload)
-        if halves is None:
-            # the toxic program is isolated: quarantine, keep the rest
-            label = WORKER_TIMEOUT if outcome == OUTCOME_TIMEOUT \
-                else WORKER_CRASH
-            task.record.poisoned = label
-            results.append(poisoner(task.payload, label, error))
-            return
-        task.record.bisected = True
-        for half_index, half in enumerate(halves):
-            child = self._make_task(
-                f"{task.task_id}.{half_index}", task.shard_id,
-                task.record.phase, half,
-            )
-            child.ready_at = now
-            queue.append(child)
 
     # ------------------------------------------------------------------
 

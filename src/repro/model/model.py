@@ -24,6 +24,36 @@ from repro.model.logistic import LogisticRegression, SparseExample, TrainConfig
 PositionKey = Tuple[str, str]
 
 
+def member_configs(
+    train_config: TrainConfig, n_members: int
+) -> List[TrainConfig]:
+    """The per-member SGD configs of one ensemble (seed-offset bagging)."""
+    return [replace(train_config, seed=train_config.seed + 101 * i)
+            for i in range(max(1, n_members))]
+
+
+def train_members(
+    dim: int,
+    configs: Sequence[TrainConfig],
+    examples: Sequence[SparseExample],
+) -> List[LogisticRegression]:
+    """Train one ensemble's members over one example sequence.
+
+    Module-level so the parallel training reduce can ship it to worker
+    processes/daemons: each per-position-key ensemble (and the shared
+    fallback) depends only on its own example sequence — in canonical
+    stream order — and the member configs, so training ensembles in
+    parallel is float-for-float identical to the sequential loop in
+    :meth:`EventPairModel.fit_encoded`.
+    """
+    members: List[LogisticRegression] = []
+    for config in configs:
+        model = LogisticRegression(dim, config)
+        model.fit(list(examples))
+        members.append(model)
+    return members
+
+
 class EventPairModel:
     """ϕ: probability that two events are connected by an edge.
 
@@ -45,9 +75,30 @@ class EventPairModel:
         self.n_samples = 0
 
     def _member_configs(self) -> List[TrainConfig]:
-        base = self.train_config
-        return [replace(base, seed=base.seed + 101 * i)
-                for i in range(self.n_members)]
+        return member_configs(self.train_config, self.n_members)
+
+    @classmethod
+    def from_trained(
+        cls,
+        feature_config: FeatureConfig,
+        train_config: TrainConfig,
+        models: Dict[PositionKey, List[LogisticRegression]],
+        fallback: List[LogisticRegression],
+        n_samples: int,
+        n_members: int = 3,
+    ) -> "EventPairModel":
+        """Assemble a model from externally trained ensembles.
+
+        The parallel training reduce trains each position key's members
+        (and the fallback) via :func:`train_members` on workers and
+        reassembles here; given the same per-key example sequences this
+        is float-identical to :meth:`fit_encoded`.
+        """
+        model = cls(feature_config, train_config, n_members)
+        model._models = dict(models)
+        model._fallback = list(fallback)
+        model.n_samples = n_samples
+        return model
 
     # ------------------------------------------------------------------
 
@@ -73,18 +124,10 @@ class EventPairModel:
             grouped[sample.position_key].append(example)
             all_examples.append(example)
         configs = self._member_configs()
+        dim = self.feature_config.dim
         for key, examples in grouped.items():
-            members = []
-            for config in configs:
-                model = LogisticRegression(self.feature_config.dim, config)
-                model.fit(examples)
-                members.append(model)
-            self._models[key] = members
-        self._fallback = []
-        for config in configs:
-            model = LogisticRegression(self.feature_config.dim, config)
-            model.fit(all_examples)
-            self._fallback.append(model)
+            self._models[key] = train_members(dim, configs, examples)
+        self._fallback = train_members(dim, configs, all_examples)
         self.n_samples = len(samples)
 
     # ------------------------------------------------------------------

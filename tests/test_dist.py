@@ -1,0 +1,474 @@
+"""repro.dist: protocol framing, the loopback coordinator/worker
+cluster, byte-identity with local mining, worker death, lease expiry,
+chaos on workers, speculation, the parallel training reduce, and the
+distributed CLI."""
+
+import contextlib
+import multiprocessing
+import os
+import signal
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.cli import main
+from repro.corpus import CorpusConfig, CorpusGenerator, java_registry
+from repro.dist import (
+    Coordinator,
+    DistConfig,
+    FrameDecoder,
+    PROTOCOL_VERSION,
+    ProtocolError,
+    encode_frame,
+    pack_payload,
+    recv_frame,
+    resolve_runner,
+    run_worker,
+    runner_ref,
+    send_frame,
+    unpack_payload,
+)
+from repro.mining import MiningConfig, MiningEngine
+from repro.mining.engine import _supervised_analyze
+from repro.mining.supervisor import SupervisionConfig
+from repro.runtime import (
+    Budget,
+    BudgetExceeded,
+    ChaosPlan,
+    ChaosSpec,
+    RuntimeConfig,
+)
+from repro.specs.pipeline import PipelineConfig
+from repro.specs.serialize import specs_to_json
+
+
+def java_corpus(n=12, seed=7):
+    return CorpusGenerator(
+        java_registry(), CorpusConfig(n_files=n, seed=seed)).programs()
+
+
+def learn(programs, *, coordinator=None, jobs=1, shards=None,
+          cache_dir=None, strict=False, chaos=None, max_retries=2,
+          parallel_train=False, adaptive_deadline=False, budget=None):
+    config = PipelineConfig(runtime=RuntimeConfig(
+        strict=strict, budget=budget or Budget(),
+    ))
+    supervision = SupervisionConfig(
+        max_retries=max_retries,
+        adaptive_deadline=adaptive_deadline,
+        backoff_base=0.01,  # keep test wall-clock down
+        chaos=ChaosPlan(tuple(chaos)) if chaos else None,
+    )
+    mining = MiningConfig(
+        jobs=jobs, shards=shards,
+        cache_dir=str(cache_dir) if cache_dir else None,
+        supervision=supervision, parallel_train=parallel_train,
+    )
+    return MiningEngine(config, mining, coordinator).learn(programs)
+
+
+def specs_text(learned):
+    return specs_to_json(learned.specs, learned.scores)
+
+
+def manifest_text(learned):
+    return learned.run.manifest.to_json(timings=False)
+
+
+@contextlib.contextmanager
+def cluster(n=3, *, processes=False, lease=10.0, start_workers=True,
+            **dist_kw):
+    """A loopback coordinator plus n workers (threads or processes)."""
+    dist_kw.setdefault("no_worker_timeout", 60.0)
+    coordinator = Coordinator(DistConfig(
+        min_workers=n if start_workers else 0,
+        lease_seconds=lease, **dist_kw,
+    ))
+    host, port = coordinator.bind()
+    workers = []
+    if start_workers:
+        for i in range(n):
+            kwargs = {"name": f"w{i}", "connect_retries": 60}
+            if processes:
+                worker = multiprocessing.get_context("fork").Process(
+                    target=run_worker, args=(host, port), kwargs=kwargs,
+                    daemon=True,
+                )
+            else:
+                worker = threading.Thread(
+                    target=run_worker, args=(host, port), kwargs=kwargs,
+                    daemon=True,
+                )
+            worker.start()
+            workers.append(worker)
+    try:
+        yield coordinator, workers, (host, port)
+    finally:
+        coordinator.close()
+        for worker in workers:
+            worker.join(timeout=10)
+            if processes and worker.is_alive():
+                worker.kill()
+
+
+# ----------------------------------------------------------------------
+# protocol
+
+
+def test_frame_roundtrip_and_coalesced_frames():
+    decoder = FrameDecoder()
+    a = encode_frame({"type": "hello", "worker": "w0"})
+    b = encode_frame({"type": "ready"})
+    messages = decoder.feed(a + b)
+    assert [m["type"] for m in messages] == ["hello", "ready"]
+
+
+def test_frame_decoder_handles_byte_by_byte_delivery():
+    decoder = FrameDecoder()
+    wire = encode_frame({"type": "task", "task_id": "analyze:3"})
+    got = []
+    for i in range(len(wire)):
+        got.extend(decoder.feed(wire[i:i + 1]))
+    assert len(got) == 1 and got[0]["task_id"] == "analyze:3"
+
+
+def test_frame_without_type_rejected():
+    decoder = FrameDecoder()
+    import json
+    import struct
+    body = json.dumps({"nope": 1}).encode()
+    with pytest.raises(ProtocolError):
+        decoder.feed(struct.pack("!I", len(body)) + body)
+
+
+def test_oversized_frame_announcement_rejected():
+    decoder = FrameDecoder()
+    import struct
+    with pytest.raises(ProtocolError):
+        decoder.feed(struct.pack("!I", 1 << 31))
+
+
+def test_payload_roundtrip_preserves_types():
+    err = BudgetExceeded("solver_iterations", 100, 50, stage="pointsto")
+    restored = unpack_payload(pack_payload(err))
+    assert isinstance(restored, BudgetExceeded)
+
+
+def test_runner_ref_roundtrip_and_namespace_restriction():
+    ref = runner_ref(_supervised_analyze)
+    assert ref.startswith("repro.")
+    assert resolve_runner(ref) is _supervised_analyze
+    with pytest.raises(ProtocolError):
+        resolve_runner("os:system")
+    with pytest.raises(ProtocolError):
+        resolve_runner("subprocess:run")
+    with pytest.raises(ProtocolError):
+        runner_ref(contextlib.contextmanager)
+
+
+def test_send_and_recv_frame_over_socketpair():
+    left, right = socket.socketpair()
+    try:
+        send_frame(left, {"type": "heartbeat", "task_id": "analyze:0"})
+        got = recv_frame(right, FrameDecoder(), [])
+        assert got == {"type": "heartbeat", "task_id": "analyze:0"}
+    finally:
+        left.close()
+        right.close()
+
+
+# ----------------------------------------------------------------------
+# loopback cluster byte-identity
+
+
+def test_loopback_cluster_matches_jobs_3(tmp_path):
+    programs = java_corpus()
+    local = learn(programs, jobs=3)
+    with cluster(3) as (coordinator, _, _):
+        dist = learn(programs, coordinator=coordinator, jobs=3,
+                     cache_dir=tmp_path / "cache")
+    assert specs_text(dist) == specs_text(local)
+    assert manifest_text(dist) == manifest_text(local)
+    assert dist.mining.distributed
+    assert dist.mining.supervised
+    assert dist.mining.cluster["n_workers_seen"] == 3
+    assert dist.mining.cluster["n_workers_lost"] == 0
+    assert dist.mining.cluster["n_tasks_dispatched"] >= dist.mining.n_shards
+    # every worker should have been credited with at least one result
+    assert len(dist.mining.cluster["by_worker"]) == 3
+
+
+def test_parallel_train_matches_sequential_locally():
+    programs = java_corpus()
+    sequential = learn(programs)
+    parallel = learn(programs, jobs=2, parallel_train=True)
+    assert specs_text(parallel) == specs_text(sequential)
+    assert parallel.mining.parallel_train
+    assert not sequential.mining.parallel_train
+    train_tasks = [t for t in parallel.mining.ledger.tasks
+                   if t.phase == "train"]
+    # one task per position-key ensemble plus the shared fallback
+    assert len(train_tasks) == len(parallel.model.position_keys) + 1
+
+
+def test_parallel_train_matches_sequential_distributed():
+    programs = java_corpus()
+    sequential = learn(programs)
+    with cluster(2) as (coordinator, _, _):
+        dist = learn(programs, coordinator=coordinator,
+                     parallel_train=True)
+    assert specs_text(dist) == specs_text(sequential)
+    assert dist.mining.parallel_train
+
+
+def test_adaptive_deadline_distributed_matches_baseline():
+    programs = java_corpus()
+    local = learn(programs, jobs=2)
+    with cluster(2) as (coordinator, _, _):
+        dist = learn(programs, coordinator=coordinator, jobs=2,
+                     adaptive_deadline=True)
+    assert specs_text(dist) == specs_text(local)
+
+
+# ----------------------------------------------------------------------
+# worker failure
+
+
+def test_worker_sigkilled_mid_run_does_not_change_results():
+    programs = java_corpus(n=20)
+    local = learn(programs, jobs=3)
+    with cluster(3, processes=True, lease=3.0) as (coordinator, workers, _):
+        killer = threading.Timer(
+            0.4, lambda: os.kill(workers[0].pid, signal.SIGKILL))
+        killer.start()
+        try:
+            dist = learn(programs, coordinator=coordinator, jobs=3,
+                         shards=8)
+        finally:
+            killer.cancel()
+    assert specs_text(dist) == specs_text(local)
+    assert manifest_text(dist) == manifest_text(local)
+    assert dist.mining.cluster["n_workers_seen"] == 3
+
+
+def test_transient_chaos_kill_on_worker_is_retried():
+    programs = java_corpus()
+    clean = learn(programs)
+    chaos = [ChaosSpec("corpus_00003", "kill", until_attempt=1)]
+    # chaos kill exits the whole worker daemon (os._exit), so workers
+    # must be processes; the coordinator sees EOF and re-dispatches
+    with cluster(3, processes=True) as (coordinator, _, _):
+        dist = learn(programs, coordinator=coordinator, jobs=3,
+                     chaos=chaos)
+    assert specs_text(dist) == specs_text(clean)
+    ledger = dist.mining.ledger
+    assert ledger.n_worker_crashes >= 1
+    assert ledger.n_poisoned == 0
+    assert dist.mining.n_quarantined == 0
+    assert dist.mining.cluster["n_workers_lost"] >= 1
+
+
+def test_transient_chaos_corrupt_on_worker_is_retried():
+    programs = java_corpus()
+    clean = learn(programs)
+    chaos = [ChaosSpec("corpus_00002", "corrupt", until_attempt=1)]
+    # corrupt raises in-process (no exit), so thread workers are safe
+    with cluster(2) as (coordinator, _, _):
+        dist = learn(programs, coordinator=coordinator, chaos=chaos)
+    assert specs_text(dist) == specs_text(clean)
+    assert dist.mining.ledger.n_corrupt_results >= 1
+    assert dist.mining.ledger.n_poisoned == 0
+
+
+def test_lease_expiry_redispatches_and_drops_silent_worker():
+    programs = java_corpus()
+    local = learn(programs, jobs=2)
+    got_task = threading.Event()
+
+    def silent_worker(host, port):
+        """Registers, takes one task, then never heartbeats again."""
+        sock = socket.create_connection((host, port))
+        decoder, pending = FrameDecoder(), []
+        try:
+            send_frame(sock, {"type": "hello", "worker": "silent",
+                              "version": PROTOCOL_VERSION})
+            assert recv_frame(sock, decoder, pending)["type"] == "welcome"
+            send_frame(sock, {"type": "ready"})
+            while True:
+                message = recv_frame(sock, decoder, pending)
+                if message is None:
+                    return  # coordinator dropped us: the expected end
+                if message["type"] == "task":
+                    got_task.set()  # go silent holding the lease
+        finally:
+            sock.close()
+
+    coordinator = Coordinator(DistConfig(
+        min_workers=1, lease_seconds=0.75, no_worker_timeout=60.0,
+        speculate=False,
+    ))
+    host, port = coordinator.bind()
+    silent = threading.Thread(target=silent_worker, args=(host, port),
+                              daemon=True)
+    silent.start()
+    coordinator.wait_for_workers(1, timeout=30.0)
+    real = threading.Thread(
+        target=run_worker, args=(host, port),
+        kwargs={"name": "real", "connect_retries": 60}, daemon=True,
+    )
+    real.start()
+    try:
+        dist = learn(java_corpus(), coordinator=coordinator, shards=6)
+    finally:
+        coordinator.close()
+    silent.join(timeout=10)
+    real.join(timeout=10)
+    assert got_task.is_set()
+    assert specs_text(dist) == specs_text(local)
+    assert manifest_text(dist) == manifest_text(local)
+    assert coordinator.stats.n_lease_expiries >= 1
+    assert dist.mining.ledger.n_worker_timeouts >= 1
+
+
+def test_speculation_beats_a_straggler():
+    programs = java_corpus()
+    local = learn(programs, jobs=2)
+    straggling = threading.Event()
+
+    def straggler_worker(host, port):
+        """Takes one task and heartbeats forever without finishing."""
+        sock = socket.create_connection((host, port))
+        decoder, pending = FrameDecoder(), []
+        try:
+            send_frame(sock, {"type": "hello", "worker": "straggler",
+                              "version": PROTOCOL_VERSION})
+            assert recv_frame(sock, decoder, pending)["type"] == "welcome"
+            send_frame(sock, {"type": "ready"})
+            while True:
+                message = recv_frame(sock, decoder, pending)
+                if message is None:
+                    return
+                if message["type"] == "task":
+                    straggling.set()
+                    task_id = message["task_id"]
+                    while True:
+                        time.sleep(0.05)
+                        try:
+                            send_frame(sock, {"type": "heartbeat",
+                                              "task_id": task_id})
+                        except OSError:
+                            return
+        finally:
+            sock.close()
+
+    coordinator = Coordinator(DistConfig(
+        min_workers=1, lease_seconds=10.0, no_worker_timeout=60.0,
+        speculation_min_observations=2, speculation_factor=2.0,
+    ))
+    host, port = coordinator.bind()
+    slow = threading.Thread(target=straggler_worker, args=(host, port),
+                            daemon=True)
+    slow.start()
+    coordinator.wait_for_workers(1, timeout=30.0)
+    real = threading.Thread(
+        target=run_worker, args=(host, port),
+        kwargs={"name": "real", "connect_retries": 60}, daemon=True,
+    )
+    real.start()
+    try:
+        dist = learn(programs, coordinator=coordinator, shards=6)
+    finally:
+        coordinator.close()
+    slow.join(timeout=10)
+    real.join(timeout=10)
+    assert straggling.is_set()
+    assert specs_text(dist) == specs_text(local)
+    assert coordinator.stats.n_speculated >= 1
+    assert coordinator.stats.n_speculation_wins >= 1
+
+
+def test_strict_typed_error_propagates_from_worker():
+    programs = java_corpus(n=4)
+    tight = Budget(max_solver_iterations=1)
+    with cluster(2) as (coordinator, _, _):
+        with pytest.raises(BudgetExceeded):
+            learn(programs, coordinator=coordinator, strict=True,
+                  budget=tight)
+
+
+def test_no_worker_timeout_aborts_instead_of_hanging():
+    from repro.runtime import WorkerCrash
+
+    coordinator = Coordinator(DistConfig(
+        min_workers=0, no_worker_timeout=0.5,
+    ))
+    coordinator.bind()
+    try:
+        with pytest.raises(WorkerCrash):
+            learn(java_corpus(n=3), coordinator=coordinator)
+    finally:
+        coordinator.close()
+
+
+def test_version_mismatch_is_rejected():
+    coordinator = Coordinator(DistConfig(min_workers=0))
+    host, port = coordinator.bind()
+    sock = socket.create_connection((host, port))
+    try:
+        send_frame(sock, {"type": "hello", "worker": "old",
+                          "version": PROTOCOL_VERSION + 1})
+        pump = threading.Thread(
+            target=lambda: [coordinator._pump(0.1) for _ in range(20)],
+            daemon=True,
+        )
+        pump.start()
+        reply = recv_frame(sock, FrameDecoder(), [])
+        pump.join(timeout=10)
+        assert reply is not None and reply["type"] == "error"
+        assert coordinator.n_workers == 0
+    finally:
+        sock.close()
+        coordinator.close()
+
+
+# ----------------------------------------------------------------------
+# CLI
+
+
+def _free_port() -> int:
+    with contextlib.closing(socket.socket()) as probe:
+        probe.bind(("127.0.0.1", 0))
+        return probe.getsockname()[1]
+
+
+def test_cli_distributed_learn_matches_local(tmp_path):
+    local_path = tmp_path / "local.json"
+    dist_path = tmp_path / "dist.json"
+    assert main(["learn", "--files", "8", "--jobs", "2",
+                 "--out", str(local_path)]) == 0
+
+    port = _free_port()
+    outcome = {}
+    coordinator_thread = threading.Thread(target=lambda: outcome.update(
+        code=main(["coordinator", "--files", "8", "--jobs", "2",
+                   "--bind", f"127.0.0.1:{port}", "--min-workers", "2",
+                   "--parallel-train", "--out", str(dist_path)])
+    ), daemon=True)
+    workers = [
+        threading.Thread(target=main, args=([
+            "worker", "--connect", f"127.0.0.1:{port}", "--quiet",
+            "--name", f"cli-w{i}", "--connect-retries", "60",
+        ],), daemon=True)
+        for i in range(2)
+    ]
+    coordinator_thread.start()
+    for worker in workers:
+        worker.start()
+    coordinator_thread.join(timeout=300)
+    assert not coordinator_thread.is_alive()
+    assert outcome["code"] == 0
+    for worker in workers:
+        worker.join(timeout=30)
+    assert dist_path.read_text() == local_path.read_text()

@@ -3,6 +3,7 @@ counts, the incremental analysis cache, mergeable partials, and
 checkpoint-resume under sharding."""
 
 import json
+import os
 import pickle
 
 import pytest
@@ -23,6 +24,7 @@ from repro.mining import (
     ShardPlan,
     shard_of,
 )
+from repro.mining.cache import AnalysisCache
 from repro.mining.partial import ShardMetrics
 from repro.model.logistic import SufficientStats
 from repro.runtime import (
@@ -30,6 +32,7 @@ from repro.runtime import (
     BudgetExceeded,
     FaultPlan,
     FaultSpec,
+    QuarantineEntry,
     RuntimeConfig,
     SOLVER_CRASH,
 )
@@ -414,3 +417,42 @@ def test_cli_jobs_prints_mining_metrics(tmp_path, capsys):
     out = capsys.readouterr().out
     assert "programs/s" in out
     assert "shard wall-clock" in out
+
+
+# ----------------------------------------------------------------------
+# read-only cache directories (prewarmed snapshots mounted into workers)
+
+
+def _cache_with_entry(tmp_path):
+    cache = AnalysisCache(tmp_path, fingerprint="fp")
+    cache.store_quarantine("prog0", QuarantineEntry(
+        program="p0", source="p0.java",
+        error_kind=SOLVER_CRASH, error="boom"))
+    return cache
+
+
+def test_readonly_cache_still_serves_hits_and_latches(tmp_path, monkeypatch):
+    cache = _cache_with_entry(tmp_path)
+    attempts = []
+
+    def denied(path, *args, **kwargs):
+        attempts.append(path)
+        raise PermissionError("read-only cache")
+
+    monkeypatch.setattr(os, "utime", denied)
+    hit = cache.lookup("prog0", "000000:p0.java")
+    assert hit is not None
+    assert hit.entry.program == "000000:p0.java"  # re-keyed to corpus
+    assert cache._touchable is False
+    # latched off: later hits never re-attempt the denied touch
+    assert cache.lookup("prog0", "000000:p0.java") is not None
+    assert len(attempts) == 1
+
+
+def test_raced_eviction_touch_is_not_sticky(tmp_path, monkeypatch):
+    cache = _cache_with_entry(tmp_path)
+    monkeypatch.setattr(
+        os, "utime",
+        lambda *a, **k: (_ for _ in ()).throw(FileNotFoundError()))
+    assert cache.lookup("prog0", "k") is not None
+    assert cache._touchable is True  # a vanished file is per-call only

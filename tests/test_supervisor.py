@@ -17,7 +17,7 @@ from repro.mining.cache import (
     BUNDLE_SUFFIX,
     QUARANTINE_SUFFIX,
 )
-from repro.mining.supervisor import SupervisionConfig
+from repro.mining.supervisor import DeadlineTracker, SupervisionConfig
 from repro.runtime import (
     ChaosPlan,
     ChaosSpec,
@@ -354,3 +354,44 @@ def test_acceptance_chaos_quarantines_only_toxins_byte_identical():
     assert ledger.n_poisoned == 2
     assert ledger.n_worker_crashes >= 1
     assert ledger.n_worker_timeouts >= 1
+
+
+# ----------------------------------------------------------------------
+# adaptive deadlines
+
+
+def test_deadline_tracker_warmup_returns_fixed():
+    tracker = DeadlineTracker(SupervisionConfig(
+        shard_deadline=5.0, adaptive_deadline=True,
+        deadline_min_samples=3))
+    assert tracker.effective(10) == 5.0
+    tracker.observe(0.2, 2)
+    tracker.observe(0.3, 3)
+    assert tracker.effective(10) == 5.0  # still below min samples
+
+
+def test_deadline_tracker_scales_p95_by_slack_and_size():
+    tracker = DeadlineTracker(SupervisionConfig(
+        adaptive_deadline=True, deadline_slack=4.0,
+        deadline_min_samples=3))
+    for seconds in (0.1, 0.2, 0.3):  # one program each
+        tracker.observe(seconds, 1)
+    # p95 of [0.1, 0.2, 0.3] lands on the 0.2 sample (index 1 of 2)
+    assert tracker.effective(1) == pytest.approx(0.2 * 4.0)
+    assert tracker.effective(5) == pytest.approx(0.2 * 4.0 * 5)
+
+
+def test_deadline_tracker_fixed_flag_is_a_floor():
+    tracker = DeadlineTracker(SupervisionConfig(
+        shard_deadline=60.0, adaptive_deadline=True,
+        deadline_slack=2.0, deadline_min_samples=1))
+    tracker.observe(0.01, 1)
+    assert tracker.effective(1) == 60.0  # estimate far below the floor
+
+
+def test_deadline_tracker_disabled_is_inert():
+    tracker = DeadlineTracker(SupervisionConfig(
+        shard_deadline=7.0, adaptive_deadline=False))
+    tracker.observe(100.0, 1)
+    assert tracker.samples == []
+    assert tracker.effective(50) == 7.0
