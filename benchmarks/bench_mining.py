@@ -73,15 +73,22 @@ def _throughput_history(runs) -> list:
         "programs_per_second_sequential": round(
             runs[1]["mining"]["programs_per_second"], 3),
         "supervised_jobs4": runs[4]["mining"]["supervised"],
+        "seconds_extract_resident": round(
+            runs[4]["mining"]["seconds_extract"], 3),
+        "seconds_extract_resident_off": round(
+            runs["resident_off"]["mining"]["seconds_extract"], 3),
+        "affinity_hit_rate_jobs4": round(
+            runs[4]["mining"]["affinity_hit_rate"], 3),
         "seconds_distributed": round(runs["distributed"]["seconds"], 3),
         "distributed_workers": runs["distributed"]["n_workers"],
     })
     return history[-HISTORY_LIMIT:]
 
 
-def _mine(programs, jobs, cache_dir=None):
+def _mine(programs, jobs, cache_dir=None, resident=True):
     engine = MiningEngine(mining=MiningConfig(
-        jobs=jobs, cache_dir=str(cache_dir) if cache_dir else None))
+        jobs=jobs, cache_dir=str(cache_dir) if cache_dir else None,
+        resident=resident))
     start = time.perf_counter()
     learned = engine.learn(programs)
     elapsed = time.perf_counter() - start
@@ -130,6 +137,14 @@ def test_mining_throughput(benchmark, tmp_path):
                 "specs": specs_to_json(learned.specs, learned.scores),
                 "mining": learned.mining.to_dict(),
             }
+        # extract-phase streaming: same pool, bundles served from
+        # worker memory (resident) vs re-unpickled from the cache
+        no_res, no_res_s = _mine(programs, 4, resident=False)
+        runs["resident_off"] = {
+            "seconds": no_res_s,
+            "specs": specs_to_json(no_res.specs, no_res.scores),
+            "mining": no_res.mining.to_dict(),
+        }
         cold, cold_s = _mine(programs, 1, cache_dir=tmp_path / "cache")
         warm, warm_s = _mine(programs, 1, cache_dir=tmp_path / "cache")
         runs["warm_cache"] = {
@@ -174,6 +189,15 @@ def test_mining_throughput(benchmark, tmp_path):
         "results_identical_across_jobs": (
             runs[1]["specs"] == runs[2]["specs"] == runs[4]["specs"]
         ),
+        "seconds_extract_resident": round(
+            runs[4]["mining"]["seconds_extract"], 3),
+        "seconds_extract_resident_off": round(
+            runs["resident_off"]["mining"]["seconds_extract"], 3),
+        "affinity_hit_rate_jobs4": round(
+            runs[4]["mining"]["affinity_hit_rate"], 3),
+        "results_identical_resident_off": (
+            runs["resident_off"]["specs"] == runs[1]["specs"]
+        ),
         "seconds_distributed": round(runs["distributed"]["seconds"], 3),
         "distributed_workers": runs["distributed"]["n_workers"],
         "results_identical_distributed": (
@@ -190,6 +214,14 @@ def test_mining_throughput(benchmark, tmp_path):
          f"{record['speedup_jobs2']:.2f}×"],
         ["--jobs 4", f"{record['seconds_jobs4']:.2f}s",
          f"{record['speedup_jobs4']:.2f}×"],
+        ["--jobs 4 --no-residency",
+         f"{runs['resident_off']['seconds']:.2f}s",
+         f"{baseline / runs['resident_off']['seconds']:.2f}×"],
+        ["extract phase, resident "
+         f"({100 * record['affinity_hit_rate_jobs4']:.0f}% affinity)",
+         f"{record['seconds_extract_resident']:.2f}s", "—"],
+        ["extract phase, cache only",
+         f"{record['seconds_extract_resident_off']:.2f}s", "—"],
         ["warm cache (--jobs 1)", f"{record['seconds_warm_cache']:.2f}s",
          f"{record['warm_cache_speedup']:.2f}×"],
         ["distributed (2 loopback workers)",
@@ -205,6 +237,10 @@ def test_mining_throughput(benchmark, tmp_path):
     # machine-independent guarantees
     assert record["results_identical_across_jobs"]
     assert record["results_identical_distributed"]
+    assert record["results_identical_resident_off"]
+    # at the extract barrier every analyze owner is alive and idle, so
+    # its first extract task is always served from resident memory
+    assert record["affinity_hit_rate_jobs4"] > 0.0
     assert record["warm_cache_programs_reanalyzed"] == 0
     # the cache can only pay for the analyze phase; training and
     # extraction are per-run, so assert the phase, not total wall-clock

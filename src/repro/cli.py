@@ -120,6 +120,7 @@ def _mining_config(args: argparse.Namespace) -> MiningConfig:
         cache_budget=args.cache_budget,
         supervision=_supervision_config(args),
         parallel_train=args.parallel_train,
+        resident=not args.no_residency,
     )
 
 
@@ -167,6 +168,16 @@ def _print_mining(mining) -> None:
     if mining.n_evicted:
         print(f"  cache budget: evicted {mining.n_evicted} entr"
               f"{'y' if mining.n_evicted == 1 else 'ies'}")
+    if mining.resident and (mining.n_affinity_hits
+                            or mining.n_affinity_misses):
+        print(f"  bundle residency: {mining.n_affinity_hits} extract "
+              f"task(s) served resident, {mining.n_affinity_misses} "
+              f"reloaded from cache "
+              f"({100.0 * mining.affinity_hit_rate:.0f}% affinity)")
+    if mining.n_cache_repairs or mining.n_bundles_shipped:
+        print(f"  cache healing: {mining.n_cache_repairs} "
+              f"re-analyzed, {mining.n_bundles_shipped} reloaded and "
+              f"shipped after eviction")
     if mining.distributed and mining.cluster:
         c = mining.cluster
         print(f"cluster: {c['n_workers_seen']} worker(s) "
@@ -267,6 +278,7 @@ def _cmd_worker(args: argparse.Namespace) -> int:
             connect_retries=args.connect_retries,
             retry_delay=args.retry_delay,
             max_tasks=args.max_tasks,
+            reconnect=args.reconnect,
             log=log,
         )
     except ConnectionError as err:
@@ -496,6 +508,12 @@ def _add_learn_arguments(learn: argparse.ArgumentParser) -> None:
                             "(p95 × slack × task size) so slow-but-"
                             "healthy shards are not killed as hangs; "
                             "--shard-deadline stays as the floor")
+    learn.add_argument("--no-residency", action="store_true",
+                       help="disable bundle residency: extract tasks "
+                            "always reload analysed bundles from "
+                            "--cache-dir (or memory) instead of the "
+                            "worker that produced them; specs are "
+                            "byte-identical either way")
     learn.add_argument("--parallel-train", action="store_true",
                        help="run the training reduce in the worker "
                             "pool (one task per position-key ensemble "
@@ -571,6 +589,11 @@ def build_parser() -> argparse.ArgumentParser:
                         metavar="N",
                         help="exit after N tasks (default: serve until "
                              "the coordinator shuts the cluster down)")
+    worker.add_argument("--reconnect", action="store_true",
+                        help="survive a dropped coordinator connection: "
+                             "retry with exponential backoff (up to 8 "
+                             "consecutive rounds) instead of exiting; "
+                             "resident bundles survive the outage")
     worker.add_argument("--quiet", action="store_true",
                         help="suppress per-task log lines")
     worker.set_defaults(func=_cmd_worker)

@@ -151,6 +151,9 @@ class _Remote:
     registered: bool = False
     idle: bool = False
     assignment: Optional["_Assignment"] = None
+    #: residency groups the worker advertised in its last ``ready``
+    #: frame — the bundles its process still holds in memory
+    resident: Set[str] = field(default_factory=set)
 
     @property
     def label(self) -> str:
@@ -304,6 +307,7 @@ class Coordinator(TaskScheduler):
         splitter: Callable[[object], Optional[Tuple[object, object]]],
         poisoner: Callable[[object, str, str], object],
         validator: Callable[[object], bool],
+        healer: Optional[Callable] = None,
     ) -> List[object]:
         """Dispatch ``(shard_id, payload)`` tasks across the cluster.
 
@@ -311,10 +315,15 @@ class Coordinator(TaskScheduler):
         :meth:`~repro.mining.supervisor.ShardSupervisor.run_phase`;
         ``runner`` must be a module-level function under ``repro.`` —
         it crosses the wire by name and the worker imports it.
+        ``healer`` repairs recoverable payload failures in the parent
+        (see ``TaskScheduler._heal``) — for remote workers the repaired
+        payload additionally *ships* the restored bundles, so a worker
+        without the coordinator's filesystem can still finish.
         """
         self.bind()
         state = _Phase(runner, splitter, poisoner, validator)
         self._phase = state
+        self._healer = healer
         for shard_id, payload in tasks:
             task = self._make_task(str(shard_id), shard_id, phase, payload)
             state.queue.append(task)
@@ -333,6 +342,7 @@ class Coordinator(TaskScheduler):
             # late results of an abandoned phase must not leak into
             # the next one
             self._phase = None
+            self._healer = None
             for remote in self._remotes:
                 remote.assignment = None
         return state.results
@@ -425,6 +435,11 @@ class Coordinator(TaskScheduler):
             })
         elif kind == "ready":
             remote.idle = True
+            advertised = message.get("resident")
+            if isinstance(advertised, list):
+                remote.resident = {
+                    str(group) for group in advertised
+                }
         elif kind == "heartbeat":
             assignment = remote.assignment
             if (assignment is not None
@@ -488,12 +503,18 @@ class Coordinator(TaskScheduler):
                 attempt=task.attempt, outcome=OUTCOME_ERROR,
                 seconds=seconds, error=f"{type(err).__name__}: {err}",
             ))
+            if mine is not None:
+                self._unassign(state, tid, mine)
+            # heal before strict: a vanished cache entry is a repairable
+            # payload problem, not a policy failure
+            if self._heal(task, err, now, state.queue):
+                return
             if self.strict:
                 # fail fast with the worker's typed error intact
                 state.error = err
                 return
             self._attempt_failed(
-                state, task, mine, OUTCOME_ERROR,
+                state, task, None, OUTCOME_ERROR,
                 f"{type(err).__name__}: {err}", seconds, now,
                 recorded=True,
             )
@@ -532,6 +553,7 @@ class Coordinator(TaskScheduler):
         if mine is not None and mine.speculative:
             self.stats.n_speculation_wins += 1
         self.stats.credit(remote.label)
+        self._note_owner(task, remote.label)
         tid = _wire_id(task)
         state.results.append(result)
         state.done.add(tid)
@@ -602,10 +624,21 @@ class Coordinator(TaskScheduler):
 
     def _dispatch(self, state: _Phase, now: float) -> None:
         state.queue.sort(key=lambda t: (t.ready_at, t.seq))
+        alive = frozenset(
+            r.label for r in self._remotes if r.registered
+        )
         for remote in self._idle_workers():
             if not state.queue or state.queue[0].ready_at > now:
                 break
-            task = state.queue.pop(0)
+            # affinity-aware: prefer the task whose bundles this worker
+            # analysed (by owner label, or by its advertised residency
+            # groups — which survive a reconnect under the same name)
+            task = self._select_task(
+                state.queue, now, label=remote.label,
+                resident=remote.resident, alive=alive,
+            )
+            if task is None:
+                break
             self._assign(state, remote, task, now)
 
     def _assign(

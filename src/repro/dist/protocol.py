@@ -4,8 +4,10 @@ Frames are **length-prefixed JSON**: a 4-byte big-endian unsigned
 length followed by a UTF-8 JSON object.  JSON keeps the control plane
 debuggable (``tcpdump`` of a coordinator port reads almost like a
 log), while bulk payloads — pickled shard tasks, partials, models and
-typed exceptions — ride inside frames as base64 strings, so one
-framing layer serves both.
+typed exceptions — ride inside frames as base64 strings (zlib-packed
+past a size threshold; a one-byte marker ahead of the pickle says
+which), so one framing layer serves both and large bundles cross WANs
+compressed.
 
 Everything here is Python stdlib (``socket``/``struct``/``json``/
 ``base64``): the cluster adds no dependencies over single-machine
@@ -18,7 +20,8 @@ type       direction    meaning
 ========== ============ ====================================================
 hello      worker→coord register: name, pid, protocol version
 welcome    coord→worker registration accepted (echoes protocol version)
-ready      worker→coord idle, willing to run a task
+ready      worker→coord idle, willing to run a task; advertises the
+                        residency groups its process still holds
 task       coord→worker one shard task: id, phase, attempt, runner, payload
 heartbeat  worker→coord lease renewal while a task is running
 result     worker→coord task finished: status ok / error / corrupt
@@ -41,11 +44,13 @@ import json
 import pickle
 import socket
 import struct
+import zlib
 from typing import Callable, Dict, List, Optional
 
 #: bumped on any incompatible frame/message change; hello/welcome
-#: exchange it so mismatched versions fail loudly at registration
-PROTOCOL_VERSION = 1
+#: exchange it so mismatched versions fail loudly at registration.
+#: v2: payloads carry a compression marker byte (raw / zlib)
+PROTOCOL_VERSION = 2
 
 #: frame length prefix: 4-byte big-endian unsigned
 _LENGTH = struct.Struct("!I")
@@ -64,18 +69,48 @@ class ProtocolError(Exception):
 
 
 # ----------------------------------------------------------------------
-# payloads (pickle ⇄ base64 inside JSON frames)
+# payloads (pickle [⇄ zlib] ⇄ base64 inside JSON frames)
+
+#: payload marker bytes ahead of the (possibly compressed) pickle
+_PAYLOAD_RAW = b"\x00"
+_PAYLOAD_ZLIB = b"\x01"
+
+#: pickles below this stay raw — zlib on tiny control payloads costs
+#: CPU for nothing; above it (models, partials, shipped bundles) the
+#: wire savings dominate
+COMPRESS_THRESHOLD = 1024
 
 
-def pack_payload(obj: object) -> str:
-    """Pickle ``obj`` and armour it for a JSON frame."""
+def pack_payload(obj: object, *, compress: bool = True) -> str:
+    """Pickle ``obj`` and armour it for a JSON frame.
+
+    Payloads at least :data:`COMPRESS_THRESHOLD` bytes are
+    zlib-compressed (markered, so :func:`unpack_payload` needs no
+    out-of-band signal); pass ``compress=False`` to force raw.
+    """
     raw = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
-    return base64.b64encode(raw).decode("ascii")
+    if compress and len(raw) >= COMPRESS_THRESHOLD:
+        body = _PAYLOAD_ZLIB + zlib.compress(raw, 6)
+    else:
+        body = _PAYLOAD_RAW + raw
+    return base64.b64encode(body).decode("ascii")
 
 
 def unpack_payload(text: str) -> object:
     """Inverse of :func:`pack_payload`."""
-    return pickle.loads(base64.b64decode(text.encode("ascii")))
+    body = base64.b64decode(text.encode("ascii"))
+    if not body:
+        raise ProtocolError("empty payload")
+    marker, raw = body[:1], body[1:]
+    if marker == _PAYLOAD_ZLIB:
+        try:
+            raw = zlib.decompress(raw)
+        except zlib.error as err:
+            raise ProtocolError(f"corrupt compressed payload: {err}") \
+                from err
+    elif marker != _PAYLOAD_RAW:
+        raise ProtocolError(f"unknown payload marker {marker!r}")
+    return pickle.loads(raw)
 
 
 def runner_ref(fn: Callable) -> str:

@@ -16,6 +16,14 @@ does) simply stops heartbeating and its lease lapses.  Result frames
 mirror the supervised child's pipe protocol: ``ok`` with a pickled
 result, ``corrupt`` for a :class:`~repro.runtime.faults.CorruptResult`
 chaos marker, ``error`` with the pickled typed exception otherwise.
+
+Every ``ready`` frame advertises the residency groups this process
+still holds (see :mod:`repro.mining.residency`), letting the
+coordinator route extract tasks back to the worker whose memory
+already contains their analysed bundles.  With ``reconnect=True`` a
+lost coordinator connection is retried with bounded exponential
+backoff instead of ending the worker — residency survives the outage
+because the process does.
 """
 
 from __future__ import annotations
@@ -37,6 +45,7 @@ from repro.dist.protocol import (
     send_frame,
     unpack_payload,
 )
+from repro.mining.residency import process_residency
 from repro.runtime.faults import CorruptResult
 
 #: heartbeats per lease interval — 3 gives two chances to survive one
@@ -46,6 +55,19 @@ _BEATS_PER_LEASE = 3.0
 #: floor/ceiling on the heartbeat period (seconds)
 _MIN_BEAT = 0.05
 _MAX_BEAT = 30.0
+
+#: cap on residency groups advertised per ready frame — keeps control
+#: frames small even when a long-lived worker has touched many runs
+_MAX_ADVERTISED = 1024
+
+
+def _ready_frame() -> Dict[str, object]:
+    """A ``ready`` frame advertising this process's resident groups."""
+    frame: Dict[str, object] = {"type": "ready"}
+    groups = process_residency().groups()
+    if groups:
+        frame["resident"] = groups[:_MAX_ADVERTISED]
+    return frame
 
 
 class _Heartbeat:
@@ -137,6 +159,9 @@ def run_worker(
     connect_retries: int = 1,
     retry_delay: float = 0.5,
     max_tasks: Optional[int] = None,
+    reconnect: bool = False,
+    reconnect_rounds: int = 8,
+    reconnect_max_delay: float = 30.0,
     sleep: Callable[[float], None] = time.sleep,
     log: Callable[[str], None] = lambda line: None,
 ) -> int:
@@ -147,27 +172,66 @@ def run_worker(
     ``connect_retries`` attempts, and :class:`ProtocolError` on a
     version mismatch.  ``max_tasks`` bounds this worker's life for
     tests and canary deployments.
+
+    With ``reconnect=True`` a dropped connection (coordinator restart,
+    network cut) is retried with exponential backoff — doubling from
+    ``retry_delay`` up to ``reconnect_max_delay`` — for at most
+    ``reconnect_rounds`` consecutive failures; any session that
+    registers successfully refills the budget.  Protocol violations
+    still raise: reconnecting cannot fix a version mismatch.
     """
     label = name or f"worker-{socket.gethostname()}-{os.getpid()}"
-    sock = _connect(host, port, connect_retries, retry_delay, sleep)
-    decoder = FrameDecoder()
-    pending: List[Dict[str, object]] = []
-    send_lock = threading.Lock()
     done = [0]  # shared with _serve so a lost connection keeps the tally
-    try:
+    attempts_left = reconnect_rounds
+
+    def backoff() -> float:
+        exponent = max(0, reconnect_rounds - attempts_left)
+        return min(reconnect_max_delay, retry_delay * (2.0 ** exponent))
+
+    while True:
         try:
-            return _serve(sock, decoder, pending, send_lock, label,
-                          max_tasks, log, done)
-        except OSError:
-            # the coordinator vanished mid-frame (closed the cluster,
-            # crashed, network cut): a worker just goes home
-            log(f"{label}: connection lost")
+            sock = _connect(host, port, connect_retries, retry_delay,
+                            sleep)
+        except ConnectionError:
+            if not reconnect or attempts_left <= 0:
+                raise
+            delay = backoff()
+            attempts_left -= 1
+            log(f"{label}: coordinator unreachable, retrying in "
+                f"{delay:g}s ({attempts_left} round(s) left)")
+            sleep(delay)
+            continue
+        decoder = FrameDecoder()
+        pending: List[Dict[str, object]] = []
+        send_lock = threading.Lock()
+        registered = [False]
+        finished = False
+        try:
+            try:
+                finished = _serve(sock, decoder, pending, send_lock,
+                                  label, max_tasks, log, done, registered)
+            except OSError:
+                # the coordinator vanished mid-frame (closed the
+                # cluster, crashed, network cut)
+                log(f"{label}: connection lost")
+        finally:
+            try:
+                sock.close()
+            except OSError:
+                pass
+        if finished or not reconnect:
             return done[0]
-    finally:
-        try:
-            sock.close()
-        except OSError:
-            pass
+        if registered[0]:
+            attempts_left = reconnect_rounds
+        if attempts_left <= 0:
+            log(f"{label}: giving up after {reconnect_rounds} "
+                f"reconnect round(s)")
+            return done[0]
+        delay = backoff()
+        attempts_left -= 1
+        log(f"{label}: reconnecting in {delay:g}s "
+            f"({attempts_left} round(s) left)")
+        sleep(delay)
 
 
 def _serve(
@@ -179,8 +243,14 @@ def _serve(
     max_tasks: Optional[int],
     log: Callable[[str], None],
     done: List[int],
-) -> int:
-    """The registration handshake and the ready/task/result loop."""
+    registered: List[bool],
+) -> bool:
+    """The registration handshake and the ready/task/result loop.
+
+    Returns True when the session ended deliberately (``shutdown`` or
+    ``max_tasks``), False when the coordinator hung up mid-session —
+    the signal ``run_worker`` uses to decide whether to reconnect.
+    """
     send_frame(sock, {
         "type": "hello", "worker": label, "pid": os.getpid(),
         "version": PROTOCOL_VERSION,
@@ -192,22 +262,23 @@ def _serve(
         raise ProtocolError(
             f"registration rejected: {welcome.get('error', welcome)}"
         )
+    registered[0] = True
     lease = float(welcome.get("lease") or 15.0)
     beat = min(_MAX_BEAT, max(_MIN_BEAT, lease / _BEATS_PER_LEASE))
     log(f"{label}: registered (lease {lease:g}s)")
     with send_lock:
-        send_frame(sock, {"type": "ready"})
+        send_frame(sock, _ready_frame())
     while True:
         message = recv_frame(sock, decoder, pending)
         if message is None:
             log(f"{label}: coordinator hung up")
-            return done[0]
+            return False
         kind = message.get("type")
         if kind == "shutdown":
             with send_lock:
                 send_frame(sock, {"type": "goodbye"})
             log(f"{label}: shutdown after {done[0]} task(s)")
-            return done[0]
+            return True
         if kind != "task":
             continue  # tolerate unknown control frames
         task_id = str(message.get("task_id"))
@@ -234,5 +305,5 @@ def _serve(
             if max_tasks is not None and done[0] >= max_tasks:
                 send_frame(sock, {"type": "goodbye"})
                 log(f"{label}: max-tasks reached ({done[0]})")
-                return done[0]
-            send_frame(sock, {"type": "ready"})
+                return True
+            send_frame(sock, _ready_frame())

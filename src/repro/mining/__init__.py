@@ -10,8 +10,12 @@ map/reduce job:
 * :mod:`cache` — content-addressed incremental analysis cache, so a
   re-run after editing *k* corpus files re-analyses exactly *k*, with
   LRU-by-mtime size budgeting;
-* :mod:`supervisor` — fault-tolerant shard dispatch: worker watchdogs,
-  bounded retry/backoff, poison-shard bisection, failure ledger;
+* :mod:`supervisor` — fault-tolerant shard dispatch over a persistent
+  worker pool: watchdogs, bounded retry/backoff, poison-shard
+  bisection, worker-affinity scheduling, failure ledger;
+* :mod:`residency` — in-process registry of analysed bundles, so the
+  extract phase streams from worker memory instead of re-unpickling
+  the cache;
 * :mod:`engine` — the orchestrator; byte-identical output for any
   worker count, with or without injected chaos (modulo quarantined
   toxic programs).
@@ -19,12 +23,20 @@ map/reduce job:
 
 from repro.mining.cache import (
     AnalysisCache,
+    CacheEntryVanished,
     CacheHit,
     pipeline_fingerprint,
     program_fingerprint,
 )
 from repro.mining.engine import MiningConfig, MiningEngine, learn_sharded
 from repro.mining.partial import MiningReport, ShardMetrics, ShardPartial
+from repro.mining.residency import (
+    BundleResidency,
+    pack_bundle,
+    process_residency,
+    residency_group,
+    unpack_bundle,
+)
 from repro.mining.sharding import ShardPlan, shard_of
 from repro.mining.supervisor import (
     FailureLedger,
@@ -34,6 +46,8 @@ from repro.mining.supervisor import (
 
 __all__ = [
     "AnalysisCache",
+    "BundleResidency",
+    "CacheEntryVanished",
     "CacheHit",
     "FailureLedger",
     "MiningConfig",
@@ -45,7 +59,11 @@ __all__ = [
     "ShardSupervisor",
     "SupervisionConfig",
     "learn_sharded",
+    "pack_bundle",
     "pipeline_fingerprint",
+    "process_residency",
     "program_fingerprint",
+    "residency_group",
     "shard_of",
+    "unpack_bundle",
 ]

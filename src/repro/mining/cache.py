@@ -38,7 +38,7 @@ import os
 import pickle
 from dataclasses import dataclass, replace
 from pathlib import Path
-from typing import List, Optional, Tuple
+from typing import FrozenSet, List, Optional, Sequence, Tuple
 
 from repro.ir.printer import format_program
 from repro.ir.program import Program
@@ -85,6 +85,32 @@ class CacheHit:
     entry: Optional[QuarantineEntry] = None
 
 
+class CacheEntryVanished(RuntimeError):
+    """An extract task's bundle was gone from cache *and* residency.
+
+    Carries the ``(program key, cache key)`` refs it could not resolve,
+    so the scheduler's healer can restore exactly those bundles (reload
+    or re-analyse) and requeue the task with them attached.  Crosses
+    process/socket boundaries pickled, hence the ``__reduce__``.
+    """
+
+    def __init__(
+        self,
+        refs: Sequence[Tuple[str, str]],
+        cache_dir: Optional[str],
+    ) -> None:
+        self.refs: Tuple[Tuple[str, str], ...] = tuple(refs)
+        self.cache_dir = cache_dir
+        names = ", ".join(repr(key) for key, _ in self.refs) or "<none>"
+        super().__init__(
+            f"analysis cache entr{'y' if len(self.refs) == 1 else 'ies'} "
+            f"vanished for {names} (cache dir {cache_dir!r})"
+        )
+
+    def __reduce__(self):
+        return (type(self), (self.refs, self.cache_dir))
+
+
 class AnalysisCache:
     """One cache directory bound to one pipeline fingerprint."""
 
@@ -96,6 +122,9 @@ class AnalysisCache:
         #: (read-only cache dir), so lookups degrade to no-touch
         #: instead of attempting — or worse, crashing on — every entry
         self._touchable = True
+        #: cache keys this run still needs (analyzed but not yet
+        #: extracted); :meth:`evict_to_budget` never deletes them
+        self._pinned: set = set()
 
     def key_of(self, program_fp: str) -> str:
         combined = f"{self.fingerprint}\0{program_fp}"
@@ -167,14 +196,41 @@ class AnalysisCache:
                 continue  # evicted/renamed concurrently
         return total
 
-    def evict_to_budget(self, max_bytes: int) -> int:
+    def pin(self, cache_keys: Sequence[str]) -> None:
+        """Shield entries from :meth:`evict_to_budget` for this run.
+
+        Pinning is per cache *instance* (in-memory, not on disk): the
+        engine pins every bundle the current run has analysed but not
+        yet extracted, so a mid-run budget sweep can reclaim cold
+        entries from previous runs without pulling the rug out from
+        under the extract phase.
+        """
+        self._pinned.update(cache_keys)
+
+    def unpin(self, cache_keys: Optional[Sequence[str]] = None) -> None:
+        """Release pins (all of them when ``cache_keys`` is None)."""
+        if cache_keys is None:
+            self._pinned.clear()
+        else:
+            self._pinned.difference_update(cache_keys)
+
+    def evict_to_budget(
+        self,
+        max_bytes: int,
+        pinned: FrozenSet[str] = frozenset(),
+    ) -> int:
         """Delete least-recently-used entries until the cache fits.
 
         Recency is entry mtime — refreshed on every lookup hit, so a
-        warm working set survives and cold entries go first.  Returns
-        the number of entries evicted.  Concurrent misses of unlinked
+        warm working set survives and cold entries go first.  Entries
+        whose cache key is pinned (``pinned`` argument or :meth:`pin`)
+        are skipped even if the budget is still exceeded — an in-flight
+        run's working set outranks the byte budget, which is restored
+        by the unpinned sweep at the end of the run.  Returns the
+        number of entries evicted.  Concurrent misses of unlinked
         files degrade to recomputes, never errors.
         """
+        protected = self._pinned | set(pinned)
         entries: List[Tuple[float, str, int, Path]] = []
         for path in self._entry_files():
             try:
@@ -185,9 +241,12 @@ class AnalysisCache:
             entries.append((stat.st_mtime, path.name, stat.st_size, path))
         total = sum(size for _, _, size, _ in entries)
         evicted = 0
-        for _, _, size, path in sorted(entries):
+        for _, name, size, path in sorted(entries):
             if total <= max_bytes:
                 break
+            cache_key = name.split(".", 1)[0]
+            if cache_key in protected:
+                continue
             try:
                 path.unlink()
             except OSError:

@@ -29,12 +29,17 @@ runs in its own worker process under a wall-clock deadline, dead or
 hung workers trigger bounded retries with exponential backoff, and a
 shard that keeps killing workers is bisected until the toxic program
 is isolated and quarantined with a ``worker-*`` taxonomy label.
-Bundles travel between the analyse and extract phases through the
-cache directory — a temp spill dir if the user did not name one — so
-the only pickles crossing process boundaries are compact partials and
-the sparse model.  ``strict=True`` aborts propagate out of the workers
-with their type intact (exit codes 3/4 survive parallelism and
-supervision).
+Bundles stay **resident** in the worker that analysed them
+(:mod:`repro.mining.residency`): workers persist across the
+analyse→extract barrier and each shard's extract task is routed back
+to its analysing worker, so the hot path re-unpickles nothing.  The
+cache directory — a temp spill dir if the user did not name one —
+remains the durable copy and the fallback whenever affinity misses
+(owner died, bisection, speculation), so the only pickles crossing
+process boundaries are compact partials, the sparse model, and
+healer-shipped bundles after a vanished cache entry.  ``strict=True``
+aborts propagate out of the workers with their type intact (exit
+codes 3/4 survive parallelism and supervision).
 """
 
 from __future__ import annotations
@@ -86,10 +91,18 @@ from repro.specs.pipeline import (
 )
 from repro.mining.cache import (
     AnalysisCache,
+    CacheEntryVanished,
     pipeline_fingerprint,
     program_fingerprint,
 )
 from repro.mining.partial import MiningReport, ShardPartial
+from repro.mining.residency import (
+    BundleResidency,
+    pack_bundle,
+    process_residency,
+    residency_group,
+    unpack_shipment,
+)
 from repro.mining.sharding import ShardPlan
 from repro.mining.supervisor import (
     FailureLedger,
@@ -142,6 +155,11 @@ class MiningConfig:
     #: position-key ensemble plus the shared fallback, specs
     #: byte-identical to the sequential reduce
     parallel_train: bool = False
+    #: keep analysed bundles resident in the worker that produced them
+    #: and route each shard's extract task back to that worker; False
+    #: forces every extract onto the cache-reload path (a debugging and
+    #: benchmarking knob — results are byte-identical either way)
+    resident: bool = True
 
     def resolve_jobs(self) -> int:
         return max(1, self.jobs)
@@ -188,6 +206,8 @@ class AnalyzeTask:
     #: process-level fault injection; rides on the payload (not the
     #: pipeline config) so it can never perturb the cache fingerprint
     chaos: Optional[ChaosPlan] = None
+    #: publish analysed bundles into the worker's residency registry
+    resident: bool = False
 
 
 @dataclass(frozen=True)
@@ -200,6 +220,18 @@ class ExtractTask:
     shard_id: int
     refs: Tuple[Tuple[str, Optional[str]], ...]
     model: EventPairModel
+    #: label of the worker whose residency holds this shard's bundles
+    #: (a scheduling hint — any worker can run the task via the cache)
+    affinity: Optional[str] = None
+    #: bisection lineage of this ref slice within its shard (root = ());
+    #: tags empty-ref results uniquely in the sorted-ref merge
+    fragment: Tuple[int, ...] = ()
+    #: packed bundles attached by the healer after a vanished-entry
+    #: failure; sorted ``(key, pack_bundle(...))`` pairs
+    shipped: Tuple[Tuple[str, bytes], ...] = ()
+    #: consult the worker's residency registry before the cache
+    resident: bool = False
+    chaos: Optional[ChaosPlan] = None
 
 
 def _analyze_shard(
@@ -210,6 +242,7 @@ def _analyze_shard(
     fingerprint: str,
     bundle_sink: Optional[Dict[str, GraphBundle]] = None,
     before=None,
+    residency: Optional[BundleResidency] = None,
 ) -> ShardPartial:
     """Analyse one shard: cache lookups, then the executor over misses.
 
@@ -218,12 +251,16 @@ def _analyze_shard(
     ``bundle_sink`` (sequential mode) additionally keeps analysed
     bundles in memory so the extract phase needs no reloads.
     ``before`` is threaded into the executor as its pre-program hook
-    (the supervisor's chaos probe).
+    (the supervisor's chaos probe).  ``residency`` (supervised mode)
+    publishes every absorbed bundle — cache hits included, so warm
+    re-runs extract from memory too — into the worker's registry for
+    the shard's affinity-routed extract task.
     """
     started = time.monotonic()
     cache = AnalysisCache(cache_dir, fingerprint) if cache_dir else None
     partial = ShardPartial.empty(shard_id)
     metrics = partial.metrics[0]
+    group = residency_group(fingerprint, shard_id)
 
     def absorb(index: int, key: str, bundle: GraphBundle,
                cache_key: Optional[str]) -> None:
@@ -244,6 +281,8 @@ def _analyze_shard(
         metrics.n_edges += bundle.graph.edge_count
         if bundle_sink is not None:
             bundle_sink[key] = bundle
+        if residency is not None:
+            residency.publish(group, key, bundle)
 
     pending: List[Tuple[int, str, Program, Optional[str]]] = []
     for index, key, program in items:
@@ -306,6 +345,27 @@ def _analyze_shard(
     return partial
 
 
+def _extract_tag(
+    shard_id: int,
+    refs: Sequence[Tuple[str, Optional[str]]],
+    fragment: Tuple[int, ...],
+) -> str:
+    """The merge-order tag of one extract result.
+
+    Normally the first ref key; an empty-ref fragment gets a synthetic
+    tag derived from its bisection lineage instead of the old shared
+    ``""`` — several empty fragments of one shard must not collide in
+    the sorted-ref merge (``\\x00`` sorts before every real key, so the
+    canonical order of non-empty results is untouched).
+    """
+    if refs:
+        return refs[0][0]
+    # the unbisected root keeps an empty lineage — "0" would collide
+    # with the first child fragment (0,)
+    lineage = ".".join(str(i) for i in fragment)
+    return f"\x00empty/{shard_id}/{lineage}"
+
+
 def _extract_shard(
     config: PipelineConfig,
     shard_id: int,
@@ -314,31 +374,59 @@ def _extract_shard(
     cache_dir: Optional[str],
     fingerprint: str,
     bundle_sink: Optional[Dict[str, GraphBundle]] = None,
+    residency: Optional[BundleResidency] = None,
+    shipped: Optional[Dict[str, GraphBundle]] = None,
+    fragment: Tuple[int, ...] = (),
+    before=None,
 ) -> Tuple[int, str, CandidateExtraction]:
     """Run Alg. 1 over one shard's analysed bundles.
 
-    The return value is tagged ``(shard_id, first ref key, extraction)``
-    so the engine can merge extractions in the canonical sorted-ref
-    order even when supervision bisected a shard's refs into several
-    results.
+    Bundle resolution order per ref: the sequential in-memory sink,
+    healer-shipped bundles attached to the payload, the worker's
+    residency registry, then the cache.  A ref that resolves nowhere
+    is collected (the rest of the refs are still scanned so one repair
+    round restores everything) and raised as
+    :class:`~repro.mining.cache.CacheEntryVanished` for the scheduler's
+    healer.  All four sources yield pickle-round-trip-identical
+    bundles, so the extraction is byte-identical however each ref
+    resolved.
+
+    The return value is tagged ``(shard_id, tag, extraction)`` so the
+    engine can merge extractions in the canonical sorted-ref order
+    even when supervision bisected a shard's refs into several
+    results.  ``before`` (the extract-phase chaos probe) fires per ref
+    before its bundle is resolved.
     """
     cache = AnalysisCache(cache_dir, fingerprint) if cache_dir else None
+    group = residency_group(fingerprint, shard_id)
     extraction = CandidateExtraction()
+    missing: List[Tuple[str, str]] = []
     for key, cache_key in refs:
+        if before is not None:
+            before(key)
         bundle = bundle_sink.get(key) if bundle_sink is not None else None
+        if bundle is None and shipped is not None:
+            bundle = shipped.get(key)
+        if bundle is None and residency is not None:
+            bundle = residency.get(group, key)
         if bundle is None and cache is not None and cache_key is not None:
             bundle = cache.load_bundle_by_key(cache_key)
         if bundle is None:
-            raise RuntimeError(
-                f"analysis cache entry vanished for {key!r} "
-                f"(cache dir {cache_dir!r})"
-            )
+            missing.append((key, cache_key or ""))
+            continue
+        if missing:
+            continue  # result is doomed; just finish the missing scan
         extraction.merge(extract_candidates(
             [bundle], model, config.feature,
             config.max_receiver_distance,
             enable_retrecv=config.enable_retrecv,
         ))
-    return shard_id, refs[0][0] if refs else "", extraction
+    if missing:
+        raise CacheEntryVanished(missing, cache_dir)
+    if residency is not None:
+        # consumed: a long-lived worker must not accumulate bundles
+        residency.discard(group, [key for key, _ in refs])
+    return shard_id, _extract_tag(shard_id, refs, fragment), extraction
 
 
 # ----------------------------------------------------------------------
@@ -352,15 +440,25 @@ def _supervised_analyze(payload: AnalyzeTask, attempt: int) -> ShardPartial:
     return _analyze_shard(
         payload.config, payload.shard_id, payload.items,
         payload.cache_dir, payload.fingerprint, before=before,
+        residency=process_residency() if payload.resident else None,
     )
 
 
 def _supervised_extract(
     payload: ExtractTask, attempt: int
 ) -> Tuple[int, str, CandidateExtraction]:
+    before = (
+        payload.chaos.probe(attempt, phase="extract")
+        if payload.chaos is not None else None
+    )
     return _extract_shard(
         payload.config, payload.shard_id, payload.refs, payload.model,
         payload.cache_dir, payload.fingerprint,
+        residency=process_residency() if payload.resident else None,
+        shipped=unpack_shipment(payload.shipped) if payload.shipped
+        else None,
+        fragment=payload.fragment,
+        before=before,
     )
 
 
@@ -379,8 +477,10 @@ def _split_extract(payload: ExtractTask):
         return None
     mid = len(payload.refs) // 2
     return (
-        replace(payload, refs=payload.refs[:mid]),
-        replace(payload, refs=payload.refs[mid:]),
+        replace(payload, refs=payload.refs[:mid],
+                fragment=payload.fragment + (0,)),
+        replace(payload, refs=payload.refs[mid:],
+                fragment=payload.fragment + (1,)),
     )
 
 
@@ -538,8 +638,13 @@ class MiningEngine:
             cache_dir = spill
         bundle_sink: Optional[Dict[str, GraphBundle]] = \
             None if supervised else {}
+        #: residency needs worker processes that outlive single tasks —
+        #: the local pool and remote daemons both qualify
+        resident = bool(self.mining.resident) and supervised
 
         chaos = self.mining.supervision.chaos
+        n_evicted = 0
+        heal_counts = {"repaired": 0, "shipped": 0}
 
         try:
             # phase 1: map-analyze ------------------------------------
@@ -548,7 +653,7 @@ class MiningEngine:
                     "analyze",
                     [(sid, AnalyzeTask(self.config, cache_dir,
                                        fingerprint, sid, tuple(items),
-                                       chaos))
+                                       chaos, resident))
                      for sid, items in tasks],
                     runner=_supervised_analyze,
                     splitter=_split_analyze,
@@ -570,6 +675,18 @@ class MiningEngine:
             ):
                 merged.merge(partial)
             merged.canonicalize()
+            # enforce the cache budget *between* the phases (cold
+            # entries from previous runs go now, not only at the end) —
+            # pinning this run's bundle refs so the sweep can never eat
+            # the extract phase's own working set
+            if (self.mining.cache_budget is not None
+                    and self.mining.cache_dir):
+                pinned = frozenset(
+                    ck for _, ck in merged.bundle_refs if ck
+                )
+                n_evicted += AnalysisCache(
+                    self.mining.cache_dir, fingerprint
+                ).evict_to_budget(self.mining.cache_budget, pinned=pinned)
             if supervisor is not None and self.mining.parallel_train:
                 model = self._parallel_train(supervisor, merged.stats)
             else:
@@ -593,8 +710,12 @@ class MiningEngine:
             if supervisor is not None:
                 results = supervisor.run_phase(
                     "extract",
-                    [(sid, ExtractTask(self.config, cache_dir,
-                                       fingerprint, sid, tuple(refs), model))
+                    [(sid, ExtractTask(
+                        self.config, cache_dir, fingerprint, sid,
+                        tuple(refs), model,
+                        affinity=supervisor.owner_of(sid),
+                        resident=resident, chaos=chaos,
+                    ))
                      for sid, refs in extract_tasks],
                     runner=_supervised_extract,
                     splitter=_split_extract,
@@ -603,6 +724,9 @@ class MiningEngine:
                         unit_programs,
                     ),
                     validator=_valid_extraction,
+                    healer=self._heal_extract(
+                        cache_dir, fingerprint, unit_programs, heal_counts,
+                    ),
                 )
             else:
                 results = [
@@ -621,13 +745,16 @@ class MiningEngine:
             scores = self.pipeline.score(extraction)
             specs = self.pipeline.select(scores)
 
-            n_evicted = 0
             if (self.mining.cache_budget is not None
                     and self.mining.cache_dir):
-                n_evicted = AnalysisCache(
+                # final unpinned sweep: the run is over, the byte
+                # budget is the only constraint again
+                n_evicted += AnalysisCache(
                     self.mining.cache_dir, fingerprint
                 ).evict_to_budget(self.mining.cache_budget)
         finally:
+            if supervisor is not None and supervisor is not self.coordinator:
+                supervisor.close()
             if spill is not None:
                 shutil.rmtree(spill, ignore_errors=True)
 
@@ -650,6 +777,11 @@ class MiningEngine:
             cluster=(
                 self.coordinator.stats.to_dict() if distributed else None
             ),
+            resident=resident,
+            n_affinity_hits=getattr(supervisor, "affinity_hits", 0),
+            n_affinity_misses=getattr(supervisor, "affinity_misses", 0),
+            n_cache_repairs=heal_counts["repaired"],
+            n_bundles_shipped=heal_counts["shipped"],
         )
         return LearnedSpecs(
             specs, scores, extraction, model, self.config,
@@ -707,6 +839,94 @@ class MiningEngine:
             cfg.feature, cfg.train, models, fallback, len(stream),
             n_members=n_members,
         )
+
+    # ------------------------------------------------------------------
+
+    def _heal_extract(
+        self,
+        cache_dir: Optional[str],
+        fingerprint: str,
+        unit_programs: Dict[str, Program],
+        heal_counts: Dict[str, int],
+    ):
+        """Build the extract-phase healer for the scheduler.
+
+        ``heal(payload, err)`` repairs a :class:`CacheEntryVanished`
+        failure in the parent: each missing bundle is reloaded from the
+        cache (it may have reappeared — another worker's write, or the
+        eviction raced the read) or **re-analysed** from the program
+        source, then packed onto the payload as a shipment the retried
+        task can extract from directly.  Returns the repaired payload,
+        or None when the failure is not healable — then the ordinary
+        retry/bisect/poison ladder takes over.
+        """
+
+        def heal(payload: ExtractTask, err: BaseException):
+            if not isinstance(err, CacheEntryVanished):
+                return None
+            already = dict(payload.shipped)
+            if any(key in already for key, _ in err.refs):
+                # a shipped bundle cannot vanish: this failure is not
+                # about cache entries, so healing again cannot help
+                # (and refusing keeps the heal loop bounded)
+                return None
+            cache = (
+                AnalysisCache(cache_dir, fingerprint) if cache_dir else None
+            )
+            shipped = dict(already)
+            for key, cache_key in err.refs:
+                bundle = None
+                if cache is not None and cache_key:
+                    bundle = cache.load_bundle_by_key(cache_key)
+                if bundle is not None:
+                    heal_counts["shipped"] += 1
+                else:
+                    program = unit_programs.get(key)
+                    if program is None:
+                        return None  # not a unit of this run: unhealable
+                    bundle = self._reanalyze(program, key, cache)
+                    if bundle is None:
+                        return None  # the program no longer analyses
+                    heal_counts["repaired"] += 1
+                shipped[key] = pack_bundle(bundle)
+            return replace(
+                payload, shipped=tuple(sorted(shipped.items()))
+            )
+
+        return heal
+
+    def _reanalyze(
+        self,
+        program: Program,
+        key: str,
+        cache: Optional[AnalysisCache],
+    ) -> Optional[GraphBundle]:
+        """Re-run the analysis ladder over one program, in the parent.
+
+        Analysis is deterministic given the program and the pipeline
+        config, so the rebuilt bundle is byte-identical (as a pickle)
+        to the vanished one — extraction results cannot drift.  The
+        bundle is re-stored to the cache (re-pinning is pointless: the
+        shipment on the retried payload is the durable copy).
+        """
+        runtime = replace(self.config.runtime, checkpoint_dir=None)
+        executor = CorpusExecutor(
+            self.config.pointsto, self.config.history, runtime
+        )
+        holder: Dict[str, GraphBundle] = {}
+
+        def sink(outcome, bundle, entry) -> None:
+            if bundle is not None:
+                holder["bundle"] = bundle
+
+        try:
+            executor.run([program], keys=[key], sink=sink)
+        except Exception:
+            return None
+        bundle = holder.get("bundle")
+        if bundle is not None and cache is not None:
+            cache.store_bundle(program_fingerprint(program), bundle)
+        return bundle
 
     # ------------------------------------------------------------------
 
@@ -785,6 +1005,11 @@ class MiningEngine:
         distributed: bool = False,
         parallel_train: bool = False,
         cluster: Optional[Dict[str, object]] = None,
+        resident: bool = False,
+        n_affinity_hits: int = 0,
+        n_affinity_misses: int = 0,
+        n_cache_repairs: int = 0,
+        n_bundles_shipped: int = 0,
     ) -> MiningReport:
         def total(attr: str) -> int:
             return sum(getattr(m, attr) for m in merged.metrics)
@@ -813,6 +1038,11 @@ class MiningEngine:
             distributed=distributed,
             parallel_train=parallel_train,
             cluster=cluster,
+            resident=resident,
+            n_affinity_hits=n_affinity_hits,
+            n_affinity_misses=n_affinity_misses,
+            n_cache_repairs=n_cache_repairs,
+            n_bundles_shipped=n_bundles_shipped,
         )
 
 

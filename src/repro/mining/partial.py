@@ -194,11 +194,30 @@ class MiningReport:
     parallel_train: bool = False
     #: repro.dist ClusterStats.to_dict() of a distributed run
     cluster: Optional[Dict[str, object]] = None
+    #: whether bundles stayed resident in workers across the
+    #: analyze→extract barrier (worker-affinity scheduling)
+    resident: bool = False
+    #: extract tasks that landed on the worker holding their bundles
+    n_affinity_hits: int = 0
+    #: extract tasks that carried an affinity hint but ran elsewhere
+    #: (owner died / was busy) and reloaded bundles from the cache
+    n_affinity_misses: int = 0
+    #: vanished cache entries restored by re-analysis in the parent
+    n_cache_repairs: int = 0
+    #: vanished cache entries restored by reload + shipment (the entry
+    #: reappeared, or another worker's copy was still on disk)
+    n_bundles_shipped: int = 0
 
     @property
     def cache_hit_rate(self) -> float:
         """Fraction of programs satisfied from the incremental cache."""
         return self.n_cached / self.n_programs if self.n_programs else 0.0
+
+    @property
+    def affinity_hit_rate(self) -> float:
+        """Fraction of affinity-hinted extract tasks served resident."""
+        total = self.n_affinity_hits + self.n_affinity_misses
+        return self.n_affinity_hits / total if total else 0.0
 
     @property
     def programs_per_second(self) -> float:
@@ -227,6 +246,12 @@ class MiningReport:
             "supervised": self.supervised,
             "distributed": self.distributed,
             "parallel_train": self.parallel_train,
+            "resident": self.resident,
+            "n_affinity_hits": self.n_affinity_hits,
+            "n_affinity_misses": self.n_affinity_misses,
+            "affinity_hit_rate": round(self.affinity_hit_rate, 6),
+            "n_cache_repairs": self.n_cache_repairs,
+            "n_bundles_shipped": self.n_bundles_shipped,
             "cluster": self.cluster,
             "supervision": (
                 self.ledger.to_dict() if self.ledger is not None else None

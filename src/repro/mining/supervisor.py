@@ -3,14 +3,22 @@
 PR 2's engine fanned shard tasks to a bare ``multiprocessing.Pool``:
 one worker that segfaults, hangs, or gets OOM-killed took the whole
 ``uspec learn`` run with it.  :class:`ShardSupervisor` replaces that
-fan-out with a watchdog dispatcher built from per-task worker
-processes:
+fan-out with a watchdog dispatcher built from a pool of **persistent
+worker processes** (one per job slot, respawned on death):
 
-* **liveness + deadlines** — every task attempt runs in its own
-  process with a result pipe; a process that dies without reporting
-  (EOF on the pipe) is a *crash*, one that outlives the shard
-  wall-clock deadline is *terminated* and recorded as a *timeout*, and
-  a result that does not decode to the expected shape is *corrupt*;
+* **liveness + deadlines** — every worker runs a task loop over a
+  duplex pipe; a process that dies without reporting (EOF on the
+  pipe) is a *crash* and its slot is respawned, one that outlives the
+  shard wall-clock deadline is *terminated* and recorded as a
+  *timeout*, and a result that does not decode to the expected shape
+  is *corrupt*;
+* **worker affinity + bundle residency** — workers persist across the
+  analyze→extract barrier, so the bundles a worker analysed stay in
+  its process (:mod:`repro.mining.residency`); the scheduler records
+  which worker analysed each shard and routes the shard's extract
+  task back to it, falling back to any idle worker (cache reload)
+  when the owner died, was respawned, or is busy while the queue
+  drains;
 * **bounded retries with exponential backoff** — a failed task is
   re-queued with a deterministic backoff schedule (``base × factor^n``,
   capped); backoff is implemented as a not-before timestamp so the
@@ -33,7 +41,10 @@ idempotent and content-addressed), a retried attempt recomputes or
 cache-hits the same per-program values, and bisected halves produce the
 same mergeable partials the whole shard would have — so specs and
 manifest stay byte-identical with chaos on or off, for any ``--jobs``
-and ``--shards``, modulo the quarantined toxic programs.
+and ``--shards``, modulo the quarantined toxic programs.  Affinity is
+part of scheduling, not results: a resident bundle is the same object
+a cache reload would deserialise, so hit and miss paths extract
+identically.
 
 ``strict=True`` keeps fail-fast semantics: a typed error shipped back
 by a worker re-raises in the parent with its type intact (``--strict``
@@ -47,8 +58,17 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 from multiprocessing.connection import wait as connection_wait
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import (
+    Callable,
+    Container,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
+from repro.mining.residency import residency_group
 from repro.runtime.errors import (
     WORKER_CRASH,
     WORKER_TIMEOUT,
@@ -324,36 +344,61 @@ class FailureLedger:
 # worker side
 
 
-def _child_main(conn, runner, payload, attempt: int) -> None:
-    """Entry point of one supervised task attempt (runs in the child).
+def _run_job(runner, payload, attempt: int) -> Tuple:
+    """Execute one task attempt; fold the outcome into a pipe message.
 
-    The protocol back to the supervisor is a single message: ``("ok",
-    result)`` or ``("error", exc)``.  Anything else — including the
-    deliberately malformed frame a :class:`CorruptResult` produces and
-    the *absence* of a message when the process dies — is a supervision
-    failure, not a result.
+    The protocol back to the supervisor is one message per job:
+    ``("ok", result)``, ``("corrupt-partial", text)`` for the
+    deliberately malformed frame a :class:`CorruptResult` produces, or
+    ``("error", exc)`` with the typed exception (downgraded to a
+    ``RuntimeError`` if unpicklable).  The *absence* of a message when
+    the process dies is a supervision failure, not a result.
     """
     try:
+        return ("ok", runner(payload, attempt))
+    except CorruptResult as marker:
+        # simulate a worker whose result pipe carries garbage
+        return ("corrupt-partial", str(marker))
+    except BaseException as err:  # ships typed errors to the parent
         try:
-            message: Tuple = ("ok", runner(payload, attempt))
-        except CorruptResult as marker:
-            # simulate a worker whose result pipe carries garbage
-            message = ("corrupt-partial", str(marker))
-        except BaseException as err:  # ships typed errors to the parent
-            try:
-                import pickle
+            import pickle
 
-                pickle.dumps(err)
-                message = ("error", err)
+            pickle.dumps(err)
+            return ("error", err)
+        except Exception:
+            return ("error", RuntimeError(f"{type(err).__name__}: {err}"))
+
+
+def _pool_main(conn) -> None:
+    """Task loop of one persistent pool worker (runs in the child).
+
+    Jobs arrive as ``(runner, payload, attempt)`` tuples over the
+    duplex pipe; ``None`` is the shutdown sentinel.  The process
+    persists across jobs *and phases* — that persistence is what keeps
+    :func:`repro.mining.residency.process_residency` bundles alive
+    from a shard's analyze task to its extract task.
+    """
+    while True:
+        try:
+            job = conn.recv()
+        except (EOFError, OSError):
+            return  # parent gone
+        if job is None:
+            return
+        runner, payload, attempt = job
+        message = _run_job(runner, payload, attempt)
+        try:
+            conn.send(message)
+        except (BrokenPipeError, EOFError, OSError):
+            return
+        except Exception as err:
+            # unpicklable result: report instead of dying silently
+            try:
+                conn.send(("error", RuntimeError(
+                    f"unpicklable result: {err}"
+                )))
             except Exception:
-                message = ("error", RuntimeError(
-                    f"{type(err).__name__}: {err}"
-                ))
-        conn.send(message)
-    except Exception:
-        pass  # broken pipe etc.: the parent sees EOF and records a crash
-    finally:
-        conn.close()
+                return
 
 
 # ----------------------------------------------------------------------
@@ -371,16 +416,38 @@ class _Task:
     attempt: int = 0
     ready_at: float = 0.0
     seq: int = 0  # launch-order tiebreak
+    #: label of the worker whose residency holds this task's bundles
+    affinity: Optional[str] = None
+    #: residency group token, matched against worker advertisements
+    group: Optional[str] = None
 
 
 @dataclass
-class _Running:
-    task: _Task
+class _PoolWorker:
+    """One persistent slot of the local worker pool."""
+
+    slot: int
+    generation: int
     process: object
     conn: object
-    started: float
-    deadline: Optional[float]
+    current: Optional[_Task] = None
+    started: float = 0.0
+    deadline: Optional[float] = None
     allowed: Optional[float] = None  # the deadline in relative seconds
+
+    @property
+    def label(self) -> str:
+        """Identity for affinity bookkeeping.
+
+        The generation is part of the label: a respawned slot is a
+        *different* process with an empty residency, so tasks bound to
+        the dead generation must not match its successor.
+        """
+        return f"w{self.slot}#{self.generation}"
+
+    @property
+    def idle(self) -> bool:
+        return self.current is None
 
 
 class TaskScheduler:
@@ -410,6 +477,12 @@ class TaskScheduler:
         self._clock = clock
         self._seq = 0
         self._deadlines = DeadlineTracker(self.supervision)
+        #: shard_id → label of the worker whose OK analyze attempt won
+        self._owners: Dict[int, str] = {}
+        #: engine-provided payload repair hook (see ``_heal``)
+        self._healer: Optional[Callable] = None
+        self.affinity_hits = 0
+        self.affinity_misses = 0
 
     # ------------------------------------------------------------------
 
@@ -421,10 +494,115 @@ class TaskScheduler:
             task_id=task_id, shard_id=shard_id, phase=phase,
             n_programs=self._payload_size(payload),
         ))
+        group = None
+        if hasattr(payload, "affinity"):
+            fingerprint = getattr(payload, "fingerprint", None)
+            if fingerprint:
+                group = residency_group(fingerprint, shard_id)
         return _Task(
             task_id=task_id, shard_id=shard_id, payload=payload,
             record=record, seq=self._seq,
+            affinity=getattr(payload, "affinity", None), group=group,
         )
+
+    # ------------------------------------------------------------------
+    # worker affinity
+
+    def _note_owner(self, task: _Task, label: str) -> None:
+        """Record which worker's residency now holds a shard's bundles."""
+        if task.record.phase == "analyze":
+            self._owners[task.shard_id] = label
+
+    def owner_of(self, shard_id: int) -> Optional[str]:
+        """The label of the worker that analysed ``shard_id``, if any."""
+        return self._owners.get(shard_id)
+
+    def _select_task(
+        self,
+        queue: List[_Task],
+        now: float,
+        *,
+        label: Optional[str] = None,
+        resident: Optional[Container[str]] = None,
+        alive: Optional[Container[str]] = None,
+    ) -> Optional[_Task]:
+        """Pop the best ready task for one idle worker, or None.
+
+        ``queue`` must already be sorted by ``(ready_at, seq)``.  Three
+        passes, best placement first:
+
+        1. a task whose affinity names this worker — or whose residency
+           group the worker advertises — extracts from memory (*hit*);
+        2. a task with no affinity, or whose owner is known dead
+           (``alive``), has nothing to lose by running here (*miss*);
+        3. otherwise *steal* the oldest ready task: its owner is alive
+           but busy, and an idle pool beats perfect placement — the
+           bundles just come off disk instead (*miss*).
+
+        Hit/miss counters track only tasks that carried an affinity
+        hint; unhinted tasks (analyze, train) say nothing about
+        residency.
+        """
+        def take(index: int, hit: bool) -> _Task:
+            task = queue.pop(index)
+            if task.affinity is not None:
+                if hit:
+                    self.affinity_hits += 1
+                else:
+                    self.affinity_misses += 1
+            return task
+
+        for i, task in enumerate(queue):
+            if task.ready_at > now:
+                break  # sorted: nothing ready past this point
+            if label is not None and task.affinity == label:
+                return take(i, hit=True)
+            if (resident is not None and task.group is not None
+                    and task.group in resident):
+                return take(i, hit=True)
+        for i, task in enumerate(queue):
+            if task.ready_at > now:
+                break
+            if task.affinity is None:
+                return take(i, hit=False)
+            if alive is not None and task.affinity not in alive:
+                return take(i, hit=False)
+        for i, task in enumerate(queue):
+            if task.ready_at > now:
+                break
+            return take(i, hit=False)
+        return None
+
+    # ------------------------------------------------------------------
+    # payload healing (extract-phase bundle restoration)
+
+    def _heal(
+        self, task: _Task, err: BaseException, now: float,
+        queue: List[_Task],
+    ) -> bool:
+        """Offer a failed payload to the engine's healer; requeue if fixed.
+
+        The healer (see ``MiningEngine``) understands
+        :class:`~repro.mining.cache.CacheEntryVanished`: it restores
+        the missing bundles (cache reload or re-analysis) and returns a
+        replacement payload with them attached, or None when it cannot
+        help — in which case the normal retry/bisect/poison ladder
+        takes over.  Healing consumes no retry budget: the repaired
+        payload cannot fail the same way twice (shipped bundles cannot
+        vanish), so the loop is bounded by the task's ref count.
+        """
+        if self._healer is None:
+            return False
+        try:
+            replacement = self._healer(task.payload, err)
+        except Exception:
+            return False
+        if replacement is None:
+            return False
+        task.payload = replacement
+        task.ready_at = now
+        queue.append(task)
+        return True
 
     @staticmethod
     def _payload_size(payload: object) -> int:
@@ -489,7 +667,11 @@ class ShardSupervisor(TaskScheduler):
 
     One instance supervises both engine phases (analyse, extract) and
     accumulates their histories in a shared :class:`FailureLedger`.
-    ``clock`` is injectable for tests and must be monotone.
+    The worker pool is lazily spawned on the first phase and persists
+    across phases (that persistence carries bundle residency across
+    the analyze→extract barrier); callers must :meth:`close` the
+    supervisor when the run ends.  ``clock`` is injectable for tests
+    and must be monotone.
     """
 
     def __init__(
@@ -508,6 +690,66 @@ class ShardSupervisor(TaskScheduler):
         self.ctx = ctx
         self.jobs = max(1, jobs)
         self._sleep = sleep
+        self._workers: List[_PoolWorker] = []
+        self._generation = 0
+
+    # ------------------------------------------------------------------
+    # pool lifecycle
+
+    def _spawn_worker(self, slot: int) -> _PoolWorker:
+        self._generation += 1
+        parent_conn, child_conn = self.ctx.Pipe(duplex=True)
+        process = self.ctx.Process(
+            target=_pool_main, args=(child_conn,), daemon=True,
+        )
+        process.start()
+        child_conn.close()
+        return _PoolWorker(
+            slot=slot, generation=self._generation,
+            process=process, conn=parent_conn,
+        )
+
+    def _ensure_pool(self) -> None:
+        while len(self._workers) < self.jobs:
+            self._workers.append(self._spawn_worker(len(self._workers)))
+
+    def _replace_worker(self, worker: _PoolWorker) -> None:
+        """Respawn one slot after its process died or was killed.
+
+        The successor gets a fresh generation (and thus a fresh
+        label): whatever residency the dead process held is gone, so
+        tasks bound to the old label must fall through to the
+        dead-owner pass of ``_select_task``.
+        """
+        try:
+            worker.conn.close()
+        except Exception:
+            pass
+        self._kill_process(worker)
+        self._workers[worker.slot] = self._spawn_worker(worker.slot)
+
+    def close(self) -> None:
+        """Tear the pool down (shutdown sentinel, then force-kill)."""
+        for worker in self._workers:
+            if worker.idle:
+                try:
+                    worker.conn.send(None)
+                except Exception:
+                    pass
+        for worker in self._workers:
+            try:
+                worker.process.join(timeout=2.0)
+            except Exception:
+                pass
+            self._kill_process(worker)
+            try:
+                worker.conn.close()
+            except Exception:
+                pass
+        self._workers = []
+
+    def _alive_labels(self) -> frozenset:
+        return frozenset(w.label for w in self._workers)
 
     # ------------------------------------------------------------------
 
@@ -520,6 +762,7 @@ class ShardSupervisor(TaskScheduler):
         splitter: Callable[[object], Optional[Tuple[object, object]]],
         poisoner: Callable[[object, str, str], object],
         validator: Callable[[object], bool],
+        healer: Optional[Callable] = None,
     ) -> List[object]:
         """Dispatch ``tasks`` (``(shard_id, payload)``) under supervision.
 
@@ -531,6 +774,9 @@ class ShardSupervisor(TaskScheduler):
         toxic singleton into a phase result (quarantine entry + empty
         partial); it runs in the parent, so it may close over engine
         state.  ``validator(result)`` rejects corrupt result payloads.
+        ``healer(payload, error)`` may repair a payload whose typed
+        error is recoverable (vanished cache bundles) — see
+        ``TaskScheduler._heal``.
 
         Returns one result per surviving leaf task, in no particular
         order — callers merge through the order-insensitive partials.
@@ -540,32 +786,39 @@ class ShardSupervisor(TaskScheduler):
             for shard_id, payload in tasks
         ]
         results: List[object] = []
-        running: Dict[object, _Running] = {}
+        self._healer = healer
+        self._ensure_pool()
         try:
-            while queue or running:
+            while queue or any(not w.idle for w in self._workers):
                 now = self._clock()
-                self._launch_ready(queue, running, runner, now)
-                timeout = self._wait_timeout(queue, running, now)
-                if running:
-                    ready = connection_wait(
-                        [r.conn for r in running.values()], timeout=timeout
-                    )
+                self._launch_ready(queue, results, runner, now,
+                                   splitter, poisoner)
+                timeout = self._wait_timeout(queue, now)
+                conns = [w.conn for w in self._workers]
+                if conns:
+                    ready = connection_wait(conns, timeout=timeout)
+                elif timeout:
+                    ready = []
+                    self._sleep(timeout)
                 else:
-                    # everything is cooling down in backoff
-                    if timeout:
-                        self._sleep(timeout)
                     ready = []
                 now = self._clock()
                 for conn in ready:
-                    self._handle_result(
-                        conn, running, queue, results, now,
+                    self._handle_event(
+                        conn, queue, results, now,
                         splitter, poisoner, validator,
                     )
                 self._reap_deadlines(
-                    running, queue, results, splitter, poisoner, validator,
+                    queue, results, splitter, poisoner, validator,
                 )
+        except BaseException:
+            # a strict-mode raise (or KeyboardInterrupt) can leave
+            # workers mid-task; their stale results must not leak into
+            # a later phase, so the pool dies with the phase
+            self.close()
+            raise
         finally:
-            self._shutdown(running)
+            self._healer = None
         return results
 
     # ------------------------------------------------------------------
@@ -573,53 +826,67 @@ class ShardSupervisor(TaskScheduler):
     def _launch_ready(
         self,
         queue: List[_Task],
-        running: Dict[object, _Running],
+        results: List[object],
         runner: Callable,
         now: float,
+        splitter,
+        poisoner,
     ) -> None:
         queue.sort(key=lambda t: (t.ready_at, t.seq))
-        while len(running) < self.jobs and queue \
-                and queue[0].ready_at <= now:
-            task = queue.pop(0)
-            parent_conn, child_conn = self.ctx.Pipe(duplex=False)
-            process = self.ctx.Process(
-                target=_child_main,
-                args=(child_conn, runner, task.payload, task.attempt),
-                daemon=True,
+        for worker in list(self._workers):
+            if not worker.idle or not queue:
+                continue
+            task = self._select_task(
+                queue, now, label=worker.label,
+                alive=self._alive_labels(),
             )
-            process.start()
-            child_conn.close()
+            if task is None:
+                break  # nothing ready yet (backoff cooldowns)
+            try:
+                worker.conn.send((runner, task.payload, task.attempt))
+            except (OSError, ValueError):
+                # the worker died idle; replace the slot and put the
+                # task back untouched (the attempt never started)
+                task.ready_at = now
+                queue.append(task)
+                queue.sort(key=lambda t: (t.ready_at, t.seq))
+                self._replace_worker(worker)
+                continue
             allowed = self._deadlines.effective(
                 self._payload_size(task.payload)
             )
-            running[parent_conn] = _Running(
-                task=task, process=process, conn=parent_conn,
-                started=now,
-                deadline=(now + allowed) if allowed is not None else None,
-                allowed=allowed,
+            worker.current = task
+            worker.started = now
+            worker.allowed = allowed
+            worker.deadline = (
+                (now + allowed) if allowed is not None else None
             )
 
     def _wait_timeout(
         self,
         queue: List[_Task],
-        running: Dict[object, _Running],
         now: float,
     ) -> Optional[float]:
         horizons = [_POLL_SECONDS]
         horizons += [
-            r.deadline - now for r in running.values()
-            if r.deadline is not None
+            w.deadline - now for w in self._workers
+            if w.deadline is not None and not w.idle
         ]
-        if len(running) < self.jobs and queue:
+        if queue and any(w.idle for w in self._workers):
             horizons.append(queue[0].ready_at - now)
         return max(0.0, min(horizons))
 
     # ------------------------------------------------------------------
 
-    def _handle_result(
+    def _worker_for(self, conn) -> Optional[_PoolWorker]:
+        for worker in self._workers:
+            if worker.conn is conn:
+                return worker
+        return None
+
+    def _handle_event(
         self,
         conn,
-        running: Dict[object, _Running],
         queue: List[_Task],
         results: List[object],
         now: float,
@@ -627,31 +894,38 @@ class ShardSupervisor(TaskScheduler):
         poisoner,
         validator,
     ) -> None:
-        attempt = running.pop(conn, None)
-        if attempt is None:
+        worker = self._worker_for(conn)
+        if worker is None:
             return
-        task = attempt.task
-        seconds = now - attempt.started
+        task = worker.current
+        seconds = now - worker.started
         try:
             message = conn.recv()
         except (EOFError, OSError):
             message = None
-        finally:
-            self._reap_process(attempt)
         if message is None:
-            exitcode = attempt.process.exitcode
-            self._failed(
-                task, OUTCOME_CRASH,
-                f"worker died without reporting (exit code {exitcode})",
-                seconds, now, queue, results, splitter, poisoner,
-            )
+            # the process died: reap it for its exit code, respawn the
+            # slot, and fail the in-flight task (if any) as a crash
+            self._kill_process(worker)
+            exitcode = worker.process.exitcode
+            self._replace_worker(worker)
+            if task is not None:
+                self._failed(
+                    task, OUTCOME_CRASH,
+                    f"worker died without reporting (exit code {exitcode})",
+                    seconds, now, queue, results, splitter, poisoner,
+                )
             return
+        if task is None:
+            return  # stray frame from an idle worker: ignore
+        worker.current = None
+        worker.deadline = None
         if (isinstance(message, tuple) and len(message) == 2
                 and message[0] == "ok" and validator(message[1])):
             straggler = (
-                attempt.allowed is not None
+                worker.allowed is not None
                 and seconds > self.supervision.straggler_fraction
-                * attempt.allowed
+                * worker.allowed
             )
             task.record.attempts.append(AttemptRecord(
                 attempt=task.attempt, outcome=OUTCOME_OK,
@@ -660,6 +934,7 @@ class ShardSupervisor(TaskScheduler):
             self._deadlines.observe(
                 seconds, self._payload_size(task.payload)
             )
+            self._note_owner(task, worker.label)
             results.append(message[1])
             return
         if (isinstance(message, tuple) and len(message) == 2
@@ -670,6 +945,8 @@ class ShardSupervisor(TaskScheduler):
                 attempt=task.attempt, outcome=OUTCOME_ERROR,
                 seconds=seconds, error=f"{type(err).__name__}: {err}",
             ))
+            if self._heal(task, err, now, queue):
+                return  # repaired payload requeued; no budget consumed
             if self.strict:
                 # fail fast with the worker's typed error intact
                 # (exit codes 3/4 survive supervision)
@@ -688,7 +965,6 @@ class ShardSupervisor(TaskScheduler):
 
     def _reap_deadlines(
         self,
-        running: Dict[object, _Running],
         queue: List[_Task],
         results: List[object],
         splitter,
@@ -696,49 +972,37 @@ class ShardSupervisor(TaskScheduler):
         validator,
     ) -> None:
         now = self._clock()
-        for conn, attempt in list(running.items()):
-            if attempt.deadline is None or now < attempt.deadline:
+        for worker in list(self._workers):
+            if (worker.idle or worker.deadline is None
+                    or now < worker.deadline):
                 continue
-            if conn.poll():
+            if worker.conn.poll():
                 # the result raced the deadline: results win
-                self._handle_result(
-                    conn, running, queue, results, self._clock(),
+                self._handle_event(
+                    worker.conn, queue, results, self._clock(),
                     splitter, poisoner, validator,
                 )
                 continue
-            running.pop(conn, None)
-            self._kill_process(attempt)
-            conn.close()
+            task = worker.current
+            allowed = worker.allowed
+            started = worker.started
+            self._replace_worker(worker)
             self._failed(
-                attempt.task, OUTCOME_TIMEOUT,
-                f"shard deadline of {attempt.allowed:g}s exceeded",
-                now - attempt.started, now, queue, results,
+                task, OUTCOME_TIMEOUT,
+                f"shard deadline of {allowed:g}s exceeded",
+                now - started, now, queue, results,
                 splitter, poisoner,
             )
 
     # ------------------------------------------------------------------
 
     @staticmethod
-    def _reap_process(attempt: _Running, grace: float = 5.0) -> None:
-        attempt.process.join(timeout=grace)
-        if attempt.process.is_alive():
-            attempt.process.kill()
-            attempt.process.join()
-        attempt.conn.close()
-
-    @staticmethod
-    def _kill_process(attempt: _Running) -> None:
-        attempt.process.terminate()
-        attempt.process.join(timeout=2.0)
-        if attempt.process.is_alive():
-            attempt.process.kill()
-            attempt.process.join()
-
-    def _shutdown(self, running: Dict[object, _Running]) -> None:
-        for attempt in running.values():
-            try:
-                self._kill_process(attempt)
-                attempt.conn.close()
-            except Exception:
-                pass
-        running.clear()
+    def _kill_process(worker: _PoolWorker) -> None:
+        try:
+            worker.process.terminate()
+            worker.process.join(timeout=2.0)
+            if worker.process.is_alive():
+                worker.process.kill()
+                worker.process.join()
+        except Exception:
+            pass
