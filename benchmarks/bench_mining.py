@@ -54,14 +54,20 @@ def _git_revision() -> str:
         return "unknown"
 
 
-def _throughput_history(runs) -> list:
-    """Prior runs' summaries plus this run's, oldest first."""
-    history = []
+def _prior_record() -> dict:
+    """Whatever BENCH_mining.json currently holds (benchmarks merge
+    into it rather than clobbering each other's sections)."""
     if BENCH_PATH.exists():
         try:
-            history = json.loads(BENCH_PATH.read_text()).get("history", [])
+            return json.loads(BENCH_PATH.read_text())
         except (ValueError, OSError):
-            history = []
+            pass
+    return {}
+
+
+def _throughput_history(runs) -> list:
+    """Prior runs' summaries plus this run's, oldest first."""
+    history = _prior_record().get("history", [])
     history.append({
         "revision": _git_revision(),
         "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
@@ -167,6 +173,7 @@ def test_mining_throughput(benchmark, tmp_path):
     baseline = runs[1]["seconds"]
     record = {
         "history": _throughput_history(runs),
+        "serve": _prior_record().get("serve"),
         "corpus_files": N_FILES,
         "cpu_count": cpu_count,
         "note": (
@@ -251,3 +258,105 @@ def test_mining_throughput(benchmark, tmp_path):
         assert record["speedup_jobs4"] >= 2.0
     elif cpu_count >= 2:
         assert record["speedup_jobs2"] >= 1.2
+
+
+# ----------------------------------------------------------------------
+# the serve daemon under chaos load
+
+N_SERVE_REQUESTS = int(os.environ.get("REPRO_BENCH_SERVE_REQUESTS", "60"))
+
+
+def test_serve_chaos_latency(benchmark, tmp_path):
+    """Latency percentiles of `uspec serve` under full chaos load.
+
+    The load is open-loop with Poisson arrivals, 30% cache-warm
+    snippets, and all three chaos modes (worker kills, malformed
+    frames, slow-loris) cycling through the run.  The asserted
+    contract: every accepted request gets an explicit reply — shedding
+    and deadline replies are fine, a dropped connection never is.
+    """
+    import asyncio
+    import threading
+
+    from repro.serve import ServeConfig, SpecServer
+    from repro.serve.loadgen import LoadConfig, run_load
+
+    programs = CorpusGenerator(
+        java_registry(), CorpusConfig(n_files=30, seed=9)).programs()
+    learned = MiningEngine(mining=MiningConfig()).learn(programs)
+    specs_path = tmp_path / "specs.json"
+    specs_path.write_text(specs_to_json(learned.specs, learned.scores))
+
+    server = SpecServer(ServeConfig(
+        port=0, specs_path=str(specs_path), workers=2, max_queue=8,
+        chaos_enabled=True, mp_context="fork", header_timeout=1.0,
+    ))
+    bound = {}
+    ready = threading.Event()
+    loop = asyncio.new_event_loop()
+
+    async def boot():
+        bound["addr"] = await server.start()
+        ready.set()
+        await server.run_until_stopped()
+
+    thread = threading.Thread(
+        target=lambda: loop.run_until_complete(boot()), daemon=True)
+    thread.start()
+    assert ready.wait(timeout=60)
+    host, port = bound["addr"]
+
+    def measure():
+        return run_load(LoadConfig(
+            host=host, port=port, requests=N_SERVE_REQUESTS,
+            arrival="exp:0.03", sizes="normal:8,3", cache_ratio=0.3,
+            seed=1337, timeout=60,
+            chaos=("kill-worker", "malformed", "slow-loris"),
+            chaos_every=8,
+        ))
+
+    try:
+        report = benchmark.pedantic(measure, rounds=1, iterations=1)
+    finally:
+        server.request_stop()
+        thread.join(timeout=60)
+        loop.close()
+    assert not thread.is_alive()  # SIGTERM-equivalent drain finished
+
+    record = _prior_record()
+    record["serve"] = dict(
+        report.to_dict(),
+        n_stats_degraded=server.stats.degraded,
+        n_stats_shed=server.stats.shed,
+        pool_respawns=server.pool.respawns if server.pool else 0,
+        workers=2, max_queue=8,
+    )
+    BENCH_PATH.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+
+    def ms(p):
+        value = report.percentile(p)
+        return f"{value * 1000:.1f}ms" if value is not None else "—"
+
+    emit("serve_latency", format_table(
+        ["metric", "value"],
+        [
+            ["requests sent", str(report.n_sent)],
+            ["replied ok (cached)",
+             f"{report.n_ok} ({report.n_cached})"],
+            ["shed (429)", str(report.n_shed)],
+            ["deadline (504)", str(report.n_deadline)],
+            ["rejected (typed errors)", str(report.n_rejected)],
+            ["dropped (contract violations)", str(report.n_dropped)],
+            ["chaos: kills/malformed/loris",
+             f"{report.chaos_kills}/{report.chaos_malformed}"
+             f"/{report.chaos_loris}"],
+            ["p50 / p95 / p99", f"{ms(50)} / {ms(95)} / {ms(99)}"],
+        ],
+        title=f"uspec serve under chaos load ({N_SERVE_REQUESTS} requests)",
+    ))
+
+    # the service contract, asserted on every machine
+    assert report.n_dropped == 0
+    assert report.n_ok >= 1
+    assert (report.n_ok + report.n_shed + report.n_deadline
+            + report.n_rejected) == report.n_sent

@@ -30,12 +30,9 @@ from typing import List, Optional
 from repro.clients.taint import TaintConfig, find_taint_flows
 from repro.corpus import CorpusConfig, CorpusGenerator, java_registry, python_registry
 from repro.events import RET
-from repro.events.graph import build_event_graph
-from repro.events.history import HistoryBuilder
 from repro.frontend.minijava import parse_minijava
 from repro.frontend.pyfront import parse_python
 from repro.mining import MiningConfig, MiningEngine, SupervisionConfig
-from repro.pointsto import analyze
 from repro.runtime import (
     Budget,
     BudgetExceeded,
@@ -266,11 +263,18 @@ def _cmd_learn(args: argparse.Namespace) -> int:
 
 
 def _cmd_worker(args: argparse.Namespace) -> int:
+    import threading
+
     from repro.dist import run_worker
+    from repro.dist.worker import install_stop_signals
 
     host, port = args.connect
     log = (lambda line: None) if args.quiet else \
         (lambda line: print(line, flush=True))
+    stop = threading.Event()
+    if threading.current_thread() is threading.main_thread():
+        # SIGTERM: finish + ack the in-flight task, deregister, exit 0
+        install_stop_signals(stop)
     try:
         n_done = run_worker(
             host, port,
@@ -279,6 +283,9 @@ def _cmd_worker(args: argparse.Namespace) -> int:
             retry_delay=args.retry_delay,
             max_tasks=args.max_tasks,
             reconnect=args.reconnect,
+            jitter=args.jitter,
+            jitter_seed=args.jitter_seed,
+            stop=stop,
             log=log,
         )
     except ConnectionError as err:
@@ -307,12 +314,30 @@ def _load_program(path: Path):
 
 
 def _cmd_analyze(args: argparse.Namespace) -> int:
+    from repro.serve.query import QueryFailed, analyze_with_ladder
+
     program = _load_program(Path(args.file))
     specs = None
     if args.specs:
         specs, _ = specs_from_json(Path(args.specs).read_text())
-    result = analyze(program, specs=specs)
-    graph = build_event_graph(HistoryBuilder(program, result).build())
+    budget = Budget(
+        max_solver_iterations=args.budget_iterations,
+        max_constraints=args.budget_constraints,
+        max_history_events=args.budget_events,
+        deadline_seconds=args.budget_seconds,
+    )
+    try:
+        sa = analyze_with_ladder(program, specs=specs, budget=budget,
+                                 strict=args.strict)
+    except QueryFailed as err:
+        print(f"error: {err}", file=sys.stderr)
+        for attempt in err.attempts:
+            print(f"  {attempt.tier}: {attempt.error}", file=sys.stderr)
+        return EXIT_BUDGET if err.budget_exhausted else EXIT_ERROR
+    result, graph = sa.result, sa.graph
+    if sa.degraded:
+        print(f"note: precision degraded to '{sa.tier}' "
+              f"({len(sa.attempts) - 1} richer tier(s) over budget)")
     print(f"{args.file}: {len(result.api_sites)} API call sites, "
           f"{len(graph.events)} events, {graph.edge_count} edges")
     shown = 0
@@ -346,6 +371,70 @@ def _cmd_taint(args: argparse.Namespace) -> int:
         print(f"FLOW: {flow.source_site.method_id} → "
               f"{flow.sink_site.method_id} (argument {flow.sink_arg})")
     return 1
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.serve.server import ServeConfig, serve
+
+    host, port = args.bind
+    config = ServeConfig(
+        host=host, port=port,
+        specs_path=args.specs,
+        workers=args.workers,
+        max_queue=args.max_queue,
+        request_deadline=args.request_deadline,
+        header_timeout=args.header_timeout,
+        drain_timeout=args.drain_timeout,
+        cache_entries=args.cache_entries,
+        breaker_threshold=args.breaker_threshold,
+        breaker_cooldown=args.breaker_cooldown,
+        chaos_enabled=args.chaos,
+        mp_context=args.mp_context,
+    )
+    asyncio.run(serve(config))
+    return EXIT_OK
+
+
+def _cmd_loadgen(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.serve.loadgen import LoadConfig, run_load
+
+    host, port = args.connect
+    config = LoadConfig(
+        host=host, port=port,
+        kind=args.kind,
+        requests=args.requests,
+        arrival=args.arrival,
+        sizes=args.sizes,
+        cache_ratio=args.cache_ratio,
+        seed=args.seed,
+        timeout=args.timeout,
+        chaos=tuple(args.chaos),
+        chaos_every=args.chaos_every,
+    )
+    report = run_load(config)
+    summary = report.to_dict()
+    print(f"loadgen: {report.n_sent} sent, {report.n_ok} ok "
+          f"({report.n_cached} cached, {report.n_degraded} degraded), "
+          f"{report.n_shed} shed, {report.n_deadline} deadline, "
+          f"{report.n_rejected} rejected, {report.n_dropped} dropped")
+    for p in (50, 95, 99):
+        value = summary.get(f"p{p}_seconds")
+        if value is not None:
+            print(f"  p{p}: {value * 1000.0:.1f}ms")
+    if args.out:
+        Path(args.out).write_text(json.dumps(summary, indent=2,
+                                             sort_keys=True) + "\n")
+        print(f"wrote {args.out}")
+    if report.n_dropped:
+        # the service contract: every accepted request gets a reply
+        print(f"error: {report.n_dropped} request(s) dropped without "
+              f"a reply", file=sys.stderr)
+        return 1
+    return EXIT_OK
 
 
 def _cmd_reproduce(args: argparse.Namespace) -> int:
@@ -594,6 +683,17 @@ def build_parser() -> argparse.ArgumentParser:
                              "retry with exponential backoff (up to 8 "
                              "consecutive rounds) instead of exiting; "
                              "resident bundles survive the outage")
+    worker.add_argument("--jitter", type=float, default=0.5,
+                        metavar="F",
+                        help="scale each reconnect backoff by a uniform "
+                             "draw from [1-F, 1] so a restarted "
+                             "coordinator is not hit by synchronized "
+                             "retry waves (default 0.5; 0 disables)")
+    worker.add_argument("--jitter-seed", type=int, default=None,
+                        metavar="N",
+                        help="seed the jitter RNG for reproducible "
+                             "backoff schedules (default: seeded from "
+                             "the worker name)")
     worker.add_argument("--quiet", action="store_true",
                         help="suppress per-task log lines")
     worker.set_defaults(func=_cmd_worker)
@@ -606,6 +706,22 @@ def build_parser() -> argparse.ArgumentParser:
     an.add_argument("file")
     an.add_argument("--specs", help="specs JSON from 'uspec learn'")
     an.add_argument("--limit", type=int, default=20)
+    an.add_argument("--budget-seconds", type=float, metavar="S",
+                    help="overall wall-clock deadline: a file over "
+                         "budget degrades down the precision ladder "
+                         "inside the remaining time instead of running "
+                         "unboundedly (same path as serve's per-request "
+                         "deadline)")
+    an.add_argument("--budget-constraints", type=int, metavar="N",
+                    help="max constraint-graph size before degrading")
+    an.add_argument("--budget-iterations", type=int, metavar="N",
+                    help="max solver worklist iterations before "
+                         "degrading")
+    an.add_argument("--budget-events", type=int, metavar="N",
+                    help="max history-extension events before degrading")
+    an.add_argument("--strict", action="store_true",
+                    help="no degradation ladder: the first failure "
+                         "aborts (budget blow-ups exit with code 3)")
     an.set_defaults(func=_cmd_analyze)
 
     taint = sub.add_parser("taint", help="taint-scan one file")
@@ -617,6 +733,101 @@ def build_parser() -> argparse.ArgumentParser:
                        help="sink method name (repeatable)")
     taint.add_argument("--sanitizer", action="append", default=[])
     taint.set_defaults(func=_cmd_taint)
+
+    srv = sub.add_parser(
+        "serve",
+        help="resident spec-query daemon (alias/spec/taint over HTTP)",
+    )
+    srv.add_argument("--bind", type=_parse_endpoint,
+                     default=("127.0.0.1", 8151), metavar="HOST:PORT",
+                     help="listen address (default 127.0.0.1:8151; "
+                          "port 0 = ephemeral, printed at startup)")
+    srv.add_argument("--specs", default=None, metavar="FILE",
+                     help="specs JSON from 'uspec learn'; reloaded on "
+                          "SIGHUP without restarting")
+    srv.add_argument("--workers", type=int, default=2, metavar="N",
+                     help="analysis subprocesses (default 2); a crash "
+                          "affects only the request it was serving")
+    srv.add_argument("--max-queue", type=int, default=8, metavar="N",
+                     help="concurrent analyses admitted before "
+                          "load-shedding with 429 'overloaded' "
+                          "(default 8)")
+    srv.add_argument("--request-deadline", type=float, default=10.0,
+                     metavar="S",
+                     help="per-request wall-clock budget: pathological "
+                          "snippets degrade down the precision ladder "
+                          "within it, then answer 504 (default 10)")
+    srv.add_argument("--header-timeout", type=float, default=5.0,
+                     metavar="S",
+                     help="slow-loris cutoff: 408 if a request head or "
+                          "body takes longer than S to arrive "
+                          "(default 5)")
+    srv.add_argument("--drain-timeout", type=float, default=10.0,
+                     metavar="S",
+                     help="SIGTERM grace: seconds to let in-flight "
+                          "requests finish before forcing shutdown "
+                          "(default 10)")
+    srv.add_argument("--cache-entries", type=int, default=1024,
+                     metavar="N",
+                     help="replies cached by snippet content "
+                          "fingerprint (default 1024, LRU)")
+    srv.add_argument("--breaker-threshold", type=int, default=5,
+                     metavar="N",
+                     help="consecutive pool failures that open the "
+                          "circuit breaker (default 5)")
+    srv.add_argument("--breaker-cooldown", type=float, default=2.0,
+                     metavar="S",
+                     help="seconds the breaker stays open before "
+                          "probing the pool again (default 2)")
+    srv.add_argument("--chaos", action="store_true",
+                     help="enable the POST /chaosz fault-injection "
+                          "endpoint (kills one analysis worker); for "
+                          "the load harness and CI only")
+    srv.add_argument("--mp-context", default="spawn",
+                     choices=("spawn", "fork", "forkserver"),
+                     help="multiprocessing start method for analysis "
+                          "workers (default spawn: respawned workers "
+                          "must not inherit live client sockets)")
+    srv.set_defaults(func=_cmd_serve)
+
+    lg = sub.add_parser(
+        "loadgen",
+        help="drive load (optionally with chaos) at a uspec serve "
+             "daemon and report latency percentiles",
+    )
+    lg.add_argument("--connect", type=_parse_endpoint, required=True,
+                    metavar="HOST:PORT", help="daemon address")
+    lg.add_argument("--kind", choices=("alias", "spec", "taint"),
+                    default="alias", help="query kind (default alias)")
+    lg.add_argument("--requests", type=int, default=100, metavar="N",
+                    help="requests to launch (default 100)")
+    lg.add_argument("--arrival", default="exp:0.05", metavar="DIST",
+                    help="inter-arrival gap distribution in seconds: "
+                         "exp:MEAN, normal:MEAN,STDEV, uniform:LO,HI, "
+                         "or fixed:S (default exp:0.05 — open-loop "
+                         "Poisson arrivals)")
+    lg.add_argument("--sizes", default="normal:8,3", metavar="DIST",
+                    help="snippet size distribution in API call sites "
+                         "(default normal:8,3)")
+    lg.add_argument("--cache-ratio", type=float, default=0.3,
+                    metavar="F",
+                    help="fraction of requests drawn from a small "
+                         "snippet pool to exercise the reply cache "
+                         "(default 0.3)")
+    lg.add_argument("--seed", type=int, default=1337,
+                    help="deterministic schedule seed")
+    lg.add_argument("--timeout", type=float, default=30.0, metavar="S",
+                    help="client-side reply timeout (default 30)")
+    lg.add_argument("--chaos", action="append", default=[],
+                    choices=("slow-loris", "malformed", "kill-worker"),
+                    help="inject this fault during the run "
+                         "(repeatable; kill-worker needs the daemon "
+                         "started with --chaos)")
+    lg.add_argument("--chaos-every", type=int, default=10, metavar="N",
+                    help="one chaos event per N requests (default 10)")
+    lg.add_argument("--out", metavar="FILE",
+                    help="write the full report JSON here")
+    lg.set_defaults(func=_cmd_loadgen)
 
     repro = sub.add_parser(
         "reproduce",

@@ -30,6 +30,8 @@ from __future__ import annotations
 
 import os
 import pickle
+import random
+import signal as signal_module
 import socket
 import threading
 import time
@@ -40,7 +42,6 @@ from repro.dist.protocol import (
     FrameDecoder,
     ProtocolError,
     pack_payload,
-    recv_frame,
     resolve_runner,
     send_frame,
     unpack_payload,
@@ -59,6 +60,68 @@ _MAX_BEAT = 30.0
 #: cap on residency groups advertised per ready frame — keeps control
 #: frames small even when a long-lived worker has touched many runs
 _MAX_ADVERTISED = 1024
+
+#: how often an idle worker checks its stop event while waiting for a
+#: frame (seconds) — bounds SIGTERM reaction time between tasks
+_STOP_POLL = 0.25
+
+#: sentinel returned by :func:`_recv_or_stop` when the stop event won
+_STOP = object()
+
+
+def install_stop_signals(
+    stop: threading.Event,
+    signals: tuple = (signal_module.SIGTERM, signal_module.SIGINT),
+) -> None:
+    """Route SIGTERM/SIGINT into a worker's stop event (CLI main thread).
+
+    The handler only sets the event: the worker finishes and acks its
+    in-flight task, deregisters with a ``goodbye``, and returns —
+    giving ``uspec worker`` a graceful drain instead of an abandoned
+    lease the coordinator must wait out.
+    """
+    for sig in signals:
+        signal_module.signal(sig, lambda *_: stop.set())
+
+
+def _recv_or_stop(
+    sock: socket.socket,
+    decoder: FrameDecoder,
+    pending: List[Dict[str, object]],
+    stop: Optional[threading.Event],
+) -> Optional[object]:
+    """:func:`recv_frame`, interruptible and immune to idle timeouts.
+
+    Blocking reads poll ``stop`` every :data:`_STOP_POLL` seconds and
+    return :data:`_STOP` once it is set.  A ``socket.timeout`` is an
+    *idle* connection, not a hangup — ``recv_frame`` itself folds it
+    into its generic ``OSError`` → None path, which made any worker
+    idle longer than the connect timeout falsely conclude the
+    coordinator was gone.  Returns None only on real EOF/errors.
+    """
+    if pending:
+        return pending.pop(0)
+    original = sock.gettimeout()
+    sock.settimeout(_STOP_POLL if stop is not None else original)
+    try:
+        while not pending:
+            if stop is not None and stop.is_set():
+                return _STOP
+            try:
+                data = sock.recv(65536)
+            except socket.timeout:
+                continue  # idle, not dead: keep waiting
+            except OSError:
+                return None
+            if not data:
+                return None
+            pending.extend(decoder.feed(data))
+        return pending.pop(0)
+    finally:
+        try:
+            sock.settimeout(original)
+        except OSError:
+            pass
 
 
 def _ready_frame() -> Dict[str, object]:
@@ -162,6 +225,9 @@ def run_worker(
     reconnect: bool = False,
     reconnect_rounds: int = 8,
     reconnect_max_delay: float = 30.0,
+    jitter: float = 0.5,
+    jitter_seed: Optional[int] = None,
+    stop: Optional[threading.Event] = None,
     sleep: Callable[[float], None] = time.sleep,
     log: Callable[[str], None] = lambda line: None,
 ) -> int:
@@ -179,16 +245,45 @@ def run_worker(
     ``reconnect_rounds`` consecutive failures; any session that
     registers successfully refills the budget.  Protocol violations
     still raise: reconnecting cannot fix a version mismatch.
+
+    Each backoff delay is *jittered*: scaled by a uniform draw from
+    ``[1 - jitter, 1]``.  Without it, a coordinator restart has every
+    worker it dropped retrying on the same doubling schedule — a
+    thundering herd arriving in synchronized waves exactly when the
+    coordinator is busiest recovering.  The draw comes from a private
+    ``random.Random`` seeded with ``jitter_seed`` (or the worker's
+    label, so a fleet desynchronizes naturally yet each worker's
+    schedule is reproducible).
+
+    ``stop`` requests a graceful end: the worker finishes and acks the
+    task in flight (if any), sends ``goodbye`` so the coordinator
+    reclaims the slot immediately instead of waiting out the lease,
+    and returns normally.  :func:`install_stop_signals` wires SIGTERM
+    to it for the CLI.
     """
     label = name or f"worker-{socket.gethostname()}-{os.getpid()}"
     done = [0]  # shared with _serve so a lost connection keeps the tally
     attempts_left = reconnect_rounds
+    rng = random.Random(jitter_seed if jitter_seed is not None else label)
 
     def backoff() -> float:
         exponent = max(0, reconnect_rounds - attempts_left)
-        return min(reconnect_max_delay, retry_delay * (2.0 ** exponent))
+        base = min(reconnect_max_delay, retry_delay * (2.0 ** exponent))
+        if jitter <= 0:
+            return base
+        return base * (1.0 - jitter * rng.random())
+
+    def pause(delay: float) -> None:
+        # honour a stop request during backoff: SIGTERM should not
+        # have to wait out a 30s retry sleep
+        if stop is not None and sleep is time.sleep:
+            stop.wait(delay)
+        else:
+            sleep(delay)
 
     while True:
+        if stop is not None and stop.is_set():
+            return done[0]
         try:
             sock = _connect(host, port, connect_retries, retry_delay,
                             sleep)
@@ -199,7 +294,7 @@ def run_worker(
             attempts_left -= 1
             log(f"{label}: coordinator unreachable, retrying in "
                 f"{delay:g}s ({attempts_left} round(s) left)")
-            sleep(delay)
+            pause(delay)
             continue
         decoder = FrameDecoder()
         pending: List[Dict[str, object]] = []
@@ -209,7 +304,8 @@ def run_worker(
         try:
             try:
                 finished = _serve(sock, decoder, pending, send_lock,
-                                  label, max_tasks, log, done, registered)
+                                  label, max_tasks, log, done, registered,
+                                  stop)
             except OSError:
                 # the coordinator vanished mid-frame (closed the
                 # cluster, crashed, network cut)
@@ -231,7 +327,7 @@ def run_worker(
         attempts_left -= 1
         log(f"{label}: reconnecting in {delay:g}s "
             f"({attempts_left} round(s) left)")
-        sleep(delay)
+        pause(delay)
 
 
 def _serve(
@@ -244,18 +340,22 @@ def _serve(
     log: Callable[[str], None],
     done: List[int],
     registered: List[bool],
+    stop: Optional[threading.Event] = None,
 ) -> bool:
     """The registration handshake and the ready/task/result loop.
 
-    Returns True when the session ended deliberately (``shutdown`` or
-    ``max_tasks``), False when the coordinator hung up mid-session —
-    the signal ``run_worker`` uses to decide whether to reconnect.
+    Returns True when the session ended deliberately (``shutdown``,
+    ``max_tasks``, or a ``stop`` request), False when the coordinator
+    hung up mid-session — the signal ``run_worker`` uses to decide
+    whether to reconnect.
     """
     send_frame(sock, {
         "type": "hello", "worker": label, "pid": os.getpid(),
         "version": PROTOCOL_VERSION,
     })
-    welcome = recv_frame(sock, decoder, pending)
+    welcome = _recv_or_stop(sock, decoder, pending, stop)
+    if welcome is _STOP:
+        return True  # stopped before registering; nothing to undo
     if welcome is None:
         raise ConnectionError("coordinator hung up during handshake")
     if welcome.get("type") != "welcome":
@@ -269,7 +369,13 @@ def _serve(
     with send_lock:
         send_frame(sock, _ready_frame())
     while True:
-        message = recv_frame(sock, decoder, pending)
+        message = _recv_or_stop(sock, decoder, pending, stop)
+        if message is _STOP:
+            with send_lock:
+                send_frame(sock, {"type": "goodbye"})
+            log(f"{label}: stop requested; deregistered after "
+                f"{done[0]} task(s)")
+            return True
         if message is None:
             log(f"{label}: coordinator hung up")
             return False
@@ -305,5 +411,11 @@ def _serve(
             if max_tasks is not None and done[0] >= max_tasks:
                 send_frame(sock, {"type": "goodbye"})
                 log(f"{label}: max-tasks reached ({done[0]})")
+                return True
+            if stop is not None and stop.is_set():
+                # in-flight task finished and acked; deregister now
+                send_frame(sock, {"type": "goodbye"})
+                log(f"{label}: stop requested; deregistered after "
+                    f"{done[0]} task(s)")
                 return True
             send_frame(sock, _ready_frame())

@@ -77,6 +77,17 @@ def program_fingerprint(program: Program) -> str:
     return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
 
+def compose_key(fingerprint: str, program_fp: str) -> str:
+    """One cache key from a pipeline fingerprint and a content digest.
+
+    Shared with the serve daemon's reply cache
+    (:mod:`repro.serve.query`), which keys per-snippet analysis results
+    the same way this cache keys per-program bundles.
+    """
+    combined = f"{fingerprint}\0{program_fp}"
+    return hashlib.sha256(combined.encode("utf-8")).hexdigest()[:32]
+
+
 @dataclass
 class CacheHit:
     """A cache lookup result: exactly one of bundle/entry is set."""
@@ -127,8 +138,7 @@ class AnalysisCache:
         self._pinned: set = set()
 
     def key_of(self, program_fp: str) -> str:
-        combined = f"{self.fingerprint}\0{program_fp}"
-        return hashlib.sha256(combined.encode("utf-8")).hexdigest()[:32]
+        return compose_key(self.fingerprint, program_fp)
 
     # ------------------------------------------------------------------
 

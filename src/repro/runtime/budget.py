@@ -19,7 +19,7 @@ for not calling the clock on every worklist pop.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Callable, Optional
 
 from repro.runtime.errors import BudgetExceeded
@@ -59,6 +59,21 @@ class Budget:
     def meter(self, stage: str, clock: Optional[Clock] = None) -> "BudgetMeter":
         """Start a fresh meter for one analysis stage."""
         return BudgetMeter(self, stage, clock or time.monotonic)
+
+    def with_deadline(self, seconds: Optional[float]) -> "Budget":
+        """A copy whose wall-clock deadline is tightened to ``seconds``.
+
+        The result's deadline is the *minimum* of the existing deadline
+        and ``seconds`` — a caller with less time left (a serve request
+        part-way through its deadline, a ladder tier after a slow
+        predecessor) can only shrink the allowance, never extend it.
+        ``None`` leaves the budget unchanged.
+        """
+        if seconds is None:
+            return self
+        current = self.deadline_seconds
+        limit = seconds if current is None else min(current, seconds)
+        return replace(self, deadline_seconds=limit)
 
 
 class BudgetMeter:

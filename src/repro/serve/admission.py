@@ -1,0 +1,176 @@
+"""Admission control, circuit breaking, and service counters.
+
+The daemon's overload story is *explicit shedding*: a bounded
+admission ticket count (in-flight + queued-for-the-pool) with a
+429-style ``overloaded`` reply the moment it is exhausted.  A client
+always learns its fate immediately — the failure mode is a fast small
+reply, never a silently growing queue whose tail waits past its own
+deadline (the classic unbounded-buffer collapse).
+
+The circuit breaker guards the *analysis pool*: consecutive
+worker-level failures (crash / timeout / corrupt) trip it open, and
+while open the server answers from the reply cache or degrades with a
+503 instead of feeding more requests to a sick pool.  Half-open after
+a cooldown lets one probe request through; its outcome closes or
+re-opens the circuit.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+import time
+
+
+class AdmissionQueue:
+    """A counting semaphore with shed-on-full semantics (no waiting)."""
+
+    def __init__(self, limit: int) -> None:
+        if limit < 1:
+            raise ValueError("admission limit must be >= 1")
+        self.limit = limit
+        self.in_flight = 0
+
+    def try_acquire(self) -> bool:
+        if self.in_flight >= self.limit:
+            return False
+        self.in_flight += 1
+        return True
+
+    def release(self) -> None:
+        if self.in_flight <= 0:
+            raise RuntimeError("admission release without acquire")
+        self.in_flight -= 1
+
+    @property
+    def depth(self) -> int:
+        return self.in_flight
+
+
+# breaker states
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half-open"
+
+
+class CircuitBreaker:
+    """Consecutive-failure breaker over the analysis pool.
+
+    ``allow()`` is asked before each pool submission; while open it
+    refuses until ``cooldown_seconds`` have passed, then admits exactly
+    one probe (half-open).  ``record_success`` / ``record_failure``
+    report the pool's verdicts back.
+    """
+
+    def __init__(self, threshold: int = 5, cooldown_seconds: float = 2.0,
+                 clock: Optional[Callable[[], float]] = None) -> None:
+        if threshold < 1:
+            raise ValueError("breaker threshold must be >= 1")
+        self.threshold = threshold
+        self.cooldown_seconds = cooldown_seconds
+        self.clock = clock or time.monotonic
+        self.state = CLOSED
+        self.failures = 0
+        self.opened_at = 0.0
+        self.trips = 0
+
+    def allow(self) -> bool:
+        if self.state == CLOSED:
+            return True
+        if self.state == OPEN:
+            if self.clock() - self.opened_at >= self.cooldown_seconds:
+                self.state = HALF_OPEN
+                return True  # the probe
+            return False
+        return False  # half-open: probe already in flight
+
+    def record_success(self) -> None:
+        self.failures = 0
+        self.state = CLOSED
+
+    def record_failure(self) -> None:
+        self.failures += 1
+        if self.state == HALF_OPEN or self.failures >= self.threshold:
+            if self.state != OPEN:
+                self.trips += 1
+            self.state = OPEN
+            self.opened_at = self.clock()
+
+
+class LatencyWindow:
+    """Bounded sorted sample of request latencies (seconds).
+
+    Keeps the most recent ``capacity`` samples; percentile queries are
+    a bisect into the sorted copy kept incrementally.  Small enough to
+    stay exact (no sketch needed at this scale).
+    """
+
+    def __init__(self, capacity: int = 4096) -> None:
+        self.capacity = capacity
+        self._ring: List[float] = []
+        self._sorted: List[float] = []
+        self._next = 0
+
+    def record(self, seconds: float) -> None:
+        if len(self._ring) < self.capacity:
+            self._ring.append(seconds)
+        else:
+            old = self._ring[self._next]
+            self._sorted.pop(bisect.bisect_left(self._sorted, old))
+            self._ring[self._next] = seconds
+            self._next = (self._next + 1) % self.capacity
+        bisect.insort(self._sorted, seconds)
+
+    def percentile(self, p: float) -> Optional[float]:
+        if not self._sorted:
+            return None
+        rank = max(0, min(len(self._sorted) - 1,
+                          round(p / 100.0 * (len(self._sorted) - 1))))
+        return self._sorted[rank]
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+
+@dataclass
+class ServeStats:
+    """Everything ``/statz`` reports and the load harness asserts on."""
+
+    accepted: int = 0
+    shed: int = 0
+    completed_ok: int = 0
+    degraded: int = 0
+    deadline_exceeded: int = 0
+    failed: int = 0
+    invalid: int = 0
+    cache_hits: int = 0
+    crashes_retried: int = 0
+    breaker_rejections: int = 0
+    reloads: int = 0
+    latency: LatencyWindow = field(default_factory=LatencyWindow)
+
+    def finish(self, seconds: float) -> None:
+        self.latency.record(seconds)
+
+    def to_dict(self) -> Dict:
+        out = {
+            "accepted": self.accepted,
+            "shed": self.shed,
+            "completed_ok": self.completed_ok,
+            "degraded": self.degraded,
+            "deadline_exceeded": self.deadline_exceeded,
+            "failed": self.failed,
+            "invalid": self.invalid,
+            "cache_hits": self.cache_hits,
+            "crashes_retried": self.crashes_retried,
+            "breaker_rejections": self.breaker_rejections,
+            "reloads": self.reloads,
+            "n_latency_samples": len(self.latency),
+        }
+        for p in (50, 95, 99):
+            value = self.latency.percentile(p)
+            if value is not None:
+                out[f"p{p}_seconds"] = round(value, 6)
+        return out

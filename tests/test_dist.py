@@ -434,6 +434,240 @@ def test_version_mismatch_is_rejected():
 
 
 # ----------------------------------------------------------------------
+# malformed frames mid-session
+
+
+def _evil_worker(host, port, garbage, got_task):
+    """Registers, takes one task, then wrecks the wire with garbage."""
+    sock = socket.create_connection((host, port))
+    decoder, pending = FrameDecoder(), []
+    try:
+        send_frame(sock, {"type": "hello", "worker": "evil",
+                          "version": PROTOCOL_VERSION})
+        assert recv_frame(sock, decoder, pending)["type"] == "welcome"
+        send_frame(sock, {"type": "ready"})
+        while True:
+            message = recv_frame(sock, decoder, pending)
+            if message is None:
+                return  # coordinator dropped us: the expected end
+            if message["type"] == "task":
+                got_task.set()
+                sock.sendall(garbage)
+                return  # truncated variant: hang up mid-frame too
+    finally:
+        sock.close()
+
+
+def _learn_against_evil_worker(garbage):
+    """Run a distributed learn with one garbage-spewing worker."""
+    programs = java_corpus()
+    local = learn(programs, jobs=2)
+    got_task = threading.Event()
+    coordinator = Coordinator(DistConfig(
+        min_workers=1, lease_seconds=5.0, no_worker_timeout=60.0,
+        speculate=False,
+    ))
+    host, port = coordinator.bind()
+    evil = threading.Thread(target=_evil_worker,
+                            args=(host, port, garbage, got_task),
+                            daemon=True)
+    evil.start()
+    coordinator.wait_for_workers(1, timeout=30.0)
+    real = threading.Thread(
+        target=run_worker, args=(host, port),
+        kwargs={"name": "real", "connect_retries": 60}, daemon=True,
+    )
+    real.start()
+    try:
+        dist = learn(programs, coordinator=coordinator, shards=6)
+    finally:
+        coordinator.close()
+    evil.join(timeout=10)
+    real.join(timeout=10)
+    assert got_task.is_set()
+    assert specs_text(dist) == specs_text(local)
+    assert manifest_text(dist) == manifest_text(local)
+    assert coordinator.stats.n_workers_lost >= 1
+    assert dist.mining.ledger.n_poisoned == 0
+    assert dist.mining.n_quarantined == 0
+    return dist
+
+
+def test_malformed_frame_mid_session_drops_worker_not_run():
+    # an oversized length announcement: ProtocolError on the first
+    # feed — the coordinator must drop the connection, reclaim the
+    # lease, and redispatch without poisoning the shard
+    import struct
+    _learn_against_evil_worker(struct.pack("!I", 1 << 31) + b"garbage")
+
+
+def test_undecodable_frame_mid_session_drops_worker_not_run():
+    # a plausible length prefix followed by non-JSON bytes
+    import struct
+    body = b"\xff\xfe not json at all"
+    _learn_against_evil_worker(struct.pack("!I", len(body)) + body)
+
+
+def test_truncated_frame_then_eof_reclaims_lease():
+    # announce 500 bytes, deliver 10, hang up: EOF mid-frame is a
+    # worker loss, not a crash of the coordinator
+    import struct
+    _learn_against_evil_worker(struct.pack("!I", 500) + b"0123456789")
+
+
+# ----------------------------------------------------------------------
+# worker graceful stop (SIGTERM drain)
+
+
+@contextlib.contextmanager
+def _stub_coordinator():
+    """A raw listening socket playing the coordinator's side by hand."""
+    listener = socket.socket()
+    listener.settimeout(30.0)
+    listener.bind(("127.0.0.1", 0))
+    listener.listen(1)
+    try:
+        yield listener, listener.getsockname()
+    finally:
+        listener.close()
+
+
+def _handshake(conn):
+    decoder, pending = FrameDecoder(), []
+    hello = recv_frame(conn, decoder, pending)
+    assert hello["type"] == "hello"
+    send_frame(conn, {"type": "welcome", "lease": 5.0})
+    ready = recv_frame(conn, decoder, pending)
+    assert ready["type"] == "ready"
+    return decoder, pending
+
+
+def test_worker_stop_finishes_inflight_task_acks_and_deregisters(
+        monkeypatch):
+    import repro.dist.worker as worker_module
+
+    started, release = threading.Event(), threading.Event()
+
+    def slow_runner(payload, attempt):
+        started.set()
+        assert release.wait(30)
+        return payload * 2
+
+    monkeypatch.setattr(worker_module, "resolve_runner",
+                        lambda ref: slow_runner)
+    with _stub_coordinator() as (listener, (host, port)):
+        stop = threading.Event()
+        outcome = {}
+        worker = threading.Thread(target=lambda: outcome.update(
+            n=run_worker(host, port, name="graceful", stop=stop)),
+            daemon=True)
+        worker.start()
+        conn, _ = listener.accept()
+        try:
+            decoder, pending = _handshake(conn)
+            send_frame(conn, {"type": "task", "task_id": "t1",
+                              "runner": "repro.fake:runner",
+                              "payload": pack_payload(21), "attempt": 0})
+            assert started.wait(30)
+            stop.set()  # SIGTERM lands mid-task
+            release.set()  # ... then the task finishes
+            frames = []
+            while True:
+                message = recv_frame(conn, decoder, pending)
+                assert message is not None, "worker hung up before goodbye"
+                if message["type"] == "heartbeat":
+                    continue
+                frames.append(message)
+                if message["type"] == "goodbye":
+                    break
+            # in-flight result acked first, then the deregistration
+            assert [f["type"] for f in frames] == ["result", "goodbye"]
+            assert frames[0]["status"] == "ok"
+            assert unpack_payload(frames[0]["payload"]) == 42
+        finally:
+            conn.close()
+        worker.join(timeout=30)
+        assert not worker.is_alive()
+        assert outcome["n"] == 1
+
+
+def test_worker_stop_while_idle_sends_goodbye_and_returns():
+    with _stub_coordinator() as (listener, (host, port)):
+        stop = threading.Event()
+        outcome = {}
+        worker = threading.Thread(target=lambda: outcome.update(
+            n=run_worker(host, port, name="idle", stop=stop)),
+            daemon=True)
+        worker.start()
+        conn, _ = listener.accept()
+        try:
+            decoder, pending = _handshake(conn)
+            stop.set()
+            message = recv_frame(conn, decoder, pending)
+            while message is not None and message["type"] == "heartbeat":
+                message = recv_frame(conn, decoder, pending)
+            assert message is not None and message["type"] == "goodbye"
+        finally:
+            conn.close()
+        worker.join(timeout=30)
+        assert not worker.is_alive()
+        assert outcome["n"] == 0
+
+
+def test_recv_or_stop_treats_idle_timeout_as_waiting():
+    # recv_frame folds socket.timeout into its EOF path — an idle
+    # worker must NOT conclude the coordinator hung up
+    from repro.dist.worker import _recv_or_stop
+
+    left, right = socket.socketpair()
+    try:
+        right.settimeout(0.05)  # far shorter than the idle gap below
+        timer = threading.Timer(
+            0.3, lambda: send_frame(left, {"type": "ready"}))
+        timer.start()
+        got = _recv_or_stop(right, FrameDecoder(), [], None)
+        timer.join()
+        assert got == {"type": "ready"}
+    finally:
+        left.close()
+        right.close()
+
+
+# ----------------------------------------------------------------------
+# reconnect backoff jitter
+
+
+def _collect_backoff_delays(seed, jitter=0.5):
+    delays = []
+    port = _free_port()  # nothing listening: every connect fails fast
+    with pytest.raises(ConnectionError):
+        run_worker("127.0.0.1", port, connect_retries=1,
+                   retry_delay=0.5, reconnect=True, reconnect_rounds=4,
+                   reconnect_max_delay=3.0, jitter=jitter,
+                   jitter_seed=seed, sleep=delays.append)
+    return delays
+
+
+def test_backoff_jitter_deterministic_per_seed_and_bounded():
+    first = _collect_backoff_delays(seed=42)
+    again = _collect_backoff_delays(seed=42)
+    other = _collect_backoff_delays(seed=43)
+    assert first == again  # reproducible schedule under one seed
+    assert first != other  # ... but distinct across the fleet
+    bases = [0.5, 1.0, 2.0, 3.0]  # doubling, capped at max_delay
+    assert len(first) == len(bases)
+    for delay, base in zip(first, bases):
+        assert base * 0.5 <= delay <= base
+    # jitter actually moved the schedule off the bare doubling curve
+    assert first != bases
+
+
+def test_backoff_without_jitter_is_the_bare_doubling_curve():
+    delays = _collect_backoff_delays(seed=1, jitter=0.0)
+    assert delays == [0.5, 1.0, 2.0, 3.0]
+
+
+# ----------------------------------------------------------------------
 # CLI
 
 
