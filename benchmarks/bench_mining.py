@@ -76,6 +76,12 @@ def _throughput_history(runs) -> list:
         "seconds_sequential": round(runs[1]["seconds"], 3),
         "seconds_jobs4": round(runs[4]["seconds"], 3),
         "seconds_warm_cache": round(runs["warm_cache"]["seconds"], 3),
+        # explicit (non-gating) ratios so the trend line carries them
+        "warm_cache_speedup": round(
+            runs["warm_cache"]["cold_seconds"]
+            / runs["warm_cache"]["seconds"], 3),
+        "parallel_speedup_jobs4": round(
+            runs[1]["seconds"] / runs[4]["seconds"], 3),
         "programs_per_second_sequential": round(
             runs[1]["mining"]["programs_per_second"], 3),
         "supervised_jobs4": runs[4]["mining"]["supervised"],
@@ -258,6 +264,101 @@ def test_mining_throughput(benchmark, tmp_path):
         assert record["speedup_jobs4"] >= 2.0
     elif cpu_count >= 2:
         assert record["speedup_jobs2"] >= 1.2
+
+
+# ----------------------------------------------------------------------
+# the JVM classfile frontend over an assembled (JDK-free) corpus
+
+N_CLASSFILES = int(os.environ.get("REPRO_BENCH_CLASSFILES", "120"))
+
+
+def _assemble_classfile_corpus(directory, n):
+    """``n`` distinct compiled classes exercising the container APIs."""
+    from repro.frontend.classfile import ClassBuilder
+
+    directory.mkdir(parents=True, exist_ok=True)
+    for i in range(n):
+        cb = ClassBuilder(f"bench.Widget{i}")
+        cb.field("items", "java.util.List")
+        cb.default_init()
+        code = cb.method("fill", returns="java.lang.Object")
+        code.construct("java.util.ArrayList")
+        code.astore(1)
+        code.aload(1)
+        code.ldc_str(f"item{i}")
+        code.invokevirtual("java.util.ArrayList", "add",
+                           ("java.lang.Object",), "boolean")
+        code.pop()
+        code.aload(0)
+        code.aload(1)
+        code.putfield(f"bench.Widget{i}", "items", "java.util.List")
+        code.aload(1)
+        code.invokevirtual("java.util.ArrayList", "iterator", (),
+                           "java.util.Iterator")
+        code.astore(2)
+        code.aload(2)
+        code.invokeinterface("java.util.Iterator", "next", (),
+                             "java.lang.Object")
+        code.areturn()
+        (directory / f"Widget{i}.class").write_bytes(cb.build())
+
+
+def test_classfile_mining_throughput(benchmark, tmp_path):
+    """End-to-end `learn` over assembled ``.class`` files.
+
+    Records ``seconds_classfile`` (merged into BENCH_mining.json, not
+    clobbering the source-corpus sections) and asserts the one
+    machine-independent guarantee: worker count never changes the
+    specs learned from compiled inputs.
+    """
+    from repro.corpus import mine_directory
+
+    corpus = tmp_path / "classes"
+    _assemble_classfile_corpus(corpus, N_CLASSFILES)
+
+    def measure():
+        report = mine_directory(corpus, java_registry().signatures())
+        assert report.n_parsed == N_CLASSFILES, report
+        runs = {}
+        for jobs in (1, 4):
+            learned, elapsed = _mine(report.programs, jobs)
+            runs[jobs] = {
+                "seconds": elapsed,
+                "specs": specs_to_json(learned.specs, learned.scores),
+                "mining": learned.mining.to_dict(),
+            }
+        return runs
+
+    runs = benchmark.pedantic(measure, rounds=1, iterations=1)
+
+    record = _prior_record()
+    record["seconds_classfile"] = round(runs[1]["seconds"], 3)
+    record["classfile"] = {
+        "corpus_files": N_CLASSFILES,
+        "seconds_sequential": round(runs[1]["seconds"], 3),
+        "seconds_jobs4": round(runs[4]["seconds"], 3),
+        "parallel_speedup_jobs4": round(
+            runs[1]["seconds"] / runs[4]["seconds"], 3),
+        "programs_per_second": round(
+            runs[1]["mining"]["programs_per_second"], 3),
+        "results_identical_across_jobs": (
+            runs[1]["specs"] == runs[4]["specs"]),
+    }
+    BENCH_PATH.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+
+    emit("classfile_mining", format_table(
+        ["configuration", "wall-clock", "speedup"],
+        [
+            ["sequential (--jobs 1)",
+             f"{record['classfile']['seconds_sequential']:.2f}s", "1.00×"],
+            ["--jobs 4", f"{record['classfile']['seconds_jobs4']:.2f}s",
+             f"{record['classfile']['parallel_speedup_jobs4']:.2f}×"],
+        ],
+        title=f"classfile mining over {N_CLASSFILES} assembled classes "
+              f"({os.cpu_count() or 1} CPU(s) available)",
+    ))
+
+    assert record["classfile"]["results_identical_across_jobs"]
 
 
 # ----------------------------------------------------------------------

@@ -25,7 +25,7 @@ from __future__ import annotations
 import argparse
 import sys
 from pathlib import Path
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 from repro.clients.taint import TaintConfig, find_taint_flows
 from repro.corpus import CorpusConfig, CorpusGenerator, java_registry, python_registry
@@ -198,13 +198,31 @@ def _print_mining(mining) -> None:
               f"{ledger.n_stragglers} stragglers")
 
 
+def _parse_suffixes(spec: Optional[str]) -> Tuple[str, ...]:
+    """``".java, class"`` → ``(".java", ".class")`` (dots normalised)."""
+    from repro.corpus import DEFAULT_SUFFIXES
+
+    if spec is None:
+        return DEFAULT_SUFFIXES
+    suffixes = []
+    for part in spec.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        suffixes.append(part if part.startswith(".") else f".{part}")
+    if not suffixes:
+        raise SystemExit(f"error: no usable suffixes in {spec!r}")
+    return tuple(suffixes)
+
+
 def _cmd_learn(args: argparse.Namespace) -> int:
     registry = java_registry() if args.language == "java" else python_registry()
     if args.from_dir:
         from repro.corpus import mine_directory
 
         report = mine_directory(Path(args.from_dir),
-                                registry.signatures())
+                                registry.signatures(),
+                                suffixes=_parse_suffixes(args.suffixes))
         print(f"mined {args.from_dir}: {report.n_parsed} files parsed, "
               f"{len(report.skipped)} skipped")
         for kind, count in report.skipped_by_kind().items():
@@ -487,6 +505,36 @@ def _cmd_reproduce(args: argparse.Namespace) -> int:
             title=f"Tab. 3 ({language}) — top inferred specifications",
         ))
 
+    if args.from_dir:
+        from repro.corpus import mine_directory
+
+        print(f"[mined] mining {args.from_dir} ...")
+        report = mine_directory(Path(args.from_dir),
+                                java_registry().signatures(),
+                                suffixes=_parse_suffixes(args.suffixes))
+        if report.programs:
+            learned = MiningEngine(
+                mining=MiningConfig(jobs=args.jobs)
+            ).learn(report.programs)
+            mining = learned.mining
+            if mining is not None:
+                mining_rows.append([
+                    "mined",
+                    str(mining.n_programs),
+                    f"{mining.n_shards}x{mining.jobs}",
+                    str(mining.n_quarantined + len(report.skipped)),
+                    f"{mining.programs_per_second:.1f}",
+                    f"{mining.seconds_total:.2f}",
+                    "clean" if not report.skipped else ", ".join(
+                        f"{kind}: {count}" for kind, count
+                        in report.skipped_by_kind().items()),
+                ])
+            # no precision/recall row: a mined tree carries no ground
+            # truth registry to score against
+        else:
+            print(f"[mined] nothing parsed under {args.from_dir}; "
+                  "skipping the mined corpus row")
+
     print("[atlas] running the dynamic baseline ...")
     atlas_rows = []
     for result in run_atlas(default_dynamic_registry()):
@@ -524,6 +572,9 @@ def _add_learn_arguments(learn: argparse.ArgumentParser) -> None:
     learn.add_argument("--from-dir",
                        help="mine an existing directory tree instead of "
                             "generating a synthetic corpus")
+    learn.add_argument("--suffixes", metavar="LIST", default=None,
+                       help="comma-separated file suffixes mined under "
+                            "--from-dir (default: .java,.py,.class,.jar)")
     learn.add_argument("--quarantine-out", metavar="PATH",
                        help="write the quarantine manifest (JSON) of "
                             "programs that failed every analysis tier")
@@ -838,6 +889,12 @@ def build_parser() -> argparse.ArgumentParser:
     repro.add_argument("--jobs", type=int, default=1, metavar="N",
                        help="worker processes per language corpus "
                             "(results are identical for any N)")
+    repro.add_argument("--from-dir", metavar="DIR",
+                       help="also mine this directory tree and report it "
+                            "as an extra row of the §7.6 mining table")
+    repro.add_argument("--suffixes", metavar="LIST", default=None,
+                       help="comma-separated file suffixes mined under "
+                            "--from-dir (default: .java,.py,.class,.jar)")
     repro.add_argument("--out", help="also write the report here")
     repro.set_defaults(func=_cmd_reproduce)
     return parser

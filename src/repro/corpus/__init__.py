@@ -32,10 +32,18 @@ from repro.corpus.apis import (
     python_registry,
 )
 from repro.corpus.generator import CorpusConfig, CorpusGenerator, GeneratedFile
-from repro.corpus.io import MiningReport, mine_directory, save_corpus
+from repro.corpus.io import (
+    BINARY_SUFFIXES,
+    DEFAULT_SUFFIXES,
+    MiningReport,
+    mine_directory,
+    save_corpus,
+)
 
 __all__ = [
     "ApiClassModel",
+    "BINARY_SUFFIXES",
+    "DEFAULT_SUFFIXES",
     "ApiRegistry",
     "ContainerRole",
     "CorpusConfig",

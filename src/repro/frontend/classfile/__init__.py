@@ -1,0 +1,53 @@
+"""JVM bytecode frontend (``repro.frontend.classfile``).
+
+Mines compiled Java libraries: ``.class`` (and, via the corpus layer,
+``.jar``) bytes are parsed by a stdlib-only classfile reader, lowered
+through a symbolic abstract operand stack into the aliasing IR, and
+driven by a synthetic ``main`` harness so every method's API calls
+produce events.  A matching in-repo assembler (:mod:`.asm`) emits
+valid class bytes from a builder API, so tests and CI never need a
+JDK.
+"""
+
+from repro.frontend.classfile.asm import ClassBuilder, CodeBuilder, pack_jar
+from repro.frontend.classfile.errors import (
+    MalformedClassfile,
+    UnsupportedBytecode,
+)
+from repro.frontend.classfile.lowering import (
+    lower_classfile,
+    parse_classfile,
+    signatures_from_classfile,
+)
+from repro.frontend.classfile.opcodes import BytecodeOp, decode
+from repro.frontend.classfile.reader import (
+    ClassFile,
+    CodeAttr,
+    FieldInfo,
+    MethodInfo,
+    parse_classfile_bytes,
+    parse_field_descriptor,
+    parse_method_descriptor,
+    read_classfile,
+)
+
+__all__ = [
+    "BytecodeOp",
+    "ClassBuilder",
+    "ClassFile",
+    "CodeAttr",
+    "CodeBuilder",
+    "FieldInfo",
+    "MalformedClassfile",
+    "MethodInfo",
+    "UnsupportedBytecode",
+    "decode",
+    "lower_classfile",
+    "pack_jar",
+    "parse_classfile",
+    "parse_classfile_bytes",
+    "parse_field_descriptor",
+    "parse_method_descriptor",
+    "read_classfile",
+    "signatures_from_classfile",
+]

@@ -1,0 +1,418 @@
+"""A minimal JVM classfile assembler (``repro.frontend.classfile.asm``).
+
+The inverse of :mod:`~repro.frontend.classfile.reader`, just big enough
+that tests, CI and benchmarks can manufacture *real* class bytes —
+valid magic, interned constant pool, Code attributes, exception tables
+— without a JDK in the container.  It is deliberately not a general
+assembler: no StackMapTable (we emit major version 49, which predates
+verification-by-type-checking), no line numbers, no signatures.
+
+Hostile fixtures are made from valid ones: truncate ``build()`` output
+for a mid-pool EOF, patch byte 0 for bad magic, or plant an unassigned
+opcode with :meth:`CodeBuilder.raw`.
+
+Typical use::
+
+    cb = ClassBuilder("demo.Widget")
+    code = cb.method("use", params=("java.util.Map",), returns="void")
+    code.aload(1)
+    code.ldc_str("k")
+    code.aconst_null()
+    code.invokeinterface("java.util.Map", "put",
+                         ("java.lang.Object", "java.lang.Object"),
+                         "java.lang.Object")
+    code.pop()
+    code.return_()
+    data = cb.build()
+"""
+
+from __future__ import annotations
+
+import io
+import struct
+import zipfile
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.frontend.classfile.opcodes import MNEMONIC
+from repro.frontend.classfile.reader import (
+    CONSTANT_CLASS,
+    CONSTANT_FIELDREF,
+    CONSTANT_INTEGER,
+    CONSTANT_INTERFACE_METHODREF,
+    CONSTANT_LONG,
+    CONSTANT_METHODREF,
+    CONSTANT_NAME_AND_TYPE,
+    CONSTANT_STRING,
+    CONSTANT_UTF8,
+    MAGIC,
+)
+
+_PRIMITIVES = {
+    "void": "V", "int": "I", "boolean": "Z", "byte": "B", "char": "C",
+    "short": "S", "float": "F", "long": "J", "double": "D",
+}
+
+
+def type_descriptor(dotted: str) -> str:
+    """Dotted type name (``java.lang.String``, ``int[]``) → descriptor."""
+    if dotted.endswith("[]"):
+        return "[" + type_descriptor(dotted[:-2])
+    if dotted in _PRIMITIVES:
+        return _PRIMITIVES[dotted]
+    return "L" + dotted.replace(".", "/") + ";"
+
+
+def method_descriptor(params: Sequence[str], returns: str) -> str:
+    return "(" + "".join(type_descriptor(p) for p in params) + ")" \
+        + type_descriptor(returns)
+
+
+class _Pool:
+    """Interning constant-pool writer (1-based, double-slot aware)."""
+
+    def __init__(self) -> None:
+        self._entries: List[Optional[bytes]] = []
+        self._index: Dict[Tuple, int] = {}
+
+    def _intern(self, key: Tuple, payload: bytes) -> int:
+        index = self._index.get(key)
+        if index is None:
+            self._entries.append(payload)
+            index = self._index[key] = len(self._entries)
+        return index
+
+    def utf8(self, text: str) -> int:
+        data = text.encode("utf-8")
+        return self._intern(
+            (CONSTANT_UTF8, text),
+            struct.pack(">BH", CONSTANT_UTF8, len(data)) + data)
+
+    def integer(self, value: int) -> int:
+        return self._intern(
+            (CONSTANT_INTEGER, value),
+            struct.pack(">Bi", CONSTANT_INTEGER, value))
+
+    def long_(self, value: int) -> int:
+        key = (CONSTANT_LONG, value)
+        index = self._index.get(key)
+        if index is None:
+            self._entries.append(struct.pack(">Bq", CONSTANT_LONG, value))
+            index = self._index[key] = len(self._entries)
+            self._entries.append(None)  # longs burn the next pool slot
+        return index
+
+    def string(self, text: str) -> int:
+        return self._intern(
+            (CONSTANT_STRING, text),
+            struct.pack(">BH", CONSTANT_STRING, self.utf8(text)))
+
+    def class_(self, dotted: str) -> int:
+        binary = dotted.replace(".", "/")
+        return self._intern(
+            (CONSTANT_CLASS, binary),
+            struct.pack(">BH", CONSTANT_CLASS, self.utf8(binary)))
+
+    def name_and_type(self, name: str, descriptor: str) -> int:
+        return self._intern(
+            (CONSTANT_NAME_AND_TYPE, name, descriptor),
+            struct.pack(">BHH", CONSTANT_NAME_AND_TYPE,
+                        self.utf8(name), self.utf8(descriptor)))
+
+    def member(self, tag: int, owner: str, name: str,
+               descriptor: str) -> int:
+        return self._intern(
+            (tag, owner, name, descriptor),
+            struct.pack(">BHH", tag, self.class_(owner),
+                        self.name_and_type(name, descriptor)))
+
+    def field(self, owner: str, name: str, type_name: str) -> int:
+        return self.member(CONSTANT_FIELDREF, owner, name,
+                           type_descriptor(type_name))
+
+    def method(self, owner: str, name: str, params: Sequence[str],
+               returns: str, *, interface: bool = False) -> int:
+        tag = CONSTANT_INTERFACE_METHODREF if interface \
+            else CONSTANT_METHODREF
+        return self.member(tag, owner, name,
+                           method_descriptor(params, returns))
+
+    def build(self) -> bytes:
+        out = struct.pack(">H", len(self._entries) + 1)
+        return out + b"".join(e for e in self._entries if e is not None)
+
+
+_Item = Tuple[str, ...]  # ("bytes", data) | ("branch", op, label) | ("label", name)
+
+
+class CodeBuilder:
+    """Builds one method's ``Code`` attribute, with label fixups."""
+
+    def __init__(self, pool: _Pool, max_stack: int = 8,
+                 max_locals: int = 8) -> None:
+        self._pool = pool
+        self.max_stack = max_stack
+        self.max_locals = max_locals
+        self._items: List[Union[Tuple[str, bytes], Tuple[str, int, str],
+                                Tuple[str, str]]] = []
+        self._handlers: List[Tuple[str, str, str, Optional[str]]] = []
+
+    # -- primitives ----------------------------------------------------
+
+    def raw(self, *data: int) -> "CodeBuilder":
+        """Append raw code bytes verbatim (for hostile fixtures)."""
+        self._items.append(("bytes", bytes(data)))
+        return self
+
+    def op(self, mnemonic: str, operands: bytes = b"") -> "CodeBuilder":
+        self._items.append(
+            ("bytes", bytes([MNEMONIC[mnemonic]]) + operands))
+        return self
+
+    def label(self, name: str) -> "CodeBuilder":
+        self._items.append(("label", name))
+        return self
+
+    def branch(self, mnemonic: str, target: str) -> "CodeBuilder":
+        self._items.append(("branch", MNEMONIC[mnemonic], target))
+        return self
+
+    def handler(self, start: str, end: str, target: str,
+                catch_type: Optional[str] = None) -> "CodeBuilder":
+        """Guard [start, end) with an exception handler at ``target``."""
+        self._handlers.append((start, end, target, catch_type))
+        return self
+
+    # -- convenience opcodes (the subset fixtures use) -----------------
+
+    def nop(self):
+        return self.op("nop")
+
+    def aconst_null(self):
+        return self.op("aconst_null")
+
+    def iconst(self, value: int) -> "CodeBuilder":
+        if -1 <= value <= 5:
+            return self.op("iconst_m1" if value == -1 else f"iconst_{value}")
+        if -128 <= value <= 127:
+            return self.op("bipush", struct.pack(">b", value))
+        return self.op("sipush", struct.pack(">h", value))
+
+    def ldc_str(self, text: str) -> "CodeBuilder":
+        return self.op("ldc_w", struct.pack(">H", self._pool.string(text)))
+
+    def ldc_long(self, value: int) -> "CodeBuilder":
+        return self.op("ldc2_w", struct.pack(">H", self._pool.long_(value)))
+
+    def aload(self, slot: int) -> "CodeBuilder":
+        if slot < 4:
+            return self.op(f"aload_{slot}")
+        return self.op("aload", bytes([slot]))
+
+    def astore(self, slot: int) -> "CodeBuilder":
+        if slot < 4:
+            return self.op(f"astore_{slot}")
+        return self.op("astore", bytes([slot]))
+
+    def dup(self):
+        return self.op("dup")
+
+    def pop(self):
+        return self.op("pop")
+
+    def swap(self):
+        return self.op("swap")
+
+    def athrow(self):
+        return self.op("athrow")
+
+    def new_(self, cls: str) -> "CodeBuilder":
+        return self.op("new", struct.pack(">H", self._pool.class_(cls)))
+
+    def checkcast(self, cls: str) -> "CodeBuilder":
+        return self.op("checkcast",
+                       struct.pack(">H", self._pool.class_(cls)))
+
+    def getfield(self, owner: str, name: str, type_name: str):
+        return self.op("getfield", struct.pack(
+            ">H", self._pool.field(owner, name, type_name)))
+
+    def putfield(self, owner: str, name: str, type_name: str):
+        return self.op("putfield", struct.pack(
+            ">H", self._pool.field(owner, name, type_name)))
+
+    def getstatic(self, owner: str, name: str, type_name: str):
+        return self.op("getstatic", struct.pack(
+            ">H", self._pool.field(owner, name, type_name)))
+
+    def putstatic(self, owner: str, name: str, type_name: str):
+        return self.op("putstatic", struct.pack(
+            ">H", self._pool.field(owner, name, type_name)))
+
+    def _invoke(self, mnemonic: str, owner: str, name: str,
+                params: Sequence[str], returns: str) -> "CodeBuilder":
+        if mnemonic == "invokeinterface":
+            index = self._pool.method(owner, name, params, returns,
+                                      interface=True)
+            return self.op(mnemonic,
+                           struct.pack(">HBB", index, 1 + len(params), 0))
+        index = self._pool.method(owner, name, params, returns)
+        return self.op(mnemonic, struct.pack(">H", index))
+
+    def invokevirtual(self, owner, name, params, returns):
+        return self._invoke("invokevirtual", owner, name, params, returns)
+
+    def invokespecial(self, owner, name, params=(), returns="void"):
+        return self._invoke("invokespecial", owner, name, params, returns)
+
+    def invokestatic(self, owner, name, params, returns):
+        return self._invoke("invokestatic", owner, name, params, returns)
+
+    def invokeinterface(self, owner, name, params, returns):
+        return self._invoke("invokeinterface", owner, name, params, returns)
+
+    def construct(self, cls: str, params: Sequence[str] = ()) -> "CodeBuilder":
+        """``new`` + ``dup`` + ``invokespecial <init>`` (javac's idiom).
+
+        Constructor arguments must already be on the stack *before*
+        calling this only in the zero-arg case; with arguments, emit
+        ``new_``/``dup`` yourself.  Fixtures only need zero-arg.
+        """
+        self.new_(cls)
+        self.dup()
+        return self.invokespecial(cls, "<init>", params, "void")
+
+    def goto_(self, target: str):
+        return self.branch("goto", target)
+
+    def ifnull(self, target: str):
+        return self.branch("ifnull", target)
+
+    def ifnonnull(self, target: str):
+        return self.branch("ifnonnull", target)
+
+    def return_(self):
+        return self.op("return")
+
+    def areturn(self):
+        return self.op("areturn")
+
+    # -- assembly ------------------------------------------------------
+
+    def _layout(self) -> Dict[str, int]:
+        offsets: Dict[str, int] = {}
+        at = 0
+        for item in self._items:
+            if item[0] == "label":
+                offsets[item[1]] = at
+            elif item[0] == "branch":
+                at += 3
+            else:
+                at += len(item[1])
+        return offsets
+
+    def assemble(self) -> bytes:
+        offsets = self._layout()
+        code = io.BytesIO()
+        for item in self._items:
+            if item[0] == "label":
+                continue
+            if item[0] == "branch":
+                here = code.tell()
+                code.write(struct.pack(
+                    ">BH", item[1], (offsets[item[2]] - here) & 0xFFFF))
+            else:
+                code.write(item[1])
+        body = code.getvalue()
+        out = io.BytesIO()
+        out.write(struct.pack(">HHI", self.max_stack, self.max_locals,
+                              len(body)))
+        out.write(body)
+        out.write(struct.pack(">H", len(self._handlers)))
+        for start, end, target, catch_type in self._handlers:
+            out.write(struct.pack(
+                ">HHHH", offsets[start], offsets[end], offsets[target],
+                self._pool.class_(catch_type) if catch_type else 0))
+        out.write(struct.pack(">H", 0))  # no nested attributes
+        return out.getvalue()
+
+
+ACC_PUBLIC = 0x0001
+ACC_STATIC = 0x0008
+ACC_SUPER = 0x0020
+
+
+class ClassBuilder:
+    """Assembles one class: fields, methods, pool, the works."""
+
+    def __init__(self, name: str,
+                 super_name: str = "java.lang.Object") -> None:
+        self.name = name
+        self.super_name = super_name
+        self.pool = _Pool()
+        self._fields: List[Tuple[int, str, str]] = []
+        self._methods: List[Tuple[int, str, str, CodeBuilder]] = []
+
+    def field(self, name: str, type_name: str,
+              access: int = ACC_PUBLIC) -> None:
+        self._fields.append((access, name, type_descriptor(type_name)))
+
+    def method(self, name: str, params: Sequence[str] = (),
+               returns: str = "void", static: bool = False,
+               max_stack: int = 8, max_locals: int = 8) -> CodeBuilder:
+        code = CodeBuilder(self.pool, max_stack, max_locals)
+        access = ACC_PUBLIC | (ACC_STATIC if static else 0)
+        self._methods.append(
+            (access, name, method_descriptor(params, returns), code))
+        return code
+
+    def default_init(self) -> None:
+        """A standard no-arg constructor chaining to the superclass."""
+        code = self.method("<init>")
+        code.aload(0)
+        code.invokespecial(self.super_name, "<init>")
+        code.return_()
+
+    def build(self) -> bytes:
+        # Resolve every pool reference BEFORE freezing the pool: method
+        # bodies intern as they are built, but class/member/descriptor
+        # names intern here.
+        this = self.pool.class_(self.name)
+        super_ = self.pool.class_(self.super_name)
+        code_attr = self.pool.utf8("Code")
+        fields = b""
+        for access, name, descriptor in self._fields:
+            fields += struct.pack(
+                ">HHHH", access, self.pool.utf8(name),
+                self.pool.utf8(descriptor), 0)
+        methods = b""
+        for access, name, descriptor, code in self._methods:
+            info = code.assemble()
+            methods += struct.pack(
+                ">HHHH", access, self.pool.utf8(name),
+                self.pool.utf8(descriptor), 1)
+            methods += struct.pack(">HI", code_attr, len(info)) + info
+        out = io.BytesIO()
+        out.write(struct.pack(">IHH", MAGIC, 0, 49))  # Java 5: no stack maps
+        out.write(self.pool.build())
+        out.write(struct.pack(">HHHH", ACC_PUBLIC | ACC_SUPER, this,
+                              super_, 0))
+        out.write(struct.pack(">H", len(self._fields)))
+        out.write(fields)
+        out.write(struct.pack(">H", len(self._methods)))
+        out.write(methods)
+        out.write(struct.pack(">H", 0))  # no class attributes
+        return out.getvalue()
+
+
+def pack_jar(path, classes: Dict[str, bytes],
+             extra: Optional[Dict[str, bytes]] = None) -> None:
+    """Write a jar: ``classes`` maps dotted names to class bytes,
+    ``extra`` maps literal member names to raw bytes (hostile members,
+    resources)."""
+    with zipfile.ZipFile(path, "w", zipfile.ZIP_DEFLATED) as jar:
+        jar.writestr("META-INF/MANIFEST.MF",
+                     "Manifest-Version: 1.0\r\n\r\n")
+        for dotted, data in sorted(classes.items()):
+            jar.writestr(dotted.replace(".", "/") + ".class", data)
+        for member, data in sorted((extra or {}).items()):
+            jar.writestr(member, data)

@@ -1,0 +1,44 @@
+"""Typed failures of the JVM classfile frontend.
+
+Both subclass :class:`repro.runtime.errors.RuntimeFault` so the
+quarantine machinery (mining reports, manifests, the supervisor's
+verdict cache) classifies them by their own taxonomy label without any
+string matching.  The split mirrors how binary inputs actually fail:
+
+* :class:`MalformedClassfile` — the *container* is broken: wrong magic,
+  a constant pool that ends mid-entry, an index pointing outside the
+  pool, an attribute longer than the file.  Nothing can be salvaged.
+* :class:`UnsupportedBytecode` — the container parsed but a method's
+  ``Code`` array contains an opcode byte the decoder does not know.
+  Since instruction *lengths* come from the opcode table, one unknown
+  byte makes every later instruction boundary unknowable, so the whole
+  file is rejected.  (Opcodes the decoder knows but the lowering does
+  not model never raise this — they degrade to havoc assignments.)
+"""
+
+from __future__ import annotations
+
+from repro.runtime.errors import (
+    MALFORMED_CLASSFILE,
+    UNSUPPORTED_BYTECODE,
+    RuntimeFault,
+)
+
+
+class MalformedClassfile(RuntimeFault):
+    """The bytes are not a structurally valid JVM class file."""
+
+    kind = MALFORMED_CLASSFILE
+
+
+class UnsupportedBytecode(RuntimeFault):
+    """A ``Code`` attribute contains an undecodable opcode byte."""
+
+    kind = UNSUPPORTED_BYTECODE
+
+    def __init__(self, message: str = "", *, opcode: int = -1,
+                 offset: int = -1, method: str = "?") -> None:
+        super().__init__(message, stage="parse")
+        self.opcode = opcode
+        self.offset = offset
+        self.method = method

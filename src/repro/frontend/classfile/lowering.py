@@ -1,0 +1,473 @@
+"""Abstract-stack lowering: JVM bytecode → the aliasing IR.
+
+Design notes:
+
+* **Blocks, not trees.**  Bytecode is an unstructured CFG, and the
+  flow-insensitive Andersen solver does not need structure — each
+  method lowers to a *flat* instruction list, blocks in offset order.
+  (The history builder walks that list sequentially; branch-free
+  producer→consumer chains — the signal specs are learned from — are
+  straight-line in javac output, so nothing the model trains on is
+  lost to the missing ``If``/``While`` nesting.)
+
+* **Symbolic operand stack.**  Each basic block is interpreted with a
+  symbolic stack of ``(Var, wide)`` entries; category-2 values
+  (long/double) are ONE entry tagged wide, which is what makes
+  ``pop2``/``dup2``-family slot arithmetic decidable.  ``dup`` pushes
+  the *same* variable — reference duplication is exact.  At a control
+  edge the target block's entry stack is materialised as fresh
+  variables fed by ``Assign`` copies from every predecessor (the same
+  φ-as-two-assignments trick the MiniJava frontend uses at joins).  A
+  block first reached by a back edge lowers with an empty entry stack
+  and havoc-on-underflow — sound, and precise in practice because
+  javac keeps the operand stack empty across statement boundaries.
+
+* **Locals are unversioned.**  One ``Var`` per local slot per method
+  (``l0``, ``l1``, …).  Bytecode reuses slots aggressively and the
+  solver is flow-insensitive anyway, so versioning buys little; the
+  stack — where call chaining actually happens — is versioned instead.
+
+* **Havoc degradation.**  Opcodes outside the modelled subset consume
+  and produce stack entries per the spec's stack effect
+  (:func:`~repro.frontend.classfile.opcodes.generic_stack_effect`) and
+  emit a :class:`~repro.ir.instructions.Prim` record; they never fail.
+  Only an *undecodable* opcode byte rejects the file
+  (``unsupported-bytecode``), because instruction boundaries after it
+  are unknowable.
+
+* **Library harness.**  A class file has no entry point, so lowering
+  synthesises ``main``: allocate one instance, then call every lowered
+  method with fresh (havoc) arguments.  Calls to the class's own
+  methods resolve internally and are inlined by the history builder;
+  calls to everything else (``java.util.*`` …) are the API events the
+  miner learns from.
+
+* **Signatures from descriptors.**  Every method the class *declares*
+  and every method reference its pool *names* carries a full
+  descriptor; both are registered into the shared
+  :class:`~repro.frontend.signatures.ApiSignatures` registry (without
+  clobbering curated entries), so source frontends mining the same
+  tree benefit from classpath-grade return types.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.frontend.classfile.opcodes import (
+    BLOCK_ENDERS,
+    BytecodeOp,
+    decode,
+    generic_stack_effect,
+)
+from repro.frontend.classfile.reader import (
+    ClassFile,
+    ConstantPool,
+    MethodInfo,
+    WIDE_TYPES,
+    parse_classfile_bytes,
+)
+from repro.frontend.signatures import ApiSignatures, MethodSig
+from repro.ir import (
+    Alloc,
+    Assign,
+    Call,
+    Const,
+    FieldLoad,
+    FieldStore,
+    FunctionBuilder,
+    Function,
+    GlobalRead,
+    GlobalWrite,
+    Prim,
+    Program,
+    Return,
+    Var,
+)
+
+#: constant kinds (reader.ConstantPool.loadable) → IR literal type names
+_CONST_TYPES = {
+    "string": "java.lang.String",
+    "class": "java.lang.Class",
+    "int": "int",
+    "float": "float",
+    "long": "long",
+    "double": "double",
+}
+
+
+@dataclass(frozen=True)
+class _StackVal:
+    """One symbolic operand-stack entry."""
+
+    var: Var
+    wide: bool = False
+
+
+class _MethodLowerer:
+    """Lowers one method's bytecode into a flat IR function body."""
+
+    def __init__(self, cls: ClassFile, method: MethodInfo, fn_name: str,
+                 sigs: ApiSignatures) -> None:
+        self.cls = cls
+        self.method = method
+        self.sigs = sigs
+        self.pool: ConstantPool = cls.pool
+        params, self.locals = self._param_slots()
+        self.builder = FunctionBuilder(fn_name, params)
+        self.stack: List[_StackVal] = []
+        #: leader offset → materialised entry stack (shared Vars fed by
+        #: Assign copies from every predecessor edge)
+        self.entry_stacks: Dict[int, List[_StackVal]] = {}
+        self.lowered: Set[int] = set()
+
+    def _param_slots(self) -> Tuple[List[str], Dict[int, Var]]:
+        """Parameter names (in call order) and the initial slot map."""
+        names: List[str] = []
+        slots: Dict[int, Var] = {}
+        slot = 0
+        if not self.method.is_static:
+            names.append("l0")
+            slots[0] = Var("l0")
+            slot = 1
+        for ptype in self.method.params:
+            name = f"l{slot}"
+            names.append(name)
+            slots[slot] = Var(name)
+            slot += 2 if ptype in WIDE_TYPES else 1
+        return names, slots
+
+    # ------------------------------------------------------------------
+    # stack primitives
+
+    def _push(self, var: Var, wide: bool = False) -> None:
+        self.stack.append(_StackVal(var, wide))
+
+    def _pop(self) -> _StackVal:
+        """Pop one entry; underflow yields a fresh havoc variable."""
+        if self.stack:
+            return self.stack.pop()
+        return _StackVal(self.builder.fresh("uf"))
+
+    def _pop_n(self, n: int) -> List[_StackVal]:
+        """Pop ``n`` entries, deepest first (operand order)."""
+        vals = [self._pop() for _ in range(n)]
+        vals.reverse()
+        return vals
+
+    def _local(self, slot: int) -> Var:
+        var = self.locals.get(slot)
+        if var is None:
+            var = self.locals[slot] = Var(f"l{slot}")
+        return var
+
+    # slot-based dup/pop bookkeeping: take entries off the top until
+    # they cover ``slots`` stack slots (wide entry = 2 slots)
+
+    def _take_slots(self, slots: int) -> List[_StackVal]:
+        taken: List[_StackVal] = []
+        covered = 0
+        while covered < slots:
+            val = self._pop()
+            taken.insert(0, val)
+            covered += 2 if val.wide else 1
+        return taken
+
+    def _dup_insert(self, group_slots: int, below_slots: int) -> None:
+        group = self._take_slots(group_slots)
+        below = self._take_slots(below_slots) if below_slots else []
+        self.stack.extend(group + below + group)
+
+    # ------------------------------------------------------------------
+    # control edges
+
+    def _edge(self, target: int) -> None:
+        """Propagate the current stack into ``target``'s entry stack."""
+        entry = self.entry_stacks.get(target)
+        if entry is None:
+            if target in self.lowered:
+                return  # back edge into an already-lowered empty-entry
+                # block: its body used havoc-on-underflow; nothing to feed
+            entry = [
+                _StackVal(self.builder.fresh(f"b{target}s{i}"), val.wide)
+                for i, val in enumerate(self.stack)
+            ]
+            self.entry_stacks[target] = entry
+        for have, want in zip(self.stack, entry):
+            if have.var != want.var:
+                self.builder.emit(Assign(want.var, have.var))
+
+    # ------------------------------------------------------------------
+
+    def lower(self, ops: Tuple[BytecodeOp, ...],
+              handler_pcs: Tuple[int, ...]) -> Function:
+        leaders = {0}
+        for i, op in enumerate(ops):
+            leaders.update(op.targets)
+            if (op.targets or op.mnemonic in BLOCK_ENDERS) \
+                    and i + 1 < len(ops):
+                leaders.add(ops[i + 1].offset)
+        for pc in handler_pcs:
+            leaders.add(pc)
+            # a handler enters with exactly the thrown exception on the
+            # otherwise-cleared operand stack
+            self.entry_stacks.setdefault(
+                pc, [_StackVal(self.builder.fresh(f"exc{pc}"))])
+        falls_through = True
+        for i, op in enumerate(ops):
+            if op.offset in leaders:
+                if falls_through and i > 0:
+                    self._edge(op.offset)
+                entry = self.entry_stacks.get(op.offset)
+                self.stack = list(entry) if entry is not None else []
+                self.lowered.add(op.offset)
+                falls_through = True
+            self._lower_op(op)
+            if op.mnemonic in BLOCK_ENDERS:
+                falls_through = False
+        return self.builder.finish()
+
+    # ------------------------------------------------------------------
+    # opcode semantics (the aliasing-relevant subset; rest → havoc)
+
+    def _lower_op(self, op: BytecodeOp) -> None:  # noqa: C901
+        b = self.builder
+        m = op.mnemonic
+        if m == "nop" or m == "checkcast":
+            return  # checkcast: passthrough — the reference flows on
+        if m == "aconst_null":
+            dst = b.fresh("null")
+            b.emit(Const(dst, None, "null"))
+            self._push(dst)
+            return
+        if m in ("ldc", "ldc_w", "ldc2_w"):
+            kind, value = self.pool.loadable(op.operands[0])
+            if kind == "other":
+                dst = b.fresh("hv")
+                b.emit(Prim(dst, m))
+                self._push(dst, wide=m == "ldc2_w")
+                return
+            dst = b.fresh("lit")
+            b.emit(Const(dst, value, _CONST_TYPES[kind]))
+            self._push(dst, wide=kind in WIDE_TYPES)
+            return
+        if m.startswith("iconst") or m in ("bipush", "sipush"):
+            value = (op.operands[0] if op.operands
+                     else int(m.rsplit("_", 1)[1].replace("m1", "-1")))
+            dst = b.fresh("lit")
+            b.emit(Const(dst, value, "int"))
+            self._push(dst)
+            return
+        if m == "aload" or m == "wide.aload" or m.startswith("aload_"):
+            slot = op.operands[0] if op.operands else int(m[-1])
+            self._push(self._local(slot))
+            return
+        if m == "astore" or m == "wide.astore" or m.startswith("astore_"):
+            slot = op.operands[0] if op.operands else int(m[-1])
+            b.emit(Assign(self._local(slot), self._pop().var))
+            return
+        if m == "aaload":
+            arr, _index = self._pop_n(2)
+            dst = b.fresh("elem")
+            b.emit(FieldLoad(dst, arr.var, "[]"))
+            self._push(dst)
+            return
+        if m == "aastore":
+            arr, _index, value = self._pop_n(3)
+            b.emit(FieldStore(arr.var, "[]", value.var))
+            return
+        if m == "pop":
+            self._pop()
+            return
+        if m == "pop2":
+            self._take_slots(2)
+            return
+        if m == "swap":
+            v1, v2 = self._pop(), self._pop()
+            self.stack.extend((v1, v2))
+            return
+        if m == "dup":
+            self._dup_insert(1, 0)
+            return
+        if m == "dup_x1":
+            self._dup_insert(1, 1)
+            return
+        if m == "dup_x2":
+            self._dup_insert(1, 2)
+            return
+        if m == "dup2":
+            self._dup_insert(2, 0)
+            return
+        if m == "dup2_x1":
+            self._dup_insert(2, 1)
+            return
+        if m == "dup2_x2":
+            self._dup_insert(2, 2)
+            return
+        if m == "new":
+            type_name = self.pool.class_name(op.operands[0])
+            dst = b.fresh(type_name.rsplit(".", 1)[-1].lower()[:4] or "obj")
+            b.emit(Alloc(dst, type_name))
+            self._push(dst)
+            return
+        if m in ("newarray", "anewarray", "multianewarray"):
+            if m == "newarray":
+                atype = ("?", "?", "?", "?", "boolean", "char", "float",
+                         "double", "byte", "short", "int", "long")
+                elem = atype[op.operands[0]] \
+                    if op.operands[0] < len(atype) else "?"
+                self._pop()
+            elif m == "anewarray":
+                elem = self.pool.class_name(op.operands[0])
+                self._pop()
+            else:
+                elem = self.pool.class_name(op.operands[0])
+                self._pop_n(op.operands[1])
+                elem = elem.rstrip("[]")
+            dst = b.fresh("arr")
+            b.emit(Alloc(dst, f"{elem}[]"))
+            self._push(dst)
+            return
+        if m == "getfield":
+            owner, name, type_name = self.pool.field_ref(op.operands[0])
+            obj = self._pop()
+            dst = b.fresh("fld")
+            b.emit(FieldLoad(dst, obj.var, name))
+            self._push(dst, wide=type_name in WIDE_TYPES)
+            return
+        if m == "putfield":
+            owner, name, type_name = self.pool.field_ref(op.operands[0])
+            value = self._pop()
+            obj = self._pop()
+            b.emit(FieldStore(obj.var, name, value.var))
+            return
+        if m == "getstatic":
+            owner, name, type_name = self.pool.field_ref(op.operands[0])
+            dst = b.fresh("gbl")
+            b.emit(GlobalRead(dst, f"{owner}.{name}"))
+            self._push(dst, wide=type_name in WIDE_TYPES)
+            return
+        if m == "putstatic":
+            owner, name, type_name = self.pool.field_ref(op.operands[0])
+            b.emit(GlobalWrite(f"{owner}.{name}", self._pop().var))
+            return
+        if m in ("invokevirtual", "invokespecial", "invokestatic",
+                 "invokeinterface"):
+            owner, name, params, returns = self.pool.method_ref(
+                op.operands[0])
+            self._invoke(f"{owner}.{name}", params, returns,
+                         has_receiver=m != "invokestatic")
+            if self.sigs.lookup(owner, name) is None:
+                self.sigs.register(
+                    MethodSig(owner, name, returns=returns, params=params))
+            return
+        if m == "invokedynamic":
+            name, params, returns = self.pool.invoke_dynamic(op.operands[0])
+            self._invoke(name, params, returns, has_receiver=False)
+            return
+        if m == "areturn":
+            b.emit(Return(self._pop().var))
+            return
+        if m in ("ireturn", "lreturn", "freturn", "dreturn"):
+            self._pop()
+            b.emit(Return(None))
+            return
+        if m == "return":
+            b.emit(Return(None))
+            return
+        if m == "athrow":
+            thrown = self._pop()
+            b.emit(Prim(b.fresh("thr"), "athrow", (thrown.var,)))
+            return
+        # --------------------------------------------------------------
+        # everything else: havoc per the spec's stack effect
+        pops, pushes, wide = generic_stack_effect(m)
+        popped = tuple(val.var for val in self._pop_n(pops))
+        if pushes:
+            dst = b.fresh("hv")
+            b.emit(Prim(dst, m, popped))
+            self._push(dst, wide=wide)
+        elif popped and not op.targets:
+            b.emit(Prim(b.fresh("hv"), m, popped))
+        for target in op.targets:
+            self._edge(target)
+
+    def _invoke(self, method: str, params: Tuple[str, ...], returns: str,
+                has_receiver: bool) -> None:
+        b = self.builder
+        args = self._pop_n(len(params))
+        receiver = self._pop() if has_receiver else None
+        dst = None
+        if returns != "void":
+            dst = b.fresh("ret")
+        b.emit(Call(
+            dst,
+            receiver.var if receiver is not None else None,
+            method,
+            tuple(a.var for a in args),
+            tuple(params),
+        ))
+        if dst is not None:
+            self._push(dst, wide=returns in WIDE_TYPES)
+
+
+# ---------------------------------------------------------------------------
+
+
+def signatures_from_classfile(cls: ClassFile) -> List[MethodSig]:
+    """The class's declared methods as registry signatures."""
+    return [
+        MethodSig(cls.name, m.name, returns=m.returns, params=m.params)
+        for m in cls.methods
+        if not m.name.startswith("<")
+    ]
+
+
+def lower_classfile(cls: ClassFile,
+                    signatures: Optional[ApiSignatures] = None,
+                    source: Optional[str] = None) -> Program:
+    """Lower a parsed :class:`ClassFile` to an IR program."""
+    sigs = signatures if signatures is not None else ApiSignatures()
+    for sig in signatures_from_classfile(cls):
+        if sigs.lookup(sig.cls, sig.name) is None:
+            sigs.register(sig)
+    functions: Dict[str, Function] = {}
+    callable_methods: List[Tuple[str, MethodInfo]] = []
+    for method in cls.methods:
+        if method.code is None:  # abstract / native — no body to mine
+            continue
+        fn_name = f"{cls.name}.{method.name}"
+        serial = 2
+        while fn_name in functions:  # overloads: first wins the call id
+            fn_name = f"{cls.name}.{method.name}#{serial}"
+            serial += 1
+        ops = decode(method.code.code)
+        handler_pcs = tuple(h.handler_pc for h in method.code.handlers)
+        lowerer = _MethodLowerer(cls, method, fn_name, sigs)
+        functions[fn_name] = lowerer.lower(ops, handler_pcs)
+        callable_methods.append((fn_name, method))
+    # the library harness: allocate one instance, drive every method
+    main = FunctionBuilder("main")
+    instance = main.alloc(cls.name) if any(
+        not method.is_static for _, method in callable_methods) else None
+    for fn_name, method in callable_methods:
+        args = [main.fresh("arg") for _ in method.params]
+        dst = None if method.returns == "void" else main.fresh("ret")
+        main.emit(Call(
+            dst,
+            None if method.is_static else instance,
+            fn_name,
+            tuple(args),
+            tuple(method.params),
+        ))
+    functions["main"] = main.finish()
+    return Program(functions, "main", source, "classfile")
+
+
+def parse_classfile(data: bytes,
+                    signatures: Optional[ApiSignatures] = None,
+                    source: Optional[str] = None) -> Program:
+    """Read and lower JVM class bytes in one step (mirrors
+    :func:`~repro.frontend.minijava.parse_minijava`)."""
+    return lower_classfile(parse_classfile_bytes(data), signatures, source)

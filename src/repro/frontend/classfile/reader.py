@@ -1,0 +1,461 @@
+"""JVM class file reader: constant pool, descriptors, Code attributes.
+
+Spec-derived (JVM specification §4); the planned ``/root/related``
+Krakatau exemplar was absent from the container, so the format is
+implemented directly from the published layout.  The reader is
+deliberately *shallow*: it decodes exactly what the IR lowering needs
+— the constant pool (all tag kinds, including the long/double
+double-slot rule), class/field/method structure, descriptors, and each
+method's ``Code`` attribute — and rejects anything structurally broken
+with a typed :class:`~repro.frontend.classfile.errors.MalformedClassfile`
+so hostile bytes land in the quarantine manifest, never in a traceback.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.frontend.classfile.errors import MalformedClassfile
+
+MAGIC = 0xCAFEBABE
+
+#: constant pool tags (JVM spec table 4.4-B)
+CONSTANT_UTF8 = 1
+CONSTANT_INTEGER = 3
+CONSTANT_FLOAT = 4
+CONSTANT_LONG = 5
+CONSTANT_DOUBLE = 6
+CONSTANT_CLASS = 7
+CONSTANT_STRING = 8
+CONSTANT_FIELDREF = 9
+CONSTANT_METHODREF = 10
+CONSTANT_INTERFACE_METHODREF = 11
+CONSTANT_NAME_AND_TYPE = 12
+CONSTANT_METHOD_HANDLE = 15
+CONSTANT_METHOD_TYPE = 16
+CONSTANT_DYNAMIC = 17
+CONSTANT_INVOKE_DYNAMIC = 18
+CONSTANT_MODULE = 19
+CONSTANT_PACKAGE = 20
+
+ACC_STATIC = 0x0008
+ACC_NATIVE = 0x0100
+ACC_ABSTRACT = 0x0400
+
+_PRIMITIVES = {
+    "B": "byte", "C": "char", "D": "double", "F": "float", "I": "int",
+    "J": "long", "S": "short", "Z": "boolean", "V": "void",
+}
+
+#: descriptors whose values occupy two local/stack slots
+WIDE_TYPES = ("long", "double")
+
+
+def decode_mutf8(raw: bytes) -> str:
+    """Decode JVM modified UTF-8; never raises (hostile pools mine on)."""
+    try:
+        return raw.decode("utf-8")
+    except UnicodeDecodeError:
+        # the two modified-UTF-8 quirks: embedded NUL as C0 80, and
+        # supplementary chars as CESU-8 surrogate pairs
+        patched = raw.replace(b"\xc0\x80", b"\x00")
+        try:
+            text = patched.decode("utf-8", errors="surrogatepass")
+            return text.encode("utf-16", "surrogatepass").decode("utf-16")
+        except (UnicodeDecodeError, UnicodeEncodeError):
+            return patched.decode("utf-8", errors="replace")
+
+
+# ---------------------------------------------------------------------------
+# descriptors
+
+
+def binary_to_dotted(name: str) -> str:
+    """``java/util/HashMap`` → ``java.util.HashMap`` (arrays decoded)."""
+    if name.startswith("["):
+        return parse_field_descriptor(name)
+    return name.replace("/", ".")
+
+
+def parse_field_descriptor(descriptor: str) -> str:
+    """One field descriptor → a dotted type name (``[I`` → ``int[]``)."""
+    type_name, rest = _take_type(descriptor, what="field descriptor")
+    if rest:
+        raise MalformedClassfile(
+            f"trailing bytes in field descriptor {descriptor!r}",
+            stage="parse",
+        )
+    return type_name
+
+
+def parse_method_descriptor(descriptor: str) -> Tuple[Tuple[str, ...], str]:
+    """``(Ljava/lang/String;I)V`` → (("java.lang.String", "int"), "void")."""
+    if not descriptor.startswith("("):
+        raise MalformedClassfile(
+            f"method descriptor {descriptor!r} does not start with '('",
+            stage="parse",
+        )
+    rest = descriptor[1:]
+    params: List[str] = []
+    while not rest.startswith(")"):
+        if not rest:
+            raise MalformedClassfile(
+                f"unterminated method descriptor {descriptor!r}",
+                stage="parse",
+            )
+        type_name, rest = _take_type(rest, what="method descriptor")
+        params.append(type_name)
+    returns, trailing = _take_type(rest[1:], what="method descriptor")
+    if trailing:
+        raise MalformedClassfile(
+            f"trailing bytes in method descriptor {descriptor!r}",
+            stage="parse",
+        )
+    return tuple(params), returns
+
+
+def _take_type(text: str, what: str) -> Tuple[str, str]:
+    """Consume one type from a descriptor; returns (dotted name, rest)."""
+    dims = 0
+    while dims < len(text) and text[dims] == "[":
+        dims += 1
+    if dims >= len(text):
+        raise MalformedClassfile(f"truncated {what} {text!r}", stage="parse")
+    head, rest = text[dims], text[dims + 1:]
+    if head in _PRIMITIVES:
+        base = _PRIMITIVES[head]
+    elif head == "L":
+        end = rest.find(";")
+        if end < 0:
+            raise MalformedClassfile(
+                f"unterminated class name in {what} {text!r}", stage="parse")
+        base, rest = rest[:end].replace("/", "."), rest[end + 1:]
+    else:
+        raise MalformedClassfile(
+            f"unknown type tag {head!r} in {what} {text!r}", stage="parse")
+    return base + "[]" * dims, rest
+
+
+# ---------------------------------------------------------------------------
+# constant pool
+
+
+@dataclass(frozen=True)
+class CpEntry:
+    tag: int
+    value: Tuple
+
+
+class ConstantPool:
+    """The constant pool, with typed resolution helpers.
+
+    Slot 0 is unused and ``CONSTANT_Long``/``CONSTANT_Double`` burn the
+    slot after them (the spec's double-slot rule) — both are ``None``
+    in ``entries``.  Every resolver validates the index *and* the tag,
+    so a hostile pool yields :class:`MalformedClassfile`, not a crash.
+    """
+
+    def __init__(self, entries: List[Optional[CpEntry]]) -> None:
+        self.entries = entries
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def _entry(self, index: int, *tags: int) -> CpEntry:
+        if not 1 <= index < len(self.entries):
+            raise MalformedClassfile(
+                f"constant pool index {index} out of range "
+                f"(pool has {len(self.entries)} slots)", stage="parse")
+        entry = self.entries[index]
+        if entry is None:
+            raise MalformedClassfile(
+                f"constant pool index {index} hits the dead slot of a "
+                f"long/double entry", stage="parse")
+        if tags and entry.tag not in tags:
+            raise MalformedClassfile(
+                f"constant pool index {index} has tag {entry.tag}, "
+                f"expected {' or '.join(map(str, tags))}", stage="parse")
+        return entry
+
+    def utf8(self, index: int) -> str:
+        return self._entry(index, CONSTANT_UTF8).value[0]
+
+    def class_name(self, index: int) -> str:
+        """Dotted class name of a ``CONSTANT_Class`` entry."""
+        name_index = self._entry(index, CONSTANT_CLASS).value[0]
+        return binary_to_dotted(self.utf8(name_index))
+
+    def name_and_type(self, index: int) -> Tuple[str, str]:
+        name_index, desc_index = self._entry(
+            index, CONSTANT_NAME_AND_TYPE).value
+        return self.utf8(name_index), self.utf8(desc_index)
+
+    def field_ref(self, index: int) -> Tuple[str, str, str]:
+        """(owner class, field name, dotted field type)."""
+        class_index, nat_index = self._entry(index, CONSTANT_FIELDREF).value
+        name, descriptor = self.name_and_type(nat_index)
+        return (self.class_name(class_index), name,
+                parse_field_descriptor(descriptor))
+
+    def method_ref(
+        self, index: int
+    ) -> Tuple[str, str, Tuple[str, ...], str]:
+        """(owner class, method name, param types, return type)."""
+        class_index, nat_index = self._entry(
+            index, CONSTANT_METHODREF, CONSTANT_INTERFACE_METHODREF).value
+        name, descriptor = self.name_and_type(nat_index)
+        params, returns = parse_method_descriptor(descriptor)
+        return self.class_name(class_index), name, params, returns
+
+    def invoke_dynamic(self, index: int) -> Tuple[str, Tuple[str, ...], str]:
+        """(call-site name, param types, return type) of an indy site."""
+        _bootstrap, nat_index = self._entry(
+            index, CONSTANT_INVOKE_DYNAMIC, CONSTANT_DYNAMIC).value
+        name, descriptor = self.name_and_type(nat_index)
+        if descriptor.startswith("("):
+            params, returns = parse_method_descriptor(descriptor)
+        else:  # CONSTANT_Dynamic carries a field descriptor
+            params, returns = (), parse_field_descriptor(descriptor)
+        return name, params, returns
+
+    def loadable(self, index: int):
+        """The value an ``ldc``-family instruction pushes.
+
+        Returns ``(kind, value)`` where kind ∈ {"int", "float", "long",
+        "double", "string", "class", "other"}.
+        """
+        entry = self._entry(index)
+        if entry.tag == CONSTANT_INTEGER:
+            return "int", entry.value[0]
+        if entry.tag == CONSTANT_FLOAT:
+            return "float", entry.value[0]
+        if entry.tag == CONSTANT_LONG:
+            return "long", entry.value[0]
+        if entry.tag == CONSTANT_DOUBLE:
+            return "double", entry.value[0]
+        if entry.tag == CONSTANT_STRING:
+            return "string", self.utf8(entry.value[0])
+        if entry.tag == CONSTANT_CLASS:
+            return "class", self.class_name(index)
+        # MethodHandle / MethodType / Dynamic — legal but unmodelled
+        return "other", None
+
+
+# ---------------------------------------------------------------------------
+# class structure
+
+
+@dataclass(frozen=True)
+class ExceptionHandler:
+    start_pc: int
+    end_pc: int
+    handler_pc: int
+    catch_type: str  # dotted class name, "" for catch-all
+
+
+@dataclass(frozen=True)
+class CodeAttr:
+    max_stack: int
+    max_locals: int
+    code: bytes
+    handlers: Tuple[ExceptionHandler, ...] = ()
+
+
+@dataclass(frozen=True)
+class FieldInfo:
+    access: int
+    name: str
+    type_name: str
+
+    @property
+    def is_static(self) -> bool:
+        return bool(self.access & ACC_STATIC)
+
+
+@dataclass(frozen=True)
+class MethodInfo:
+    access: int
+    name: str
+    descriptor: str
+    params: Tuple[str, ...]
+    returns: str
+    code: Optional[CodeAttr] = None
+
+    @property
+    def is_static(self) -> bool:
+        return bool(self.access & ACC_STATIC)
+
+
+@dataclass(frozen=True)
+class ClassFile:
+    name: str  # dotted
+    super_name: str
+    interfaces: Tuple[str, ...]
+    fields: Tuple[FieldInfo, ...]
+    methods: Tuple[MethodInfo, ...]
+    pool: ConstantPool = field(repr=False, default=None)  # type: ignore
+    major: int = 0
+    minor: int = 0
+    access: int = 0
+
+    def __repr__(self) -> str:
+        return (f"<ClassFile {self.name} extends {self.super_name}, "
+                f"{len(self.methods)} methods>")
+
+
+class _Cursor:
+    """Bounds-checked big-endian reads over the class bytes."""
+
+    __slots__ = ("data", "at")
+
+    def __init__(self, data: bytes) -> None:
+        self.data = data
+        self.at = 0
+
+    def take(self, n: int, what: str) -> bytes:
+        if self.at + n > len(self.data):
+            raise MalformedClassfile(
+                f"truncated class file: needed {n} byte(s) for {what} at "
+                f"offset {self.at}, have {len(self.data) - self.at}",
+                stage="parse",
+            )
+        chunk = self.data[self.at:self.at + n]
+        self.at += n
+        return chunk
+
+    def u1(self, what: str) -> int:
+        return self.take(1, what)[0]
+
+    def u2(self, what: str) -> int:
+        return struct.unpack(">H", self.take(2, what))[0]
+
+    def u4(self, what: str) -> int:
+        return struct.unpack(">I", self.take(4, what))[0]
+
+
+def _read_pool(cur: _Cursor) -> ConstantPool:
+    count = cur.u2("constant pool count")
+    entries: List[Optional[CpEntry]] = [None] * max(count, 1)
+    index = 1
+    while index < count:
+        tag = cur.u1(f"constant pool tag #{index}")
+        if tag == CONSTANT_UTF8:
+            length = cur.u2("utf8 length")
+            value: Tuple = (decode_mutf8(cur.take(length, "utf8 bytes")),)
+        elif tag == CONSTANT_INTEGER:
+            value = (struct.unpack(">i", cur.take(4, "int constant"))[0],)
+        elif tag == CONSTANT_FLOAT:
+            value = (struct.unpack(">f", cur.take(4, "float constant"))[0],)
+        elif tag == CONSTANT_LONG:
+            value = (struct.unpack(">q", cur.take(8, "long constant"))[0],)
+        elif tag == CONSTANT_DOUBLE:
+            value = (struct.unpack(">d", cur.take(8, "double constant"))[0],)
+        elif tag in (CONSTANT_CLASS, CONSTANT_STRING, CONSTANT_METHOD_TYPE,
+                     CONSTANT_MODULE, CONSTANT_PACKAGE):
+            value = (cur.u2("pool reference"),)
+        elif tag in (CONSTANT_FIELDREF, CONSTANT_METHODREF,
+                     CONSTANT_INTERFACE_METHODREF, CONSTANT_NAME_AND_TYPE,
+                     CONSTANT_DYNAMIC, CONSTANT_INVOKE_DYNAMIC):
+            value = (cur.u2("pool reference"), cur.u2("pool reference"))
+        elif tag == CONSTANT_METHOD_HANDLE:
+            value = (cur.u1("handle kind"), cur.u2("pool reference"))
+        else:
+            raise MalformedClassfile(
+                f"unknown constant pool tag {tag} at entry #{index}",
+                stage="parse",
+            )
+        entries[index] = CpEntry(tag, value)
+        # the double-slot rule: 8-byte constants burn the next index
+        index += 2 if tag in (CONSTANT_LONG, CONSTANT_DOUBLE) else 1
+    return ConstantPool(entries)
+
+
+def _read_attributes(cur: _Cursor, pool: ConstantPool) -> Dict[str, bytes]:
+    count = cur.u2("attribute count")
+    attrs: Dict[str, bytes] = {}
+    for _ in range(count):
+        name = pool.utf8(cur.u2("attribute name index"))
+        length = cur.u4("attribute length")
+        payload = cur.take(length, f"attribute {name!r}")
+        attrs.setdefault(name, payload)  # first wins; dupes are hostile
+    return attrs
+
+
+def _read_code(payload: bytes, pool: ConstantPool) -> CodeAttr:
+    cur = _Cursor(payload)
+    max_stack = cur.u2("max_stack")
+    max_locals = cur.u2("max_locals")
+    code_length = cur.u4("code length")
+    code = cur.take(code_length, "code array")
+    handlers = []
+    for _ in range(cur.u2("exception table length")):
+        start_pc = cur.u2("handler start_pc")
+        end_pc = cur.u2("handler end_pc")
+        handler_pc = cur.u2("handler handler_pc")
+        catch_index = cur.u2("handler catch_type")
+        catch = pool.class_name(catch_index) if catch_index else ""
+        handlers.append(ExceptionHandler(start_pc, end_pc, handler_pc, catch))
+    _read_attributes(cur, pool)  # LineNumberTable etc. — skipped
+    return CodeAttr(max_stack, max_locals, code, tuple(handlers))
+
+
+def read_classfile(data: bytes) -> ClassFile:
+    """Parse class bytes into a :class:`ClassFile`; typed errors only."""
+    cur = _Cursor(data)
+    if cur.u4("magic") != MAGIC:
+        raise MalformedClassfile(
+            "bad magic: not a JVM class file", stage="parse")
+    minor = cur.u2("minor version")
+    major = cur.u2("major version")
+    pool = _read_pool(cur)
+    access = cur.u2("access flags")
+    name = pool.class_name(cur.u2("this_class"))
+    super_index = cur.u2("super_class")
+    super_name = pool.class_name(super_index) if super_index else ""
+    interfaces = tuple(
+        pool.class_name(cur.u2("interface index"))
+        for _ in range(cur.u2("interfaces count"))
+    )
+    fields = []
+    for _ in range(cur.u2("fields count")):
+        f_access = cur.u2("field access")
+        f_name = pool.utf8(cur.u2("field name index"))
+        f_type = parse_field_descriptor(pool.utf8(cur.u2("field descriptor")))
+        _read_attributes(cur, pool)
+        fields.append(FieldInfo(f_access, f_name, f_type))
+    methods = []
+    for _ in range(cur.u2("methods count")):
+        m_access = cur.u2("method access")
+        m_name = pool.utf8(cur.u2("method name index"))
+        descriptor = pool.utf8(cur.u2("method descriptor"))
+        params, returns = parse_method_descriptor(descriptor)
+        attrs = _read_attributes(cur, pool)
+        code = _read_code(attrs["Code"], pool) if "Code" in attrs else None
+        methods.append(MethodInfo(
+            m_access, m_name, descriptor, params, returns, code))
+    _read_attributes(cur, pool)  # class-level attributes — skipped
+    return ClassFile(
+        name=name, super_name=super_name, interfaces=interfaces,
+        fields=tuple(fields), methods=tuple(methods), pool=pool,
+        major=major, minor=minor, access=access,
+    )
+
+
+def parse_classfile_bytes(data: bytes) -> ClassFile:
+    """:func:`read_classfile` with blanket containment: *any* exception
+    that is not already a typed frontend fault becomes
+    :class:`MalformedClassfile` (hostile bytes must never crash mining
+    with an untyped error)."""
+    from repro.frontend.classfile.errors import UnsupportedBytecode
+
+    try:
+        return read_classfile(data)
+    except (MalformedClassfile, UnsupportedBytecode):
+        raise
+    except Exception as err:  # noqa: BLE001 - containment boundary
+        raise MalformedClassfile(
+            f"unreadable class file: {type(err).__name__}: {err}",
+            stage="parse",
+        ) from err

@@ -13,10 +13,12 @@ from repro.runtime.checkpoint import CorpusCheckpoint, program_key
 from repro.runtime.errors import (
     BUDGET_EXCEEDED,
     LOWERING_FAILURE,
+    MALFORMED_CLASSFILE,
     PARSE_FAILURE,
     READ_FAILURE,
     SOLVER_CRASH,
     TAXONOMY,
+    UNSUPPORTED_BYTECODE,
     WORKER_CRASH,
     WORKER_TIMEOUT,
     BudgetExceeded,
@@ -82,6 +84,7 @@ __all__ = [
     "LadderTier",
     "LoweringFailure",
     "LOWERING_FAILURE",
+    "MALFORMED_CLASSFILE",
     "ParseFailure",
     "PARSE_FAILURE",
     "program_key",
@@ -100,6 +103,7 @@ __all__ = [
     "TIER_FIELD_INSENSITIVE",
     "TIER_QUARANTINE",
     "TierAttempt",
+    "UNSUPPORTED_BYTECODE",
     "WORKER_CRASH",
     "WORKER_TIMEOUT",
     "WorkerCrash",

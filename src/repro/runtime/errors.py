@@ -21,6 +21,18 @@ assigned by the mining supervisor, never by in-process analysis:
   worker process (segfault, OOM kill, corrupted result);
 * ``worker-timeout``  — analysing the program repeatedly blew the
   shard wall-clock deadline (hung worker).
+
+Two labels belong to the JVM classfile frontend
+(:mod:`repro.frontend.classfile`), which mines *binary* inputs and so
+fails in ways no source frontend can:
+
+* ``malformed-classfile``   — the bytes are not a well-formed class
+  file (bad magic, truncated constant pool, out-of-range pool index);
+* ``unsupported-bytecode``  — the class file is structurally valid but
+  contains bytecode the frontend cannot even *decode* (an unknown
+  opcode byte makes every later instruction boundary unknowable).
+  Opcodes the frontend can decode but does not model are **not** this
+  label — they degrade to havoc assignments and the file still mines.
 """
 
 from __future__ import annotations
@@ -37,6 +49,9 @@ SOLVER_CRASH = "SolverCrash"
 #: poison-shard bisection isolates the toxic program
 WORKER_CRASH = "worker-crash"
 WORKER_TIMEOUT = "worker-timeout"
+#: binary-frontend labels, raised by repro.frontend.classfile
+MALFORMED_CLASSFILE = "malformed-classfile"
+UNSUPPORTED_BYTECODE = "unsupported-bytecode"
 
 TAXONOMY = (
     READ_FAILURE,
@@ -46,6 +61,8 @@ TAXONOMY = (
     SOLVER_CRASH,
     WORKER_CRASH,
     WORKER_TIMEOUT,
+    MALFORMED_CLASSFILE,
+    UNSUPPORTED_BYTECODE,
 )
 
 

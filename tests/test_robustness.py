@@ -164,14 +164,14 @@ def test_mine_directory_labels_parse_failures(tmp_path):
 
 def test_mine_directory_contains_os_errors(tmp_path, monkeypatch):
     (tmp_path / "gone.py").write_text("x = 1\n")
-    real_read = type(tmp_path).read_text
+    real_read = type(tmp_path).read_bytes
 
     def flaky_read(self, *args, **kwargs):
         if self.name == "gone.py":
             raise OSError("I/O error reading device")
         return real_read(self, *args, **kwargs)
 
-    monkeypatch.setattr(type(tmp_path), "read_text", flaky_read)
+    monkeypatch.setattr(type(tmp_path), "read_bytes", flaky_read)
     report = mine_directory(tmp_path)
     assert report.n_parsed == 0
     assert report.skipped[0][1].startswith("ReadFailure: OSError")
@@ -189,14 +189,12 @@ def test_mine_directory_contains_recursion_errors(tmp_path, monkeypatch):
     assert report.skipped[0][1].startswith("ParseFailure: RecursionError")
 
 
-def test_mine_directory_contains_unicode_errors(tmp_path, monkeypatch):
-    (tmp_path / "weird.py").write_text("x = 1\n")
-
-    def undecodable(self, *args, **kwargs):
-        raise UnicodeDecodeError("utf-8", b"\xff", 0, 1, "invalid byte")
-
-    monkeypatch.setattr(type(tmp_path), "read_text", undecodable)
+def test_mine_directory_contains_unicode_errors(tmp_path):
+    # real undecodable bytes behind a source suffix — no monkeypatching:
+    # the strict-UTF-8 decode in mine_directory must quarantine them
+    (tmp_path / "weird.py").write_bytes(b"x = 1\xff\xfe\n")
     report = mine_directory(tmp_path)
+    assert report.n_parsed == 0
     assert report.skipped[0][1].startswith("ReadFailure: UnicodeDecodeError")
 
 
