@@ -388,24 +388,33 @@ def test_serve_chaos_latency(benchmark, tmp_path):
     specs_path = tmp_path / "specs.json"
     specs_path.write_text(specs_to_json(learned.specs, learned.scores))
 
-    server = SpecServer(ServeConfig(
+    from repro.serve.loadgen import make_snippet, post_query
+
+    warm_path = tmp_path / "warm.usps"
+    serve_config = dict(
         port=0, specs_path=str(specs_path), workers=2, max_queue=8,
         chaos_enabled=True, mp_context="fork", header_timeout=1.0,
-    ))
-    bound = {}
-    ready = threading.Event()
-    loop = asyncio.new_event_loop()
+        warm_path=str(warm_path),
+    )
 
-    async def boot():
-        bound["addr"] = await server.start()
-        ready.set()
-        await server.run_until_stopped()
+    def boot_daemon(server):
+        bound = {}
+        ready = threading.Event()
+        loop = asyncio.new_event_loop()
 
-    thread = threading.Thread(
-        target=lambda: loop.run_until_complete(boot()), daemon=True)
-    thread.start()
-    assert ready.wait(timeout=60)
-    host, port = bound["addr"]
+        async def boot():
+            bound["addr"] = await server.start()
+            ready.set()
+            await server.run_until_stopped()
+
+        thread = threading.Thread(
+            target=lambda: loop.run_until_complete(boot()), daemon=True)
+        thread.start()
+        assert ready.wait(timeout=60)
+        return thread, loop, bound["addr"]
+
+    server = SpecServer(ServeConfig(**serve_config))
+    thread, loop, (host, port) = boot_daemon(server)
 
     def measure():
         return run_load(LoadConfig(
@@ -416,13 +425,33 @@ def test_serve_chaos_latency(benchmark, tmp_path):
             chaos_every=8,
         ))
 
+    prime = make_snippet(6, variant=424242)
     try:
         report = benchmark.pedantic(measure, rounds=1, iterations=1)
+        # a known snippet in the reply cache: the warm-restart round
+        # below proves the restarted daemon still has it
+        assert post_query(host, port, "alias", prime, timeout=60)[0] == 200
     finally:
         server.request_stop()
         thread.join(timeout=60)
         loop.close()
     assert not thread.is_alive()  # SIGTERM-equivalent drain finished
+
+    # warm-restart round: kill, boot fresh from the drain snapshot,
+    # and the *first* query answers from cache — no cold start
+    server2 = SpecServer(ServeConfig(**serve_config))
+    thread2, loop2, (host2, port2) = boot_daemon(server2)
+    try:
+        t0 = time.monotonic()
+        status, reply = post_query(host2, port2, "alias", prime,
+                                   timeout=60)
+        first_query_seconds = time.monotonic() - t0
+        first_query_cached = status == 200 and bool(reply.get("cached"))
+    finally:
+        server2.request_stop()
+        thread2.join(timeout=60)
+        loop2.close()
+    assert not thread2.is_alive()
 
     record = _prior_record()
     record["serve"] = dict(
@@ -431,6 +460,11 @@ def test_serve_chaos_latency(benchmark, tmp_path):
         n_stats_shed=server.stats.shed,
         pool_respawns=server.pool.respawns if server.pool else 0,
         workers=2, max_queue=8,
+        warm_restart=dict(
+            first_query_cached=first_query_cached,
+            first_query_seconds=round(first_query_seconds, 6),
+            warm_entries=server2.warm_entries,
+        ),
     )
     BENCH_PATH.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
 
@@ -452,6 +486,10 @@ def test_serve_chaos_latency(benchmark, tmp_path):
              f"{report.chaos_kills}/{report.chaos_malformed}"
              f"/{report.chaos_loris}"],
             ["p50 / p95 / p99", f"{ms(50)} / {ms(95)} / {ms(99)}"],
+            ["warm-restart first query",
+             f"{'cached' if first_query_cached else 'COLD'} "
+             f"({first_query_seconds * 1000:.1f}ms, "
+             f"{server2.warm_entries} entries preloaded)"],
         ],
         title=f"uspec serve under chaos load ({N_SERVE_REQUESTS} requests)",
     ))
@@ -461,3 +499,5 @@ def test_serve_chaos_latency(benchmark, tmp_path):
     assert report.n_ok >= 1
     assert (report.n_ok + report.n_shed + report.n_deadline
             + report.n_rejected) == report.n_sent
+    # warm restart never cold-starts: the snapshot carried the cache
+    assert record["serve"]["warm_restart"]["first_query_cached"]

@@ -41,8 +41,10 @@ from repro.runtime import (
     RuntimeConfig,
     RuntimeFault,
 )
+from repro.runtime.checkpoint import atomic_write_text
 from repro.specs.pipeline import PipelineConfig
 from repro.specs.serialize import specs_from_json, specs_to_json
+from repro.store.faults import install_crash_plan_from_env
 
 #: Exit codes (also documented in ``uspec --help``):
 EXIT_OK = 0  # clean run (quarantined stragglers are still "clean")
@@ -118,6 +120,8 @@ def _mining_config(args: argparse.Namespace) -> MiningConfig:
         supervision=_supervision_config(args),
         parallel_train=args.parallel_train,
         resident=not args.no_residency,
+        store_dir=args.store_dir,
+        append=args.append,
     )
 
 
@@ -157,6 +161,21 @@ def _print_mining(mining) -> None:
     print(f"  analyzed {mining.n_analyzed}, cache hits {mining.n_cached} "
           f"({hit}), resumed {mining.n_resumed}, "
           f"quarantined {mining.n_quarantined}")
+    if mining.n_cache_corrupt:
+        print(f"  cache integrity: {mining.n_cache_corrupt} corrupt "
+              f"entr{'y' if mining.n_cache_corrupt == 1 else 'ies'} "
+              f"deleted and re-analyzed")
+    if mining.store_generation is not None:
+        print(f"  store: generation {mining.store_generation}, "
+              f"{mining.n_from_store} program(s) folded from the "
+              f"journal without re-analysis")
+        drift = mining.drift or {}
+        if drift.get("previous") is not None:
+            print(f"  spec drift vs generation {drift['previous']}: "
+                  f"+{len(drift.get('gained', []))} gained, "
+                  f"-{len(drift.get('lost', []))} lost, "
+                  f"~{len(drift.get('shifted', []))} score-shifted, "
+                  f"{drift.get('n_unchanged', 0)} unchanged")
     if mining.shards and len(mining.shards) > 1:
         slowest = max(mining.shards, key=lambda m: m.seconds)
         print(f"  shard wall-clock: slowest shard "
@@ -216,6 +235,9 @@ def _parse_suffixes(spec: Optional[str]) -> Tuple[str, ...]:
 
 
 def _cmd_learn(args: argparse.Namespace) -> int:
+    if args.append and not args.store_dir:
+        print("error: --append requires --store-dir", file=sys.stderr)
+        return EXIT_ERROR
     registry = java_registry() if args.language == "java" else python_registry()
     if args.from_dir:
         from repro.corpus import mine_directory
@@ -273,7 +295,9 @@ def _cmd_learn(args: argparse.Namespace) -> int:
           f"selected {len(learned.specs)} specifications")
     text = specs_to_json(learned.specs, learned.scores)
     if args.out:
-        Path(args.out).write_text(text)
+        # durable: learned specs are the artifact serve daemons reload,
+        # so a crash right after "wrote ..." must not lose them
+        atomic_write_text(Path(args.out), text, durable=True)
         print(f"wrote {args.out}")
     else:
         print(text)
@@ -410,6 +434,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         breaker_cooldown=args.breaker_cooldown,
         chaos_enabled=args.chaos,
         mp_context=args.mp_context,
+        warm_path=args.warm_snapshot,
     )
     asyncio.run(serve(config))
     return EXIT_OK
@@ -608,6 +633,20 @@ def _add_learn_arguments(learn: argparse.ArgumentParser) -> None:
                             "--jobs/--shards settings (unlike "
                             "--checkpoint-dir, which is positional and "
                             "per-shard)")
+    learn.add_argument("--store-dir", metavar="DIR",
+                       help="durable statistics store: journals every "
+                            "program's sufficient statistics (CRC-"
+                            "framed, fsync-on-commit, crash-"
+                            "recoverable) and each run's specs "
+                            "generation; co-locates the analysis cache "
+                            "unless --cache-dir is also given")
+    learn.add_argument("--append", action="store_true",
+                       help="incremental learning against --store-dir: "
+                            "re-analyze only programs that are new or "
+                            "edited since the journal was written, fold "
+                            "stored statistics for the rest, retrain, "
+                            "and report spec drift vs the previous "
+                            "generation")
     learn.add_argument("--cache-budget", type=_parse_size, metavar="SIZE",
                        help="evict least-recently-used --cache-dir "
                             "entries until the cache fits SIZE "
@@ -830,6 +869,12 @@ def build_parser() -> argparse.ArgumentParser:
                      metavar="S",
                      help="seconds the breaker stays open before "
                           "probing the pool again (default 2)")
+    srv.add_argument("--warm-snapshot", metavar="FILE",
+                     help="warm-restart snapshot: written on SIGTERM "
+                          "drain (and after SIGHUP reloads), loaded on "
+                          "startup — a rolling restart answers its "
+                          "first query from the previous process's "
+                          "reply cache instead of cold-starting")
     srv.add_argument("--chaos", action="store_true",
                      help="enable the POST /chaosz fault-injection "
                           "endpoint (kills one analysis worker); for "
@@ -901,6 +946,10 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    # deterministic crash-point injection for the CI recovery matrix:
+    # USPEC_CRASH_PLAN="pre-fsync:journal.uspj" uspec learn ... dies
+    # with exit 137 at that write, like a power cut would
+    install_crash_plan_from_env()
     args = build_parser().parse_args(argv)
     try:
         return args.func(args)

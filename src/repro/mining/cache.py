@@ -36,6 +36,8 @@ import hashlib
 import json
 import os
 import pickle
+import struct
+import zlib
 from dataclasses import dataclass, replace
 from pathlib import Path
 from typing import FrozenSet, List, Optional, Sequence, Tuple
@@ -46,10 +48,16 @@ from repro.model.dataset import GraphBundle
 from repro.runtime.checkpoint import atomic_write_bytes
 from repro.runtime.manifest import QuarantineEntry
 
-CACHE_SCHEMA = 1
+# 2: bundle entries carry a CRC trailer (schema is part of the pipeline
+# fingerprint, so bumping it retires every pre-CRC entry as a miss)
+CACHE_SCHEMA = 2
 
 BUNDLE_SUFFIX = ".bundle.pkl"
 QUARANTINE_SUFFIX = ".quarantine.json"
+
+# trailer appended to every bundle entry: magic + crc32(payload)
+TRAILER_MAGIC = b"USPC"
+_TRAILER = struct.Struct("<4sI")
 
 
 def pipeline_fingerprint(config) -> str:
@@ -136,6 +144,9 @@ class AnalysisCache:
         #: cache keys this run still needs (analyzed but not yet
         #: extracted); :meth:`evict_to_budget` never deletes them
         self._pinned: set = set()
+        #: corrupt/truncated entries detected (and deleted) by reads on
+        #: this instance; surfaced as ``n_cache_corrupt`` in reports
+        self.n_corrupt = 0
 
     def key_of(self, program_fp: str) -> str:
         return compose_key(self.fingerprint, program_fp)
@@ -168,11 +179,18 @@ class AnalysisCache:
     def load_bundle_by_key(self, cache_key: str) -> Optional[GraphBundle]:
         return self._load_bundle(self.directory / f"{cache_key}{BUNDLE_SUFFIX}")
 
+    def has_bundle(self, program_fp: str) -> bool:
+        """Whether a bundle entry exists on disk (one stat, no load)."""
+        cache_key = self.key_of(program_fp)
+        return (self.directory / f"{cache_key}{BUNDLE_SUFFIX}").exists()
+
     # ------------------------------------------------------------------
 
     def store_bundle(self, program_fp: str, bundle: GraphBundle) -> str:
         cache_key = self.key_of(program_fp)
         payload = pickle.dumps(bundle, protocol=pickle.HIGHEST_PROTOCOL)
+        payload += _TRAILER.pack(TRAILER_MAGIC, zlib.crc32(payload)
+                                 & 0xFFFFFFFF)
         atomic_write_bytes(
             self.directory / f"{cache_key}{BUNDLE_SUFFIX}", payload
         )
@@ -286,20 +304,58 @@ class AnalysisCache:
 
     # ------------------------------------------------------------------
 
-    @staticmethod
-    def _load_bundle(path: Path) -> Optional[GraphBundle]:
+    def _quarantine_corrupt(self, path: Path) -> None:
+        """A damaged entry: delete it so the slot re-analyses cleanly."""
+        self.n_corrupt += 1
         try:
-            with path.open("rb") as fh:
-                bundle = pickle.load(fh)
-        except (OSError, pickle.UnpicklingError, EOFError, AttributeError):
-            return None
-        return bundle if isinstance(bundle, GraphBundle) else None
+            path.unlink()
+        except OSError:
+            pass
 
-    @staticmethod
-    def _load_quarantine(path: Path) -> Optional[QuarantineEntry]:
+    def _load_bundle(self, path: Path) -> Optional[GraphBundle]:
+        """Load + integrity-check one bundle entry.
+
+        The CRC trailer is verified before unpickling, so a truncated
+        or bit-flipped entry is detected up front instead of surfacing
+        as an arbitrary unpickle exception (or worse, a silently wrong
+        object).  Damage of any kind is treated as a miss: the entry is
+        deleted, counted in :attr:`n_corrupt`, and the caller
+        re-analyses.  Only the file being absent is a plain miss.
+        """
         try:
-            return QuarantineEntry.from_dict(json.loads(path.read_text()))
-        except (OSError, ValueError, KeyError):
+            data = path.read_bytes()
+        except FileNotFoundError:
+            return None
+        except OSError:
+            return None  # unreadable, not provably corrupt: plain miss
+        if len(data) <= _TRAILER.size:
+            self._quarantine_corrupt(path)
+            return None
+        magic, crc = _TRAILER.unpack_from(data, len(data) - _TRAILER.size)
+        payload = data[:len(data) - _TRAILER.size]
+        if magic != TRAILER_MAGIC or crc != (zlib.crc32(payload)
+                                             & 0xFFFFFFFF):
+            self._quarantine_corrupt(path)
+            return None
+        try:
+            bundle = pickle.loads(payload)
+        except Exception:
+            self._quarantine_corrupt(path)
+            return None
+        if not isinstance(bundle, GraphBundle):
+            self._quarantine_corrupt(path)
+            return None
+        return bundle
+
+    def _load_quarantine(self, path: Path) -> Optional[QuarantineEntry]:
+        try:
+            text = path.read_text()
+        except OSError:
+            return None
+        try:
+            return QuarantineEntry.from_dict(json.loads(text))
+        except (ValueError, KeyError, TypeError):
+            self._quarantine_corrupt(path)
             return None
 
     def __len__(self) -> int:

@@ -96,6 +96,7 @@ from repro.mining.cache import (
     program_fingerprint,
 )
 from repro.mining.partial import MiningReport, ShardPartial
+from repro.store.stats import SpecDrift, StatsStore, StoredProgram
 from repro.mining.residency import (
     BundleResidency,
     pack_bundle,
@@ -121,6 +122,10 @@ SHARDS_PER_JOB = 4
 
 #: outcome tier label for cache-satisfied programs
 TIER_CACHE = "cache"
+
+#: outcome tier label for programs satisfied from the statistics store
+#: (``--append``: stats from the journal, bundle still in the cache)
+TIER_STORE = "store"
 
 #: attempt tier label for supervisor-level quarantines (the program
 #: never reached the analysis ladder — it killed the worker instead)
@@ -160,6 +165,14 @@ class MiningConfig:
     #: forces every extract onto the cache-reload path (a debugging and
     #: benchmarking knob — results are byte-identical either way)
     resident: bool = True
+    #: durable statistics store directory (repro.store.StatsStore);
+    #: None = no persistence.  When set and no --cache-dir was named,
+    #: the analysis cache co-locates under the store.
+    store_dir: Optional[str] = None
+    #: incremental mode: programs whose fingerprint is already in the
+    #: store (with a live cache bundle) skip analysis — their persisted
+    #: statistics fold straight into the merge
+    append: bool = False
 
     def resolve_jobs(self) -> int:
         return max(1, self.jobs)
@@ -276,6 +289,9 @@ def _analyze_shard(
             for s in samples
         ])
         partial.bundle_refs.append((key, cache_key))
+        partial.program_meta[key] = (
+            len(bundle.graph.events), bundle.graph.edge_count
+        )
         metrics.n_samples += len(samples)
         metrics.n_events += len(bundle.graph.events)
         metrics.n_edges += bundle.graph.edge_count
@@ -341,6 +357,7 @@ def _analyze_shard(
     metrics.n_cached = partial.n_cached
     metrics.n_resumed = partial.n_resumed
     metrics.n_quarantined = len(partial.manifest)
+    metrics.n_cache_corrupt = cache.n_corrupt if cache is not None else 0
     metrics.seconds = time.monotonic() - started
     return partial
 
@@ -629,8 +646,15 @@ class MiningEngine:
         unit_programs = {key: program for _, key, program in units}
 
         fingerprint = pipeline_fingerprint(self.config)
+        store: Optional[StatsStore] = None
+        if self.mining.store_dir:
+            store = StatsStore(self.mining.store_dir, fingerprint)
         spill: Optional[str] = None
         cache_dir = self.mining.cache_dir
+        if cache_dir is None and store is not None:
+            # bundles must outlive the run for --append to skip their
+            # re-analysis next time: co-locate the cache with the store
+            cache_dir = str(store.cache_dir)
         if cache_dir is None and supervised:
             # supervised bundles must cross process boundaries somewhere;
             # a private spill dir keeps them off the result pipes
@@ -645,10 +669,34 @@ class MiningEngine:
         chaos = self.mining.supervision.chaos
         n_evicted = 0
         heal_counts = {"repaired": 0, "shipped": 0}
+        #: the persistent cache dir budget sweeps may prune (spill dirs
+        #: are excluded — they die with the run anyway)
+        budget_dir = self.mining.cache_dir or (
+            str(store.cache_dir) if store is not None else None
+        )
+
+        # --append: programs already in the store (same content
+        # fingerprint, bundle still cached) skip analysis entirely —
+        # their persisted statistics become ready-made shard partials
+        fps: Dict[str, str] = {}
+        if store is not None:
+            fps = {
+                key: program_fingerprint(program)
+                for _, key, program in units
+                if program.source is not None
+            }
+        store_partials: List[ShardPartial] = []
+        if store is not None and self.mining.append and store.programs:
+            tasks, store_partials = self._fold_from_store(
+                store, tasks, fps, cache_dir, fingerprint
+            )
+        drift: Optional[SpecDrift] = None
 
         try:
             # phase 1: map-analyze ------------------------------------
-            if supervisor is not None:
+            if not tasks:
+                partials: List[ShardPartial] = []
+            elif supervisor is not None:
                 partials = supervisor.run_phase(
                     "analyze",
                     [(sid, AnalyzeTask(self.config, cache_dir,
@@ -666,6 +714,7 @@ class MiningEngine:
                                    fingerprint, bundle_sink)
                     for sid, items in tasks
                 ]
+            partials = list(partials) + store_partials
             t1 = time.monotonic()
 
             # phase 2: reduce-train -----------------------------------
@@ -675,17 +724,21 @@ class MiningEngine:
             ):
                 merged.merge(partial)
             merged.canonicalize()
+            if store is not None:
+                # journal this run's statistics *before* training: the
+                # analysis work is complete and durable even if a later
+                # phase crashes
+                self._persist_stats(store, units, fps, merged)
             # enforce the cache budget *between* the phases (cold
             # entries from previous runs go now, not only at the end) —
             # pinning this run's bundle refs so the sweep can never eat
             # the extract phase's own working set
-            if (self.mining.cache_budget is not None
-                    and self.mining.cache_dir):
+            if self.mining.cache_budget is not None and budget_dir:
                 pinned = frozenset(
                     ck for _, ck in merged.bundle_refs if ck
                 )
                 n_evicted += AnalysisCache(
-                    self.mining.cache_dir, fingerprint
+                    budget_dir, fingerprint
                 ).evict_to_budget(self.mining.cache_budget, pinned=pinned)
             if supervisor is not None and self.mining.parallel_train:
                 model = self._parallel_train(supervisor, merged.stats)
@@ -729,11 +782,28 @@ class MiningEngine:
                     ),
                 )
             else:
-                results = [
-                    _extract_shard(self.config, sid, refs, model,
-                                   cache_dir, fingerprint, bundle_sink)
-                    for sid, refs in extract_tasks
-                ]
+                results = []
+                for sid, refs in extract_tasks:
+                    try:
+                        results.append(_extract_shard(
+                            self.config, sid, refs, model,
+                            cache_dir, fingerprint, bundle_sink,
+                        ))
+                    except CacheEntryVanished as err:
+                        # sequential append runs extract from a
+                        # persistent cache with no supervisor healer:
+                        # restore vanished bundles in place and retry
+                        restored = self._restore_bundles(
+                            err, cache_dir, fingerprint, unit_programs,
+                            heal_counts,
+                        )
+                        if restored is None:
+                            raise
+                        results.append(_extract_shard(
+                            self.config, sid, refs, model,
+                            cache_dir, fingerprint, bundle_sink,
+                            shipped=restored,
+                        ))
             extraction = CandidateExtraction()
             for _, _, shard_extraction in sorted(
                 results, key=lambda r: (r[0], r[1])
@@ -745,14 +815,19 @@ class MiningEngine:
             scores = self.pipeline.score(extraction)
             specs = self.pipeline.select(scores)
 
-            if (self.mining.cache_budget is not None
-                    and self.mining.cache_dir):
+            if store is not None:
+                drift = store.record_generation(specs, scores)
+                store.maybe_compact()
+
+            if self.mining.cache_budget is not None and budget_dir:
                 # final unpinned sweep: the run is over, the byte
                 # budget is the only constraint again
                 n_evicted += AnalysisCache(
-                    self.mining.cache_dir, fingerprint
+                    budget_dir, fingerprint
                 ).evict_to_budget(self.mining.cache_budget)
         finally:
+            if store is not None:
+                store.close()
             if supervisor is not None and supervisor is not self.coordinator:
                 supervisor.close()
             if spill is not None:
@@ -782,6 +857,9 @@ class MiningEngine:
             n_affinity_misses=getattr(supervisor, "affinity_misses", 0),
             n_cache_repairs=heal_counts["repaired"],
             n_bundles_shipped=heal_counts["shipped"],
+            store_generation=store.generation if store is not None else None,
+            drift=drift.to_dict() if drift is not None else None,
+            cache_dir=budget_dir,
         )
         return LearnedSpecs(
             specs, scores, extraction, model, self.config,
@@ -841,6 +919,103 @@ class MiningEngine:
         )
 
     # ------------------------------------------------------------------
+    # the durable statistics store (--store-dir / --append)
+
+    def _fold_from_store(
+        self,
+        store: StatsStore,
+        tasks: List[Tuple[int, List[Unit]]],
+        fps: Dict[str, str],
+        cache_dir: Optional[str],
+        fingerprint: str,
+    ) -> Tuple[List[Tuple[int, List[Unit]]], List[ShardPartial]]:
+        """Partition shard tasks into fresh work and store-satisfied work.
+
+        A unit is satisfied from the store when its content fingerprint
+        has a journal record *and* its analysed bundle is still in the
+        cache (extraction needs the bundle; if it was evicted the unit
+        just re-analyses).  Satisfied units become ready-made per-shard
+        partials — re-stamped to the unit's *current* corpus key, which
+        is sound because persisted samples derive from the source name
+        (``bundle_seed``), not the corpus position; source-less
+        programs are never stored (their key is their position).
+        """
+        cache = AnalysisCache(cache_dir, fingerprint) if cache_dir \
+            else None
+        remaining: List[Tuple[int, List[Unit]]] = []
+        store_partials: List[ShardPartial] = []
+        for sid, items in tasks:
+            fresh: List[Unit] = []
+            held: List[Tuple[Unit, str, StoredProgram]] = []
+            for unit in items:
+                _, key, program = unit
+                fp = fps.get(key)
+                rec = store.get(fp) if fp is not None else None
+                if rec is not None and cache is not None \
+                        and cache.has_bundle(fp):
+                    held.append((unit, fp, rec))
+                else:
+                    fresh.append(unit)
+            if held:
+                sp = ShardPartial.empty(sid)
+                metrics = sp.metrics[0]
+                for (_, key, program), fp, rec in held:
+                    sp.outcomes.append(ProgramOutcome(
+                        key=key, source=program.source,
+                        tier=TIER_STORE, cached=True,
+                    ))
+                    sp.stats.add(key, list(rec.samples))
+                    sp.bundle_refs.append((key, cache.key_of(fp)))
+                    sp.program_meta[key] = (rec.n_events, rec.n_edges)
+                    metrics.n_programs += 1
+                    metrics.n_cached += 1
+                    metrics.n_from_store += 1
+                    metrics.n_samples += len(rec.samples)
+                    metrics.n_events += rec.n_events
+                    metrics.n_edges += rec.n_edges
+                store_partials.append(sp)
+            if fresh:
+                remaining.append((sid, fresh))
+        return remaining, store_partials
+
+    def _persist_stats(
+        self,
+        store: StatsStore,
+        units: Sequence[Unit],
+        fps: Dict[str, str],
+        merged: ShardPartial,
+    ) -> None:
+        """Journal this run's per-program statistics (and retirements).
+
+        Only programs that produced statistics are stored (quarantined
+        ones re-attempt next run); a record whose fingerprint and key
+        both match the store is already durable and is not rewritten.
+        Fingerprints absent from the current corpus are retired.
+        """
+        live = set()
+        for _, key, program in units:
+            fp = fps.get(key)
+            if fp is None:
+                continue  # anonymous: position-dependent, never stored
+            live.add(fp)
+            if key not in merged.stats.blocks:
+                continue  # quarantined / no bundle: nothing durable
+            rec = store.get(fp)
+            if rec is not None and rec.key == key:
+                continue
+            meta = merged.program_meta.get(key, (0, 0))
+            store.put_program(StoredProgram(
+                fingerprint=fp,
+                key=key,
+                source=program.source,
+                samples=tuple(merged.stats.blocks[key]),
+                n_events=meta[0],
+                n_edges=meta[1],
+            ))
+        stale = [fp for fp in store.programs if fp not in live]
+        store.retire(stale)
+
+    # ------------------------------------------------------------------
 
     def _heal_extract(
         self,
@@ -870,30 +1045,55 @@ class MiningEngine:
                 # about cache entries, so healing again cannot help
                 # (and refusing keeps the heal loop bounded)
                 return None
-            cache = (
-                AnalysisCache(cache_dir, fingerprint) if cache_dir else None
+            restored = self._restore_bundles(
+                err, cache_dir, fingerprint, unit_programs, heal_counts
             )
+            if restored is None:
+                return None
             shipped = dict(already)
-            for key, cache_key in err.refs:
-                bundle = None
-                if cache is not None and cache_key:
-                    bundle = cache.load_bundle_by_key(cache_key)
-                if bundle is not None:
-                    heal_counts["shipped"] += 1
-                else:
-                    program = unit_programs.get(key)
-                    if program is None:
-                        return None  # not a unit of this run: unhealable
-                    bundle = self._reanalyze(program, key, cache)
-                    if bundle is None:
-                        return None  # the program no longer analyses
-                    heal_counts["repaired"] += 1
+            for key, bundle in restored.items():
                 shipped[key] = pack_bundle(bundle)
             return replace(
                 payload, shipped=tuple(sorted(shipped.items()))
             )
 
         return heal
+
+    def _restore_bundles(
+        self,
+        err: CacheEntryVanished,
+        cache_dir: Optional[str],
+        fingerprint: str,
+        unit_programs: Dict[str, Program],
+        heal_counts: Dict[str, int],
+    ) -> Optional[Dict[str, GraphBundle]]:
+        """Reload-or-reanalyse every bundle a vanished-entry error names.
+
+        Shared by the supervised healer (which packs the result onto
+        the retried payload) and the sequential retry path (which hands
+        the bundles to ``_extract_shard`` directly).  Returns None when
+        any ref is unrecoverable.
+        """
+        cache = (
+            AnalysisCache(cache_dir, fingerprint) if cache_dir else None
+        )
+        restored: Dict[str, GraphBundle] = {}
+        for key, cache_key in err.refs:
+            bundle = None
+            if cache is not None and cache_key:
+                bundle = cache.load_bundle_by_key(cache_key)
+            if bundle is not None:
+                heal_counts["shipped"] += 1
+            else:
+                program = unit_programs.get(key)
+                if program is None:
+                    return None  # not a unit of this run: unhealable
+                bundle = self._reanalyze(program, key, cache)
+                if bundle is None:
+                    return None  # the program no longer analyses
+                heal_counts["repaired"] += 1
+            restored[key] = bundle
+        return restored
 
     def _reanalyze(
         self,
@@ -1010,6 +1210,9 @@ class MiningEngine:
         n_affinity_misses: int = 0,
         n_cache_repairs: int = 0,
         n_bundles_shipped: int = 0,
+        store_generation: Optional[int] = None,
+        drift: Optional[Dict[str, object]] = None,
+        cache_dir: Optional[str] = None,
     ) -> MiningReport:
         def total(attr: str) -> int:
             return sum(getattr(m, attr) for m in merged.metrics)
@@ -1031,7 +1234,7 @@ class MiningEngine:
             seconds_total=time.monotonic() - t0,
             shards=list(merged.metrics),
             analyzed_keys=list(merged.analyzed_keys),
-            cache_dir=self.mining.cache_dir,
+            cache_dir=cache_dir if cache_dir else self.mining.cache_dir,
             ledger=ledger,
             n_evicted=n_evicted,
             supervised=supervised,
@@ -1043,6 +1246,10 @@ class MiningEngine:
             n_affinity_misses=n_affinity_misses,
             n_cache_repairs=n_cache_repairs,
             n_bundles_shipped=n_bundles_shipped,
+            n_from_store=total("n_from_store"),
+            n_cache_corrupt=total("n_cache_corrupt"),
+            store_generation=store_generation,
+            drift=drift,
         )
 
 

@@ -47,7 +47,9 @@ class ShardMetrics:
     n_analyzed: int = 0  # computed fresh this run
     n_cached: int = 0  # satisfied from the analysis cache
     n_resumed: int = 0  # satisfied from a checkpoint
+    n_from_store: int = 0  # satisfied from the statistics store
     n_quarantined: int = 0
+    n_cache_corrupt: int = 0  # corrupt cache entries deleted + re-analysed
     n_events: int = 0  # event-graph nodes across the shard's bundles
     n_edges: int = 0  # event-graph edges (the event-pair count)
     n_samples: int = 0
@@ -60,7 +62,9 @@ class ShardMetrics:
             "n_analyzed": self.n_analyzed,
             "n_cached": self.n_cached,
             "n_resumed": self.n_resumed,
+            "n_from_store": self.n_from_store,
             "n_quarantined": self.n_quarantined,
+            "n_cache_corrupt": self.n_cache_corrupt,
             "n_events": self.n_events,
             "n_edges": self.n_edges,
             "n_samples": self.n_samples,
@@ -79,6 +83,9 @@ class ShardPartial:
     bundle_refs: List[BundleRef] = field(default_factory=list)
     #: keys actually *computed* this run (neither cached nor resumed)
     analyzed_keys: List[str] = field(default_factory=list)
+    #: program key → (n_events, n_edges) — the per-program graph sizes
+    #: the statistics store persists alongside each program's samples
+    program_meta: Dict[str, Tuple[int, int]] = field(default_factory=dict)
 
     @classmethod
     def empty(cls, shard_id: Optional[int] = None) -> "ShardPartial":
@@ -100,6 +107,7 @@ class ShardPartial:
         self.stats.merge(other.stats)
         self.bundle_refs.extend(other.bundle_refs)
         self.analyzed_keys.extend(other.analyzed_keys)
+        self.program_meta.update(other.program_meta)
         return self
 
     def canonicalize(self) -> "ShardPartial":
@@ -122,7 +130,8 @@ class ShardPartial:
                 by_id[m.shard_id] = m
                 continue
             for attr in ("n_programs", "n_analyzed", "n_cached",
-                         "n_resumed", "n_quarantined", "n_events",
+                         "n_resumed", "n_from_store", "n_quarantined",
+                         "n_cache_corrupt", "n_events",
                          "n_edges", "n_samples", "seconds"):
                 setattr(agg, attr, getattr(agg, attr) + getattr(m, attr))
         self.metrics = list(by_id.values())
@@ -207,6 +216,15 @@ class MiningReport:
     #: vanished cache entries restored by reload + shipment (the entry
     #: reappeared, or another worker's copy was still on disk)
     n_bundles_shipped: int = 0
+    #: programs whose statistics came from the durable store (--append)
+    n_from_store: int = 0
+    #: corrupt cache entries detected on read, deleted, and re-analysed
+    n_cache_corrupt: int = 0
+    #: training generation recorded in the store (None without a store)
+    store_generation: Optional[int] = None
+    #: SpecDrift.to_dict() vs the previous generation (None without a
+    #: store; a first generation reports ``previous: None``)
+    drift: Optional[Dict[str, object]] = None
 
     @property
     def cache_hit_rate(self) -> float:
@@ -252,6 +270,10 @@ class MiningReport:
             "affinity_hit_rate": round(self.affinity_hit_rate, 6),
             "n_cache_repairs": self.n_cache_repairs,
             "n_bundles_shipped": self.n_bundles_shipped,
+            "n_from_store": self.n_from_store,
+            "n_cache_corrupt": self.n_cache_corrupt,
+            "store_generation": self.store_generation,
+            "drift": self.drift,
             "cluster": self.cluster,
             "supervision": (
                 self.ledger.to_dict() if self.ledger is not None else None

@@ -31,6 +31,13 @@ from typing import Dict, Optional
 from repro.ir.program import Program
 from repro.model.dataset import GraphBundle
 from repro.runtime.manifest import QuarantineEntry
+from repro.store.faults import (
+    POINT_POST_RENAME,
+    POINT_PRE_FSYNC,
+    POINT_PRE_RENAME,
+    checked_write,
+    crash_hook,
+)
 
 INDEX_NAME = "index.json"
 CHECKPOINT_VERSION = 1
@@ -39,7 +46,20 @@ STATUS_OK = "ok"
 STATUS_QUARANTINED = "quarantined"
 
 
-def atomic_write_bytes(path: Path, payload: bytes) -> None:
+def fsync_directory(directory: Path) -> None:
+    """Persist a rename/create in ``directory`` across a crash."""
+    try:
+        fd = os.open(str(directory), os.O_RDONLY)
+    except OSError:
+        return  # e.g. platforms that refuse O_RDONLY on directories
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+def atomic_write_bytes(path: Path, payload: bytes,
+                       durable: bool = False) -> None:
     """Write ``payload`` to ``path`` via tmp-file + rename.
 
     A kill at any point leaves either the old content or the new one,
@@ -47,15 +67,35 @@ def atomic_write_bytes(path: Path, payload: bytes) -> None:
     writers (parallel mining workers filling a shared cache) never
     clobber each other's in-flight temp file; the final ``rename`` is
     atomic within one filesystem.
+
+    With ``durable=True`` the tmp file is fsynced before the rename and
+    the parent directory is fsynced after it, so a power loss
+    immediately after return cannot lose the write — the discipline the
+    journal snapshot, checkpoint index, and specs writers opt into.
+    The crash hooks mark the injection matrix for the recovery tests;
+    they are no-ops unless a :class:`~repro.store.faults.CrashPlan`
+    is armed.
     """
     path = Path(path)
     tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
-    tmp.write_bytes(payload)
+    # no cleanup on failure: a real crash leaves the tmp file behind,
+    # and recovery must tolerate stale tmps — so the simulation does too
+    with tmp.open("wb") as fh:
+        checked_write(fh, payload, path)
+        if durable:
+            fh.flush()
+            crash_hook(POINT_PRE_FSYNC, path)
+            os.fsync(fh.fileno())
+    crash_hook(POINT_PRE_RENAME, path)
     tmp.replace(path)
+    crash_hook(POINT_POST_RENAME, path)
+    if durable:
+        fsync_directory(path.parent)
 
 
-def atomic_write_text(path: Path, payload: str) -> None:
-    atomic_write_bytes(path, payload.encode("utf-8"))
+def atomic_write_text(path: Path, payload: str,
+                      durable: bool = False) -> None:
+    atomic_write_bytes(path, payload.encode("utf-8"), durable=durable)
 
 
 def program_key(program: Program, index: int) -> str:
@@ -92,7 +132,9 @@ class CorpusCheckpoint:
     def _save_index(self) -> None:
         payload = {"version": CHECKPOINT_VERSION, "entries": self._index}
         atomic_write_text(
-            self._index_path(), json.dumps(payload, indent=2, sort_keys=True)
+            self._index_path(),
+            json.dumps(payload, indent=2, sort_keys=True),
+            durable=True,
         )
 
     # ------------------------------------------------------------------
@@ -130,8 +172,10 @@ class CorpusCheckpoint:
 
     def store_bundle(self, key: str, index: int, bundle: GraphBundle) -> None:
         name = f"bundle-{index:06d}.pkl"
-        with (self.directory / name).open("wb") as fh:
-            pickle.dump(bundle, fh, protocol=pickle.HIGHEST_PROTOCOL)
+        payload = pickle.dumps(bundle, protocol=pickle.HIGHEST_PROTOCOL)
+        # bundle first, index second: the index never points at a
+        # missing or torn bundle after a crash between the two writes
+        atomic_write_bytes(self.directory / name, payload, durable=True)
         self._index[key] = {"status": STATUS_OK, "file": name}
         self._save_index()
 

@@ -141,7 +141,11 @@ class QuarantineManifest:
         return cls([QuarantineEntry.from_dict(e) for e in data["entries"]])
 
     def write(self, path: Path, timings: bool = True) -> None:
-        Path(path).write_text(self.to_json(timings=timings) + "\n")
+        # late import: checkpoint imports QuarantineEntry from here
+        from repro.runtime.checkpoint import atomic_write_text
+
+        atomic_write_text(Path(path), self.to_json(timings=timings) + "\n",
+                          durable=True)
 
     def __len__(self) -> int:
         return len(self.entries)

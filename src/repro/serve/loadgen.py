@@ -305,6 +305,9 @@ class LoadReport:
     chaos_kills: int = 0
     latencies: List[float] = field(default_factory=list)
     statuses: Dict[int, int] = field(default_factory=dict)
+    #: the daemon's /readyz body sampled after the run (None if the
+    #: probe failed) — breaker state, specs digest, snapshot age
+    readyz: Optional[Dict] = None
 
     def percentile(self, p: float) -> Optional[float]:
         if not self.latencies:
@@ -334,6 +337,7 @@ class LoadReport:
             value = self.percentile(p)
             if value is not None:
                 out[f"p{p}_seconds"] = round(value, 6)
+        out["readyz"] = self.readyz
         return out
 
 
@@ -411,4 +415,9 @@ def run_load(config: LoadConfig) -> LoadReport:
         time.sleep(gaps[i])
     for thread in threads:
         thread.join(timeout=config.timeout + 30)
+    try:
+        _, report.readyz = http_request(
+            config.host, config.port, "GET", "/readyz", timeout=10.0)
+    except (OSError, ConnectionError):
+        report.readyz = None
     return report

@@ -28,7 +28,15 @@ deadline-exceeded, or a typed error — never a dropped connection.
 Lifecycle: SIGHUP swaps the specs file in (new digest → new cache
 namespace, old entries orphaned); SIGTERM drains — stop accepting,
 finish in-flight requests within ``drain_timeout``, time out the
-stragglers, exit 0.
+stragglers, exit 0.  A reload that lands mid-drain is ignored: it must
+not resurrect the accepting state or touch a pool that is going away.
+
+With ``--warm-snapshot FILE`` the daemon writes a CRC-guarded snapshot
+(specs + reply cache) at the end of every drain and after every
+successful reload, and loads it on startup — so a rolling restart
+serves its first query from the previous process's cache instead of
+cold-starting, and ``/readyz`` exposes the snapshot age for restart
+health gates.
 """
 
 from __future__ import annotations
@@ -86,6 +94,9 @@ class ServeConfig:
     #: client socket, keeping connections half-open after the server
     #: closes them (clients waiting on EOF hang for their timeout)
     mp_context: str = "spawn"
+    #: warm-restart snapshot file: written on drain + after reloads,
+    #: loaded on startup (None = cold starts only)
+    warm_path: Optional[str] = None
 
 
 class SpecServer:
@@ -111,12 +122,22 @@ class SpecServer:
         self._specs_json: Optional[str] = None
         self.specs_digest = ""
         self.query_fp = ""
+        # warm-restart snapshot state
+        self._snapshot_written_at: Optional[float] = None
+        self.warm_entries = 0
         self._load_specs(initial=True)
+        self._load_warm_snapshot()
 
     # ------------------------------------------------------------------
     # specs + cache namespace
 
     def _load_specs(self, initial: bool = False) -> None:
+        if self._draining and not initial:
+            # a SIGHUP racing the SIGTERM drain: reloading now would
+            # clear stats/cache under in-flight handlers and write a
+            # snapshot for a process that is going away — ignore it
+            sys.stderr.write("[serve] reload ignored: draining\n")
+            return
         path = self.config.specs_path
         if path is None:
             text = None
@@ -142,6 +163,76 @@ class SpecServer:
         if not initial:
             self._cache.clear()
             self.stats.reloads += 1
+            # the old snapshot's cache belongs to the old digest: write
+            # a fresh one so a restart right after the reload warms up
+            # against the *new* specs
+            self.write_warm_snapshot()
+
+    # ------------------------------------------------------------------
+    # warm-restart snapshot
+
+    def _load_warm_snapshot(self) -> None:
+        path = self.config.warm_path
+        if not path:
+            return
+        from repro.store.snapshot import load_snapshot
+
+        snap, reason = load_snapshot(Path(path))
+        if reason is not None:
+            sys.stderr.write(f"[serve] warm snapshot quarantined "
+                             f"(cold start): {reason}\n")
+            return
+        if not isinstance(snap, dict) or snap.get("schema") != 1:
+            return
+        if self.specs is None and snap.get("specs_json") \
+                and self.config.specs_path is None:
+            # no --specs on the command line: adopt the snapshot's
+            # (what a rolling restart without config changes wants)
+            text = snap["specs_json"]
+            try:
+                specs, scores = q.specs_from_json(text)
+            except (ValueError, KeyError):
+                return
+            self._specs_json = text
+            self.specs_digest = hashlib.sha256(
+                text.encode("utf-8")).hexdigest()
+            self.specs = specs
+            self.spec_scores = scores
+            self.query_fp = q.query_fingerprint(self.specs_digest)
+        if snap.get("digest") == self.specs_digest:
+            # same specs → cache keys are still valid: preload them
+            for key, reply in snap.get("cache", []):
+                if isinstance(key, str) and isinstance(reply, dict):
+                    self._cache_put(key, reply)
+            self.warm_entries = len(self._cache)
+        self._snapshot_written_at = snap.get("written_at")
+
+    def write_warm_snapshot(self) -> None:
+        path = self.config.warm_path
+        if not path:
+            return
+        from repro.store.snapshot import write_snapshot
+
+        written_at = time.time()
+        try:
+            write_snapshot(Path(path), {
+                "schema": 1,
+                "written_at": written_at,
+                "digest": self.specs_digest,
+                "specs_json": self._specs_json,
+                "cache": list(self._cache.items()),
+            })
+        except OSError as err:
+            sys.stderr.write(f"[serve] warm snapshot write failed: "
+                             f"{err}\n")
+            return
+        self._snapshot_written_at = written_at
+
+    @property
+    def snapshot_age_seconds(self) -> Optional[float]:
+        if self._snapshot_written_at is None:
+            return None
+        return round(max(0.0, time.time() - self._snapshot_written_at), 3)
 
     def request_reload(self) -> None:
         """SIGHUP entry point (threadsafe)."""
@@ -205,6 +296,9 @@ class SpecServer:
             await asyncio.wait(self._handlers, timeout=1.0)
         if self.pool is not None:
             await self.pool.drain(max(0.5, deadline - time.monotonic()))
+        # after the pool is gone: no handler can mutate the cache now,
+        # so the snapshot is a consistent view of the final state
+        self.write_warm_snapshot()
 
     async def serve(self) -> None:
         """start + run until SIGTERM; the CLI's whole main."""
@@ -361,6 +455,9 @@ class SpecServer:
             "draining": self._draining,
             "pool_healthy": pool_ok,
             "breaker": self.breaker.state,
+            "specs_digest": self.specs_digest[:12],
+            "snapshot_age_seconds": self.snapshot_age_seconds,
+            "warm_entries": self.warm_entries,
         }
         return (200 if ready else 503), status
 
@@ -373,6 +470,8 @@ class SpecServer:
         out["specs_digest"] = self.specs_digest[:12]
         out["n_specs"] = len(list(self.specs)) if self.specs else 0
         out["cache_entries"] = len(self._cache)
+        out["warm_entries"] = self.warm_entries
+        out["snapshot_age_seconds"] = self.snapshot_age_seconds
         if self.pool is not None:
             out["pool"] = self.pool.stats()
         return out

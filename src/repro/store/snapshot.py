@@ -1,0 +1,79 @@
+"""CRC-guarded pickled snapshots, written durably and verified on read.
+
+A snapshot is a single self-checking file::
+
+    USPS1\\n | len(4, LE) | payload (pickle) | crc32(payload)
+
+It is written through :func:`~repro.runtime.checkpoint.atomic_write_bytes`
+with ``durable=True`` (tmp fsync + rename + parent-dir fsync), so a
+crash leaves either the previous snapshot or the new one — never a torn
+file.  Readers verify the magic, length, and CRC before unpickling;
+any damage surfaces as the typed :class:`SnapshotCorrupt`, and
+:func:`load_snapshot` turns that into "move aside and carry on".
+"""
+from __future__ import annotations
+
+import pickle
+import struct
+import zlib
+from pathlib import Path
+from typing import Any, Optional, Tuple
+
+from repro.runtime.checkpoint import atomic_write_bytes, fsync_directory
+
+SNAPSHOT_MAGIC = b"USPS1\n"
+_LEN = struct.Struct("<I")
+_CRC = struct.Struct("<I")
+
+
+class SnapshotCorrupt(Exception):
+    """The snapshot file failed its integrity checks."""
+
+
+def write_snapshot(path: Path, obj: Any) -> None:
+    payload = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+    blob = b"".join((SNAPSHOT_MAGIC, _LEN.pack(len(payload)), payload,
+                     _CRC.pack(zlib.crc32(payload) & 0xFFFFFFFF)))
+    atomic_write_bytes(Path(path), blob, durable=True)
+
+
+def read_snapshot(path: Path) -> Any:
+    """Load a snapshot; raises FileNotFoundError or SnapshotCorrupt."""
+    data = Path(path).read_bytes()
+    prefix = len(SNAPSHOT_MAGIC) + _LEN.size
+    if not data.startswith(SNAPSHOT_MAGIC) or len(data) < prefix:
+        raise SnapshotCorrupt(f"{path}: bad magic")
+    (length,) = _LEN.unpack_from(data, len(SNAPSHOT_MAGIC))
+    if len(data) != prefix + length + _CRC.size:
+        raise SnapshotCorrupt(f"{path}: truncated "
+                              f"({len(data)} bytes, want "
+                              f"{prefix + length + _CRC.size})")
+    payload = data[prefix:prefix + length]
+    (crc,) = _CRC.unpack_from(data, prefix + length)
+    if crc != (zlib.crc32(payload) & 0xFFFFFFFF):
+        raise SnapshotCorrupt(f"{path}: payload CRC mismatch")
+    try:
+        return pickle.loads(payload)
+    except Exception as err:  # unpickling a hostile/stale payload
+        raise SnapshotCorrupt(f"{path}: {err}") from err
+
+
+def load_snapshot(path: Path) -> Tuple[Optional[Any], Optional[str]]:
+    """Read a snapshot, quarantining a damaged file instead of raising.
+
+    Returns ``(obj, None)`` on success, ``(None, None)`` when the file
+    does not exist, and ``(None, reason)`` when it was corrupt — the
+    damaged file is moved aside to ``<path>.corrupt``.
+    """
+    path = Path(path)
+    try:
+        return read_snapshot(path), None
+    except FileNotFoundError:
+        return None, None
+    except (SnapshotCorrupt, OSError) as err:
+        try:
+            path.replace(path.with_name(path.name + ".corrupt"))
+            fsync_directory(path.parent)
+        except OSError:
+            pass
+        return None, str(err)

@@ -544,3 +544,124 @@ def test_load_report_percentiles():
     assert report.percentile(99) == pytest.approx(1.0)
     out = LoadReport().to_dict()
     assert "p50_seconds" not in out  # no samples, no lies
+
+
+# ----------------------------------------------------------------------
+# warm-restart snapshots and the reload/drain race
+
+
+def test_serve_reload_racing_drain_is_ignored(tmp_path):
+    specs_path = tmp_path / "specs.json"
+    specs_path.write_text(_specs_fixture_text())
+    with serve_daemon(specs_path=str(specs_path),
+                      workers=1) as (server, host, port):
+        outcome = {}
+
+        def slow_request():
+            outcome["reply"] = post_query(host, port, "alias",
+                                          make_snippet(2000, 78), timeout=60)
+
+        thread = threading.Thread(target=slow_request, daemon=True)
+        thread.start()
+        time.sleep(0.1)  # let the request reach the pool
+        digest = server.specs_digest
+        server.request_stop()  # SIGTERM: the drain begins
+        deadline = time.monotonic() + 30
+        while not server._draining and time.monotonic() < deadline:
+            time.sleep(0.01)
+        assert server._draining
+        # SIGHUP lands mid-drain with new specs on disk: it must be
+        # ignored — a reload here would clear stats/cache under the
+        # in-flight handler and stamp a snapshot for a dying process
+        specs_path.write_text(specs_to_json(
+            SpecSet([RetSame(method="Dict.pop")]), {}))
+        server.request_reload()
+        thread.join(timeout=60)
+        status, reply = outcome["reply"]
+        assert status == 200 and reply["n_sites"] == 2000  # drain held
+        assert server.stats.reloads == 0  # the reload never happened
+        assert server.specs_digest == digest
+    # the context manager asserted the daemon exited; the drain must
+    # not have resurrected accepting state or left a worker behind
+    assert server.pool.alive == 0
+
+
+def test_serve_warm_restart_first_query_cached(tmp_path):
+    specs_path = tmp_path / "specs.json"
+    specs_path.write_text(_specs_fixture_text())
+    warm = tmp_path / "warm.usps"
+    code = make_snippet(5, variant=42)
+    with serve_daemon(specs_path=str(specs_path),
+                      warm_path=str(warm)) as (server, host, port):
+        status, reply = post_query(host, port, "alias", code)
+        assert status == 200 and not reply.get("cached")
+    assert warm.exists()  # stamped at the end of the drain
+
+    with serve_daemon(specs_path=str(specs_path),
+                      warm_path=str(warm)) as (server, host, port):
+        assert server.warm_entries >= 1
+        # the restarted daemon's FIRST query answers from the previous
+        # process's cache — a rolling restart never cold-starts
+        status, reply = post_query(host, port, "alias", code)
+        assert status == 200 and reply["cached"]
+        status, ready = http_request(host, port, "GET", "/readyz")
+        assert ready["specs_digest"] == server.specs_digest[:12]
+        assert ready["snapshot_age_seconds"] >= 0.0
+        assert ready["warm_entries"] >= 1
+
+
+def test_serve_warm_snapshot_carries_specs_without_specs_path(tmp_path):
+    specs_path = tmp_path / "specs.json"
+    specs_path.write_text(_specs_fixture_text())
+    warm = tmp_path / "warm.usps"
+    with serve_daemon(specs_path=str(specs_path),
+                      warm_path=str(warm)) as (server, host, port):
+        digest = server.specs_digest
+    # a rolling restart that lost its --specs flag still serves the
+    # previous process's specification set
+    with serve_daemon(warm_path=str(warm)) as (server, host, port):
+        assert server.specs_digest == digest
+        status, stats = http_request(host, port, "GET", "/statz")
+        assert stats["n_specs"] == 2
+
+
+def test_serve_stale_warm_snapshot_skips_cache_preload(tmp_path):
+    specs_path = tmp_path / "specs.json"
+    specs_path.write_text(_specs_fixture_text())
+    warm = tmp_path / "warm.usps"
+    code = make_snippet(4, variant=43)
+    with serve_daemon(specs_path=str(specs_path),
+                      warm_path=str(warm)) as (server, host, port):
+        assert post_query(host, port, "alias", code)[0] == 200
+    # the specs changed between the two processes: the old cache
+    # entries belong to the old digest and must not be preloaded
+    specs_path.write_text(specs_to_json(
+        SpecSet([RetSame(method="Dict.pop")]), {}))
+    with serve_daemon(specs_path=str(specs_path),
+                      warm_path=str(warm)) as (server, host, port):
+        assert server.warm_entries == 0
+        status, reply = post_query(host, port, "alias", code)
+        assert status == 200 and not reply.get("cached")
+
+
+def test_serve_corrupt_warm_snapshot_cold_starts(tmp_path):
+    specs_path = tmp_path / "specs.json"
+    specs_path.write_text(_specs_fixture_text())
+    warm = tmp_path / "warm.usps"
+    warm.write_bytes(b"this is not a snapshot")
+    with serve_daemon(specs_path=str(specs_path),
+                      warm_path=str(warm)) as (server, host, port):
+        assert server.warm_entries == 0  # cold start, not a crash
+        assert http_request(host, port, "GET", "/healthz")[0] == 200
+    assert (tmp_path / "warm.usps.corrupt").exists()  # quarantined
+
+
+def test_run_load_report_includes_readyz():
+    with serve_daemon() as (server, host, port):
+        report = run_load(LoadConfig(
+            host=host, port=port, requests=3, arrival="fixed:0.01",
+            sizes="fixed:4", seed=2, timeout=60))
+        ready = report.to_dict()["readyz"]
+        assert ready["breaker"] == "closed"
+        assert ready["status"] == "ready"
+        assert "specs_digest" in ready and "snapshot_age_seconds" in ready

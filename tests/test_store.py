@@ -1,0 +1,499 @@
+"""The crash-consistent state layer: journal recovery ladder, durable
+snapshots, crash-point fault injection, the statistics store behind
+``learn --append``, and byte-identical recovery after injected crashes."""
+
+import pytest
+
+from repro.corpus import CorpusConfig, CorpusGenerator, java_registry
+from repro.mining import MiningConfig, MiningEngine
+from repro.mining.cache import (
+    BUNDLE_SUFFIX,
+    AnalysisCache,
+    pipeline_fingerprint,
+)
+from repro.runtime import RuntimeConfig
+from repro.runtime.checkpoint import atomic_write_bytes
+from repro.specs.patterns import RetSame, SpecSet
+from repro.specs.pipeline import PipelineConfig
+from repro.specs.serialize import specs_to_json
+from repro.store.faults import (
+    CrashPlan,
+    CrashSpec,
+    SimulatedCrash,
+    install_crash_plan,
+)
+from repro.store.journal import FILE_MAGIC, RecordJournal
+from repro.store.snapshot import (
+    SnapshotCorrupt,
+    load_snapshot,
+    read_snapshot,
+    write_snapshot,
+)
+from repro.store.stats import SNAPSHOT_NAME, StatsStore, StoredProgram
+
+
+@pytest.fixture(autouse=True)
+def disarm_crash_plans():
+    yield
+    install_crash_plan(None)
+
+
+def java_corpus(n=10, seed=7):
+    return CorpusGenerator(
+        java_registry(), CorpusConfig(n_files=n, seed=seed)).programs()
+
+
+def store_learn(programs, store_dir, *, append=False, jobs=1):
+    config = PipelineConfig(runtime=RuntimeConfig())
+    mining = MiningConfig(jobs=jobs, store_dir=str(store_dir),
+                          append=append)
+    return MiningEngine(config, mining).learn(programs)
+
+
+def spec_text(learned):
+    return specs_to_json(learned.specs, learned.scores)
+
+
+# ----------------------------------------------------------------------
+# the record journal
+
+
+def test_journal_roundtrip(tmp_path):
+    path = tmp_path / "j.uspj"
+    with RecordJournal(path) as journal:
+        journal.append(1, b"alpha")
+        journal.append(2, b"")
+        journal.append(3, b"x" * 1000)
+    records, report = RecordJournal(path).recover()
+    assert records == [(1, b"alpha"), (2, b""), (3, b"x" * 1000)]
+    assert report.clean and report.n_records == 3
+
+
+def test_journal_truncates_torn_tail(tmp_path):
+    path = tmp_path / "j.uspj"
+    with RecordJournal(path) as journal:
+        journal.append(1, b"keep")
+        journal.append(1, b"torn-away")
+    with path.open("r+b") as fh:
+        fh.truncate(path.stat().st_size - 3)
+    records, report = RecordJournal(path).recover()
+    assert records == [(1, b"keep")]
+    assert report.truncated_bytes > 0 and report.n_quarantined == 0
+    # the repaired journal accepts appends again
+    with RecordJournal(path) as journal:
+        journal.append(2, b"after")
+    records, report = RecordJournal(path).recover()
+    assert records == [(1, b"keep"), (2, b"after")] and report.clean
+
+
+def test_journal_quarantines_corrupt_payload_and_continues(tmp_path):
+    path = tmp_path / "j.uspj"
+    with RecordJournal(path) as journal:
+        journal.append(1, b"first")
+        journal.append(1, b"mangled")
+        journal.append(1, b"third")
+    data = bytearray(path.read_bytes())
+    data[data.index(b"mangled")] ^= 0xFF
+    path.write_bytes(bytes(data))
+    records, report = RecordJournal(path).recover()
+    # one record lost, the boundary held: everything else survives
+    assert records == [(1, b"first"), (1, b"third")]
+    assert report.n_quarantined == 1
+    assert report.quarantined[0].reason == "payload-crc"
+
+
+def test_journal_header_damage_quarantines_tail(tmp_path):
+    path = tmp_path / "j.uspj"
+    with RecordJournal(path) as journal:
+        journal.append(1, b"first")
+        journal.append(1, b"second")
+    data = bytearray(path.read_bytes())
+    # smash the second frame's magic: framing is lost from there on
+    from repro.store.journal import HEADER_SIZE
+    data[data.index(b"second") - HEADER_SIZE] ^= 0xFF
+    path.write_bytes(bytes(data))
+    records, report = RecordJournal(path).recover()
+    assert records == [(1, b"first")]
+    assert any(q.reason == "header-crc" for q in report.quarantined)
+    # the unparseable tail was kept for forensics, not destroyed
+    assert (tmp_path / "j.uspj.quarantined").exists()
+
+
+def test_journal_foreign_file_moved_aside(tmp_path):
+    path = tmp_path / "j.uspj"
+    path.write_bytes(b"definitely not a journal")
+    records, report = RecordJournal(path).recover()
+    assert records == []
+    assert report.quarantined[0].reason == "file-header"
+    assert not path.exists()
+    assert (tmp_path / "j.uspj.quarantined").exists()
+    # a fresh journal starts cleanly in its place
+    with RecordJournal(path) as journal:
+        journal.append(1, b"fresh")
+    records, report = RecordJournal(path).recover()
+    assert records == [(1, b"fresh")] and report.clean
+
+
+def test_journal_missing_or_empty_is_clean(tmp_path):
+    records, report = RecordJournal(tmp_path / "absent.uspj").recover()
+    assert records == [] and report.clean
+    (tmp_path / "empty.uspj").write_bytes(b"")
+    records, report = RecordJournal(tmp_path / "empty.uspj").recover()
+    assert records == [] and report.clean
+
+
+# ----------------------------------------------------------------------
+# crash-point injection
+
+
+def test_crash_spec_parsing():
+    spec = CrashSpec.parse("pre-fsync:journal")
+    assert spec.point == "pre-fsync" and spec.match == "journal"
+    assert CrashSpec.parse("write:snap:17").byte == 17
+    with pytest.raises(ValueError):
+        CrashSpec.parse("nonsense")
+    with pytest.raises(ValueError):
+        CrashSpec.parse("bogus-point:x")
+    with pytest.raises(ValueError):
+        CrashSpec.parse("write:x")  # the write point needs a byte count
+
+
+@pytest.mark.parametrize("spec", [
+    "write:dest.bin:3",
+    "pre-fsync:dest.bin",
+    "pre-rename:dest.bin",
+    "post-rename:dest.bin",
+])
+def test_atomic_write_crash_leaves_old_or_new(tmp_path, spec):
+    dest = tmp_path / "dest.bin"
+    dest.write_bytes(b"old-contents")
+    install_crash_plan(CrashPlan.parse(spec))
+    with pytest.raises(SimulatedCrash):
+        atomic_write_bytes(dest, b"new-contents!", durable=True)
+    # the invariant under every crash point: the destination is the
+    # old bytes or the new bytes, never a torn mixture
+    assert dest.read_bytes() in (b"old-contents", b"new-contents!")
+    install_crash_plan(None)
+    atomic_write_bytes(dest, b"new-contents!", durable=True)
+    assert dest.read_bytes() == b"new-contents!"
+
+
+def test_crash_plan_fires_once(tmp_path):
+    plan = CrashPlan.parse("pre-rename:once.bin")
+    install_crash_plan(plan)
+    with pytest.raises(SimulatedCrash):
+        atomic_write_bytes(tmp_path / "once.bin", b"x", durable=True)
+    assert plan.fired and not plan.specs
+    # spent: the recovery rerun cannot re-trip the same spec
+    atomic_write_bytes(tmp_path / "once.bin", b"x", durable=True)
+    assert (tmp_path / "once.bin").read_bytes() == b"x"
+
+
+@pytest.mark.parametrize("spec", [
+    "write:crash.uspj:5",
+    "pre-fsync:crash.uspj",
+])
+def test_journal_append_crash_never_loses_committed_records(tmp_path, spec):
+    path = tmp_path / "crash.uspj"
+    with RecordJournal(path) as journal:
+        journal.append(1, b"committed-1")
+        journal.append(1, b"committed-2")
+    install_crash_plan(CrashPlan.parse(spec))
+    journal = RecordJournal(path)
+    with pytest.raises(SimulatedCrash):
+        journal.append(1, b"doomed")
+    journal.close()
+    install_crash_plan(None)
+    records, report = RecordJournal(path).recover()
+    # committed records always survive; the in-flight one is either
+    # fully present (its bytes landed) or cleanly truncated away
+    assert records[:2] == [(1, b"committed-1"), (1, b"committed-2")]
+    assert all(payload == b"doomed" for _, payload in records[2:])
+    records, report = RecordJournal(path).recover()
+    assert report.clean  # the repair itself left a clean journal
+
+
+# ----------------------------------------------------------------------
+# snapshots
+
+
+def test_snapshot_roundtrip(tmp_path):
+    path = tmp_path / "snap.usps"
+    write_snapshot(path, {"hello": [1, 2, 3]})
+    assert read_snapshot(path) == {"hello": [1, 2, 3]}
+    assert load_snapshot(path) == ({"hello": [1, 2, 3]}, None)
+
+
+def test_snapshot_corruption_is_typed_and_quarantined(tmp_path):
+    path = tmp_path / "snap.usps"
+    write_snapshot(path, {"hello": [1, 2, 3]})
+    data = bytearray(path.read_bytes())
+    data[-3] ^= 0x01  # damage the CRC trailer
+    path.write_bytes(bytes(data))
+    with pytest.raises(SnapshotCorrupt):
+        read_snapshot(path)
+    obj, reason = load_snapshot(path)
+    assert obj is None and reason is not None
+    assert not path.exists()  # moved aside, not left to re-fail
+    assert path.with_name("snap.usps.corrupt").exists()
+    assert load_snapshot(path) == (None, None)  # absent = plain miss
+
+
+# ----------------------------------------------------------------------
+# the statistics store
+
+
+def _program(i, samples=()):
+    return StoredProgram(
+        fingerprint=f"fp{i}", key=f"{i:06d}:p{i}.java",
+        source=f"p{i}.java", samples=tuple(samples),
+        n_events=i, n_edges=i)
+
+
+def test_stats_store_roundtrip_and_retire(tmp_path):
+    with StatsStore(tmp_path, "f" * 64) as store:
+        store.put_program(_program(0, (1, 2, 3)))
+        store.put_program(_program(1, (9,)))
+    reopened = StatsStore(tmp_path, "f" * 64)
+    assert len(reopened) == 2 and reopened.recovery.clean
+    assert reopened.get("fp0").samples == (1, 2, 3)
+    reopened.retire(["fp0", "never-stored"])
+    reopened.close()
+    third = StatsStore(tmp_path, "f" * 64)
+    assert len(third) == 1 and third.get("fp1") is not None
+    third.close()
+
+
+def test_stats_store_compaction_preserves_state(tmp_path):
+    store = StatsStore(tmp_path, "a" * 64)
+    for i in range(5):
+        store.put_program(_program(i, (i,)))
+    store.compact()
+    assert store.journal_bytes == len(FILE_MAGIC)  # journal emptied
+    store.close()
+    reopened = StatsStore(tmp_path, "a" * 64)
+    assert len(reopened) == 5
+    assert reopened.get("fp3").samples == (3,)
+    reopened.close()
+
+
+@pytest.mark.parametrize("spec", [
+    "pre-rename:" + SNAPSHOT_NAME,
+    "post-rename:" + SNAPSHOT_NAME,
+])
+def test_compaction_crash_is_recoverable(tmp_path, spec):
+    store = StatsStore(tmp_path, "c" * 64)
+    for i in range(3):
+        store.put_program(_program(i, (i,)))
+    install_crash_plan(CrashPlan.parse(spec))
+    with pytest.raises(SimulatedCrash):
+        store.compact()
+    install_crash_plan(None)
+    store.close()
+    # post-rename dies between the snapshot write and the journal
+    # reset: records exist in both — replay is idempotent, not doubled
+    reopened = StatsStore(tmp_path, "c" * 64)
+    assert len(reopened) == 3
+    assert reopened.get("fp1").samples == (1,)
+    reopened.close()
+
+
+def test_generation_drift_reports_gained_lost_shifted(tmp_path):
+    store = StatsStore(tmp_path, "d" * 64)
+    first = store.record_generation(
+        SpecSet([RetSame("A.get"), RetSame("B.get")]),
+        {RetSame("A.get"): 0.9, RetSame("B.get"): 0.8})
+    assert first.previous is None and len(first.gained) == 2
+    second = store.record_generation(
+        SpecSet([RetSame("A.get"), RetSame("C.get")]),
+        {RetSame("A.get"): 0.7, RetSame("C.get"): 0.6})
+    assert second.generation == 2 and second.previous == 1
+    assert [s["method"] for s in second.gained] == ["C.get"]
+    assert [s["method"] for s in second.lost] == ["B.get"]
+    assert [s["method"] for s in second.shifted] == ["A.get"]
+    assert second.n_unchanged == 0 and second.changed
+    store.close()
+    # the baseline is durable: a reopened store diffs against it
+    reopened = StatsStore(tmp_path, "d" * 64)
+    assert reopened.generation == 2
+    third = reopened.record_generation(
+        SpecSet([RetSame("A.get"), RetSame("C.get")]),
+        {RetSame("A.get"): 0.7, RetSame("C.get"): 0.6})
+    assert not third.changed and third.n_unchanged == 2
+    reopened.close()
+
+
+# ----------------------------------------------------------------------
+# cache integrity (CRC trailer)
+
+
+def test_corrupt_cache_bundle_is_a_miss_and_deleted(tmp_path):
+    cache = AnalysisCache(tmp_path, fingerprint="fp")
+    key = cache.store_bundle("prog0", {"not": "checked on store"})
+    path = tmp_path / f"{key}{BUNDLE_SUFFIX}"
+    data = bytearray(path.read_bytes())
+    data[len(data) // 2] ^= 0xFF
+    path.write_bytes(bytes(data))
+    assert cache.load_bundle_by_key(key) is None
+    assert cache.n_corrupt == 1
+    assert not path.exists()  # deleted so the slot re-analyses cleanly
+
+
+def test_truncated_cache_bundle_is_a_miss(tmp_path):
+    cache = AnalysisCache(tmp_path, fingerprint="fp")
+    key = cache.store_bundle("prog0", {"payload": "x" * 64})
+    path = tmp_path / f"{key}{BUNDLE_SUFFIX}"
+    path.write_bytes(path.read_bytes()[:10])
+    assert cache.load_bundle_by_key(key) is None
+    assert cache.n_corrupt == 1 and not path.exists()
+
+
+def test_absent_cache_bundle_is_a_plain_miss(tmp_path):
+    cache = AnalysisCache(tmp_path, fingerprint="fp")
+    assert cache.load_bundle_by_key("no-such-entry") is None
+    assert cache.n_corrupt == 0  # absence is a miss, not corruption
+
+
+def test_corrupt_entry_recounted_in_mining_report(tmp_path):
+    programs = java_corpus(4)
+    config = PipelineConfig(runtime=RuntimeConfig())
+    mining = MiningConfig(jobs=1, cache_dir=str(tmp_path / "cache"))
+    MiningEngine(config, mining).learn(programs)
+    bundles = sorted((tmp_path / "cache").glob(f"*{BUNDLE_SUFFIX}"))
+    assert len(bundles) == 4
+    data = bytearray(bundles[0].read_bytes())
+    data[len(data) // 2] ^= 0xFF
+    bundles[0].write_bytes(bytes(data))
+    warm = MiningEngine(config, mining).learn(programs)
+    assert warm.mining.n_cache_corrupt == 1
+    assert warm.mining.n_analyzed == 1  # the damaged one, re-analysed
+    assert warm.mining.n_cached == 3
+
+
+# ----------------------------------------------------------------------
+# learn --append end to end
+
+
+def test_append_reanalyzes_exactly_the_changed_programs(tmp_path):
+    corpus_a = java_corpus(8, seed=7)
+    first = store_learn(corpus_a, tmp_path / "store")
+    assert first.mining.n_analyzed == 8
+    assert first.mining.store_generation == 1
+    assert first.mining.drift["previous"] is None
+
+    # an unchanged corpus re-analyses nothing at all
+    replay = store_learn(corpus_a, tmp_path / "store", append=True)
+    assert replay.mining.n_analyzed == 0
+    assert replay.mining.n_from_store == 8
+    assert spec_text(replay) == spec_text(first)
+
+    # corpus B: one program edited (same source, new body), one added
+    extras = java_corpus(2, seed=99)
+    extras[0].source = corpus_a[3].source
+    extras[1].source = "brand_new.java"
+    corpus_b = corpus_a[:3] + [extras[0]] + corpus_a[4:] + [extras[1]]
+    second = store_learn(corpus_b, tmp_path / "store", append=True)
+    assert second.mining.n_analyzed == 2  # exactly the k changed files
+    assert second.mining.n_from_store == 7
+    assert second.mining.store_generation == 3
+    assert second.mining.drift is not None
+
+    # byte-identical to a from-scratch run over the same corpus
+    scratch = store_learn(corpus_b, tmp_path / "scratch")
+    assert spec_text(second) == spec_text(scratch)
+
+    # the edited program's old fingerprint was retired, not leaked
+    store = StatsStore(tmp_path / "store",
+                       pipeline_fingerprint(PipelineConfig()))
+    assert len(store) == 9
+    store.close()
+
+
+def test_learn_crash_then_rerun_recovers_byte_identical_specs(tmp_path):
+    programs = java_corpus(6, seed=7)
+    baseline = store_learn(programs, tmp_path / "clean")
+    expected = spec_text(baseline)
+
+    # die at the fsync of the first journal append — after analysis,
+    # before training
+    install_crash_plan(CrashPlan.parse("pre-fsync:journal.uspj"))
+    with pytest.raises(SimulatedCrash):
+        store_learn(programs, tmp_path / "store")
+    install_crash_plan(None)
+
+    rerun = store_learn(programs, tmp_path / "store")
+    assert spec_text(rerun) == expected
+    # zero lost completed work: the crashed run's analysis was reused
+    assert rerun.mining.n_cached == 6 and rerun.mining.n_analyzed == 0
+
+
+@pytest.mark.parametrize("spec", [
+    "write:journal.uspj:20",
+    "pre-fsync:journal.uspj",
+])
+def test_append_run_crash_is_recoverable(tmp_path, spec):
+    programs = java_corpus(5, seed=7)
+    store_learn(programs, tmp_path / "store")
+
+    extras = java_corpus(1, seed=23)
+    extras[0].source = "added_later.java"
+    corpus_b = programs + extras
+
+    # the crash fires while journalling the new program's statistics
+    install_crash_plan(CrashPlan.parse(spec))
+    with pytest.raises(SimulatedCrash):
+        store_learn(corpus_b, tmp_path / "store", append=True)
+    install_crash_plan(None)
+
+    rerun = store_learn(corpus_b, tmp_path / "store", append=True)
+    scratch = store_learn(corpus_b, tmp_path / "scratch")
+    assert spec_text(rerun) == spec_text(scratch)
+    # nothing was lost to the crash: the new program's analysis is in
+    # the cache, so the rerun computes nothing fresh
+    assert rerun.mining.n_analyzed == 0
+    assert rerun.mining.n_from_store >= 5
+
+
+def test_sequential_append_heals_vanished_bundle(tmp_path, monkeypatch):
+    programs = java_corpus(5, seed=7)
+    first = store_learn(programs, tmp_path / "store")
+    real = AnalysisCache.load_bundle_by_key
+    zapped = []
+
+    def vanish_once(self, cache_key):
+        # simulate an eviction racing the extract phase: the bundle
+        # disappears from disk after the store declared it present
+        if not zapped:
+            zapped.append(cache_key)
+            target = self.directory / f"{cache_key}{BUNDLE_SUFFIX}"
+            if target.exists():
+                target.unlink()
+            return None
+        return real(self, cache_key)
+
+    monkeypatch.setattr(AnalysisCache, "load_bundle_by_key", vanish_once)
+    second = store_learn(programs, tmp_path / "store", append=True)
+    assert zapped  # the fault actually fired
+    assert second.mining.n_from_store == 5
+    assert second.mining.n_cache_repairs == 1  # re-analysed in place
+    assert spec_text(second) == spec_text(first)
+
+
+def test_store_survives_corrupted_journal_mid_history(tmp_path):
+    programs = java_corpus(5, seed=7)
+    first = store_learn(programs, tmp_path / "store")
+    fingerprint = pipeline_fingerprint(PipelineConfig())
+    journal = (tmp_path / "store" / fingerprint[:16] / "journal.uspj")
+    data = bytearray(journal.read_bytes())
+    # bit rot inside the first record's payload: that one program's
+    # statistics are quarantined, the rest of the journal still parses
+    from repro.store.journal import HEADER_SIZE
+    data[len(FILE_MAGIC) + HEADER_SIZE + 5] ^= 0xFF
+    journal.write_bytes(bytes(data))
+
+    second = store_learn(programs, tmp_path / "store", append=True)
+    assert second.mining.n_from_store == 4
+    # the damaged program still resolves from the analysis cache —
+    # recovery degrades one layer at a time, it never recomputes
+    assert second.mining.n_cached == 5 and second.mining.n_analyzed == 0
+    assert spec_text(second) == spec_text(first)
