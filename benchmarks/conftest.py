@@ -33,6 +33,56 @@ from repro.specs.candidates import CandidateExtraction
 
 RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
 
+
+def pytest_addoption(parser):
+    """Opt-in performance floors.
+
+    By default the benchmarks only assert machine-independent
+    guarantees (determinism, cache behaviour) and *record* the speed
+    numbers.  ``--assert-floors`` turns the recorded ratios into
+    gates, with each minimum configurable for the machine at hand.
+    """
+    group = parser.getgroup(
+        "floors", "opt-in performance floor assertions")
+    group.addoption(
+        "--assert-floors", action="store_true", default=False,
+        help="fail benchmarks whose ratios miss the configured floors")
+    group.addoption(
+        "--floor-warm-cache-speedup", type=float, default=2.0,
+        metavar="RATIO",
+        help="minimum cold/warm wall-clock ratio (default: 2.0)")
+    group.addoption(
+        "--floor-parallel-speedup", type=float, default=1.5,
+        metavar="RATIO",
+        help="minimum sequential/jobs4 wall-clock ratio; only gated "
+             "on hosts with >= 4 CPUs (default: 1.5)")
+    group.addoption(
+        "--floor-refine-resolved", type=float, default=1.0,
+        metavar="N",
+        help="minimum near-τ candidates resolved per refinement "
+             "generation (default: 1.0)")
+
+
+@dataclass
+class Floors:
+    """The ``--assert-floors`` switch plus its configured minimums."""
+
+    enabled: bool
+    warm_cache_speedup: float
+    parallel_speedup: float
+    refine_resolved_per_generation: float
+
+
+@pytest.fixture
+def floors(request) -> Floors:
+    opt = request.config.getoption
+    return Floors(
+        enabled=opt("--assert-floors"),
+        warm_cache_speedup=opt("--floor-warm-cache-speedup"),
+        parallel_speedup=opt("--floor-parallel-speedup"),
+        refine_resolved_per_generation=opt("--floor-refine-resolved"),
+    )
+
 #: Corpus sizes: large enough for stable statistics, small enough for a
 #: laptop run (override with REPRO_BENCH_FILES).
 N_TRAIN_FILES = int(os.environ.get("REPRO_BENCH_FILES", "250"))

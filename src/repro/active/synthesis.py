@@ -1,0 +1,236 @@
+"""Directed synthesis of discriminating client programs.
+
+For each :class:`~repro.active.uncertainty.AmbiguousCandidate`, emit a
+balanced pair of client programs per round:
+
+* an **aliasing-path** program exercising the candidate's idiom
+  cleanly — matching keys, the stored value kept in use, no helper
+  indirection — the usage that makes the induced edge probable when
+  the specification is real;
+* a **non-aliasing-path** program exercising the same methods with
+  mismatched keys and divergent use — the usage whose induced edge the
+  model must reject when the specification is spurious.
+
+The synthesizer only *poses the question*; the probabilistic model
+answers it when the refinement engine re-mines the corpus.  The API
+registry plays the part of Bastani et al.'s dynamic-execution oracle:
+it knows each class's role (container / reader / trap / fluent), so
+the generated clients are realistic usage, not adversarial noise.
+
+Every program is validated before admission by running it through the
+PR 1 analysis ladder (:func:`repro.serve.query.analyze_with_ladder`):
+a synthesized client that quarantines, or that never mentions the
+candidate's methods, is rejected with a recorded reason rather than
+polluting the corpus.
+
+Determinism: each program's RNG stream is derived from
+``(seed, generation, spec, path, round)`` via
+:func:`repro.corpus.generator.derive_rng`, so synthesis order — and
+any concurrency in the refinement engine — cannot change a single
+byte of the output.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.corpus.apis import (
+    ApiClassModel,
+    ApiRegistry,
+    ContainerRole,
+    FluentRole,
+    ReaderRole,
+    TrapRole,
+)
+from repro.corpus.generator import (
+    CorpusConfig,
+    GeneratedFile,
+    _JavaGen,
+    _PythonGen,
+    derive_rng,
+)
+from repro.active.uncertainty import AmbiguousCandidate
+from repro.specs.patterns import RetArg, RetRecv, RetSame, Spec, api_class_of
+from repro.serve.query import QueryFailed, analyze_with_ladder
+
+#: emitter knobs for the aliasing path: clean round-trips, values kept
+#: in use, nothing routed through helpers or opaque keys
+ALIAS_CONFIG = dict(
+    mismatch_key_prob=0.0, helper_prob=0.0, branch_prob=0.0,
+    post_store_use_prob=1.0, unknown_key_prob=0.0,
+)
+#: the non-aliasing path: identical except every key mismatches
+NON_ALIAS_CONFIG = dict(ALIAS_CONFIG, mismatch_key_prob=1.0)
+
+
+def spec_slug(spec: Spec) -> str:
+    """A short stable identifier for file names and state records."""
+    return hashlib.sha256(str(spec).encode("utf-8")).hexdigest()[:10]
+
+
+def _spec_methods(spec: Spec) -> Tuple[str, ...]:
+    if isinstance(spec, RetArg):
+        return (spec.target, spec.source)
+    return (spec.method,)
+
+
+@dataclass
+class SynthesisResult:
+    """Outcome of one candidate × generation synthesis round."""
+
+    programs: List[GeneratedFile] = field(default_factory=list)
+    #: (program name, reason) for every rejected program
+    rejected: List[Tuple[str, str]] = field(default_factory=list)
+    #: (spec string, reason) for candidates nothing could be built for
+    skipped: List[Tuple[str, str]] = field(default_factory=list)
+
+    def merge(self, other: "SynthesisResult") -> None:
+        self.programs.extend(other.programs)
+        self.rejected.extend(other.rejected)
+        self.skipped.extend(other.skipped)
+
+
+class DirectedSynthesizer:
+    """Builds validated discriminating programs for ambiguous specs."""
+
+    def __init__(self, registry: ApiRegistry, *, seed: int,
+                 pointsto=None, history=None) -> None:
+        self.registry = registry
+        self.seed = seed
+        self.pointsto = pointsto
+        self.history = history
+        self._classes: Dict[str, ApiClassModel] = {
+            cls.fqn: cls for cls in registry.classes
+        }
+        self._sigs = registry.signatures()
+
+    # ------------------------------------------------------------------
+
+    def class_for(self, spec: Spec) -> Optional[ApiClassModel]:
+        method = spec.target if isinstance(spec, RetArg) else spec.method
+        return self._classes.get(api_class_of(method))
+
+    def synthesize(self, candidate: AmbiguousCandidate, *, generation: int,
+                   rounds: int = 3) -> SynthesisResult:
+        """``rounds`` alias/non-alias pairs for one candidate."""
+        result = SynthesisResult()
+        cls = self.class_for(candidate.spec)
+        if cls is None:
+            result.skipped.append(
+                (str(candidate.spec), "no registry class for method")
+            )
+            return result
+        emit = self._emitter_for(candidate.spec, cls)
+        if emit is None:
+            result.skipped.append(
+                (str(candidate.spec),
+                 f"no discriminating idiom for role "
+                 f"{type(cls.role).__name__}")
+            )
+            return result
+        slug = spec_slug(candidate.spec)
+        ext = "java" if self.registry.language == "java" else "py"
+        for i in range(rounds):
+            for path, knobs in (("alias", ALIAS_CONFIG),
+                                ("non", NON_ALIAS_CONFIG)):
+                rng = derive_rng(
+                    self.seed, "refine", generation, str(candidate.spec),
+                    path, i,
+                )
+                config = CorpusConfig(seed=self.seed, **knobs)
+                gen = (_JavaGen if ext == "java" else _PythonGen)(
+                    self.registry, config, rng
+                )
+                # a direct chain first, as every organic corpus file
+                # has: the training signal must stay dominated by
+                # producer→consumer statistics
+                gen.direct_chain()
+                emit(gen, cls, path == "alias")
+                text = gen.writer.text()
+                if ext == "py" and getattr(gen, "imports", None):
+                    text = "\n".join(
+                        f"import {m}" for m in sorted(gen.imports)
+                    ) + "\n" + text
+                name = f"refine_g{generation:03d}_{slug}_{path}{i}.{ext}"
+                generated = GeneratedFile(
+                    name, text, self.registry.language,
+                    tuple(gen.used_classes),
+                )
+                ok, reason = self._validate(generated, candidate.spec)
+                if ok:
+                    result.programs.append(generated)
+                else:
+                    result.rejected.append((name, reason))
+        return result
+
+    # ------------------------------------------------------------------
+
+    def _emitter_for(self, spec: Spec, cls: ApiClassModel):
+        """The scenario that poses this spec's aliasing question."""
+        role = cls.role
+        if isinstance(role, ContainerRole):
+            if isinstance(spec, RetArg):
+                def emit(gen, cls, alias):
+                    gen.container_roundtrip(cls)
+                return emit
+            if isinstance(spec, RetSame):
+                def emit(gen, cls, alias):
+                    gen.load_repeat(cls, same_key=alias)
+                return emit
+            return None
+        if isinstance(role, ReaderRole) and isinstance(spec, RetSame):
+            def emit(gen, cls, alias):
+                gen.reader_repeat(cls)
+            return emit
+        if isinstance(role, FluentRole) and isinstance(spec, RetRecv):
+            def emit(gen, cls, alias):
+                gen.fluent_chain(cls)
+            return emit
+        if isinstance(role, TrapRole):
+            # trap idioms *are* the non-aliasing evidence; emitting
+            # more of them answers the question for both paths
+            if role.kind == "copy":
+                def emit(gen, cls, alias):
+                    gen.copy_trap(cls)
+                return emit
+
+            def emit(gen, cls, alias):
+                gen.trap(cls)
+            return emit
+        return None
+
+    def _validate(self, generated: GeneratedFile,
+                  spec: Spec) -> Tuple[bool, str]:
+        """Admission check: parses, analyzes clean, poses the question."""
+        # subscript pseudo-methods (Dict "SubscriptLoad") have no
+        # textual form; `recv[key]` is their only spelling
+        shorts = [s for s in
+                  (m.rsplit(".", 1)[1] for m in _spec_methods(spec))
+                  if not s.startswith("Subscript")]
+        missing = [s for s in shorts if s not in generated.text]
+        if missing:
+            return False, f"does not exercise {', '.join(missing)}"
+        try:
+            if generated.language == "java":
+                from repro.frontend.minijava import parse_minijava
+                program = parse_minijava(
+                    generated.text, self._sigs, generated.name
+                )
+            else:
+                from repro.frontend.pyfront import parse_python
+                program = parse_python(
+                    generated.text, self._sigs, generated.name
+                )
+        except Exception as err:  # frontend rejects are admission fails
+            return False, f"parse failed: {err}"
+        try:
+            analyze_with_ladder(
+                program, options=self.pointsto, history=self.history,
+            )
+        except QueryFailed as err:
+            return False, f"analysis quarantined: {err}"
+        except Exception as err:
+            return False, f"analysis failed: {err}"
+        return True, ""

@@ -1,0 +1,126 @@
+"""Uncertainty extraction over scored candidate specifications.
+
+The miner's τ-threshold selection (§5.3) is a hard cut: a candidate at
+τ + ε is a learned specification, one at τ − ε is silently dropped.
+Candidates near the threshold are exactly the ones one more corpus
+round-trip could settle — Bastani et al., *Active Learning of
+Points-To Specifications*, build their whole loop around them.  This
+module finds them.
+
+Two uncertainty signals, both computed from the evidence the pipeline
+already has:
+
+* **band** — the average-top-k score lies within ``band`` of τ.  The
+  closer to τ, the more uncertain.
+* **disagreement** — the learned model's score and the observed
+  event-pair statistics disagree: a near-1.0 score carried by a single
+  match (the model is confident, the corpus barely exercises the
+  idiom), or a pile of matches averaging to a low score.  Support is
+  the squashed match count ``matches / (matches + k)`` — the §7.2
+  match-count scorer — so both quantities live on the same [0, 1)
+  scale.
+
+Band candidates always outrank disagreement-only candidates: moving a
+spec across τ changes the learned set, while firming up a
+high-score/low-support spec only hardens it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional
+
+from repro.specs.candidates import CandidateExtraction
+from repro.specs.patterns import Spec
+from repro.specs.scoring import match_count_score
+from repro.specs.serialize import spec_to_dict
+
+#: half-width of the default uncertainty band around τ
+DEFAULT_BAND = 0.15
+#: |score − support| above which a candidate counts as a disagreement
+DEFAULT_DISAGREEMENT = 0.85
+
+
+@dataclass(frozen=True)
+class AmbiguousCandidate:
+    """One candidate specification worth discriminating evidence."""
+
+    spec: Spec
+    score: float
+    matches: int
+    n_confidences: int
+    #: |score − τ|, the distance to the selection threshold
+    distance: float
+    #: |score − support|, model vs observed event-pair statistics
+    disagreement: float
+    #: ranking weight in [0, 1]; higher = more urgent
+    uncertainty: float
+    #: why this candidate was flagged: "band", "disagreement", or both
+    reason: str
+
+    @property
+    def in_band(self) -> bool:
+        return "band" in self.reason
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "spec": spec_to_dict(self.spec),
+            "score": round(self.score, 6),
+            "matches": self.matches,
+            "n_confidences": self.n_confidences,
+            "distance": round(self.distance, 6),
+            "disagreement": round(self.disagreement, 6),
+            "uncertainty": round(self.uncertainty, 6),
+            "reason": self.reason,
+        }
+
+
+def find_ambiguous(
+    scores: Mapping[Spec, float],
+    extraction: Optional[CandidateExtraction] = None,
+    *,
+    tau: float = 0.6,
+    band: float = DEFAULT_BAND,
+    disagreement_threshold: float = DEFAULT_DISAGREEMENT,
+    support_k: int = 10,
+    limit: Optional[int] = None,
+) -> List[AmbiguousCandidate]:
+    """Rank candidates by how much a discriminating program would help.
+
+    Returns band candidates first (nearest τ first), then
+    disagreement-only candidates (largest split first); ties break on
+    the spec's string form so the ranking is deterministic.  ``limit``
+    truncates after ranking.
+    """
+    if band <= 0.0:
+        raise ValueError(f"band must be positive, got {band}")
+    out: List[AmbiguousCandidate] = []
+    for spec, score in scores.items():
+        stats = extraction.stats.get(spec) if extraction is not None else None
+        matches = stats.matches if stats is not None else 0
+        n_conf = len(stats.confidences) if stats is not None else 0
+        distance = abs(score - tau)
+        support = match_count_score([], matches, scale=float(support_k))
+        disagreement = abs(score - support)
+        in_band = distance <= band
+        disagrees = disagreement >= disagreement_threshold
+        if not in_band and not disagrees:
+            continue
+        # band uncertainty peaks at τ and falls to 0 at the band edge;
+        # disagreement-only uncertainty is scaled into the same [0, 1]
+        u_band = (1.0 - distance / band) if in_band else 0.0
+        u_dis = 0.0
+        if disagrees and disagreement_threshold < 1.0:
+            u_dis = (disagreement - disagreement_threshold) \
+                / (1.0 - disagreement_threshold)
+        reason = "+".join(
+            r for r, hit in (("band", in_band), ("disagreement", disagrees))
+            if hit
+        )
+        out.append(AmbiguousCandidate(
+            spec=spec, score=score, matches=matches, n_confidences=n_conf,
+            distance=distance, disagreement=disagreement,
+            uncertainty=max(u_band, u_dis), reason=reason,
+        ))
+    out.sort(key=lambda c: (not c.in_band, -c.uncertainty, str(c.spec)))
+    return out[:limit] if limit is not None else out

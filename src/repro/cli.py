@@ -23,6 +23,7 @@ setting.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 from typing import List, Optional, Tuple
@@ -238,6 +239,9 @@ def _cmd_learn(args: argparse.Namespace) -> int:
     if args.append and not args.store_dir:
         print("error: --append requires --store-dir", file=sys.stderr)
         return EXIT_ERROR
+    if args.drift_out and not args.store_dir:
+        print("error: --drift-out requires --store-dir", file=sys.stderr)
+        return EXIT_ERROR
     registry = java_registry() if args.language == "java" else python_registry()
     if args.from_dir:
         from repro.corpus import mine_directory
@@ -287,6 +291,18 @@ def _cmd_learn(args: argparse.Namespace) -> int:
         # so --jobs N and --jobs 1 runs write identical files
         run.manifest.write(Path(args.quarantine_out), timings=False)
         print(f"wrote quarantine manifest to {args.quarantine_out}")
+    if args.drift_out and learned.mining is not None:
+        payload = {
+            "format": "uspec-drift",
+            "store_generation": learned.mining.store_generation,
+            "drift": learned.mining.drift,
+        }
+        atomic_write_text(
+            Path(args.drift_out),
+            json.dumps(payload, indent=2, sort_keys=True) + "\n",
+            durable=True,
+        )
+        print(f"wrote drift report to {args.drift_out}")
     if run is not None and programs and run.n_ok == 0:
         print("error: every corpus program was quarantined",
               file=sys.stderr)
@@ -301,6 +317,54 @@ def _cmd_learn(args: argparse.Namespace) -> int:
         print(f"wrote {args.out}")
     else:
         print(text)
+    return EXIT_OK
+
+
+def _cmd_refine(args: argparse.Namespace) -> int:
+    """Closed-loop active learning over a synthetic corpus."""
+    from repro.active import RefineConfig, RefineStateError, RefinementEngine
+
+    registry = java_registry() if args.language == "java" \
+        else python_registry()
+    generator = CorpusGenerator(
+        registry, CorpusConfig(n_files=args.files, seed=args.seed)
+    )
+    print(f"generating {args.files} {args.language} base files "
+          f"(seed {args.seed})...")
+    base = generator.generate()
+    refine_config = RefineConfig(
+        tau=args.tau,
+        band=args.tau_band,
+        max_generations=args.max_generations,
+        synth_budget=args.synth_budget,
+        per_candidate=args.per_candidate,
+        patience=args.patience,
+        seed=args.seed,
+    )
+    engine = RefinementEngine(
+        registry,
+        PipelineConfig(tau=args.tau),
+        MiningConfig(jobs=args.jobs, store_dir=args.store_dir),
+        refine_config,
+        log=print,
+    )
+    try:
+        report = engine.run(base)
+    except RefineStateError as err:
+        print(f"error: {err}", file=sys.stderr)
+        return EXIT_ERROR
+    lift = report.lift()
+    print(f"refinement stopped: {report.stop_reason} after "
+          f"{len(report.generations)} generation(s); "
+          f"{report.n_resolved} candidate(s) resolved, "
+          f"{report.n_synthesized} program(s) synthesized")
+    print(f"  lift vs baseline: precision {lift['precision']:+.4f}, "
+          f"recall {lift['recall']:+.4f}, F1 {lift['f1']:+.4f}")
+    if args.out:
+        atomic_write_text(Path(args.out), report.to_json(), durable=True)
+        print(f"wrote refinement report to {args.out}")
+    else:
+        print(report.to_json(), end="")
     return EXIT_OK
 
 
@@ -647,6 +711,10 @@ def _add_learn_arguments(learn: argparse.ArgumentParser) -> None:
                             "stored statistics for the rest, retrain, "
                             "and report spec drift vs the previous "
                             "generation")
+    learn.add_argument("--drift-out", metavar="PATH",
+                       help="write the spec drift report (gained/lost/"
+                            "score-shifted vs the previous store "
+                            "generation) as JSON; requires --store-dir")
     learn.add_argument("--cache-budget", type=_parse_size, metavar="SIZE",
                        help="evict least-recently-used --cache-dir "
                             "entries until the cache fits SIZE "
@@ -745,6 +813,54 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_learn_arguments(coord)
     coord.set_defaults(func=_cmd_learn, distributed=True)
+
+    refine = sub.add_parser(
+        "refine",
+        help="closed-loop active learning: synthesize discriminating "
+             "programs for near-τ candidates until the uncertainty "
+             "band empties",
+    )
+    refine.add_argument("--language", choices=("java", "python"),
+                        default="java")
+    refine.add_argument("--files", type=int, default=40,
+                        help="base corpus size (default 40)")
+    refine.add_argument("--seed", type=int, default=7,
+                        help="corpus + synthesis seed: fixed seed ⇒ "
+                             "byte-identical programs, specs, and "
+                             "report (default 7)")
+    refine.add_argument("--store-dir", metavar="DIR", required=True,
+                        help="statistics store: every generation is "
+                             "journaled here and refine state is kept "
+                             "under <DIR>/refine, so a killed run "
+                             "resumes without re-synthesizing")
+    refine.add_argument("--tau", type=float, default=0.6,
+                        help="selection threshold (default 0.6)")
+    refine.add_argument("--tau-band", type=float, default=0.15,
+                        metavar="W",
+                        help="half-width of the uncertainty band "
+                             "around τ (default 0.15)")
+    refine.add_argument("--max-generations", type=int, default=4,
+                        metavar="N",
+                        help="refinement generations after the "
+                             "baseline (default 4)")
+    refine.add_argument("--synth-budget", type=int, default=24,
+                        metavar="N",
+                        help="max synthesized programs admitted per "
+                             "generation (default 24)")
+    refine.add_argument("--per-candidate", type=int, default=3,
+                        metavar="N",
+                        help="alias/non-alias program pairs per "
+                             "candidate per generation (default 3)")
+    refine.add_argument("--patience", type=int, default=2, metavar="K",
+                        help="stop after K generations with no "
+                             "resolution and no F1 lift (default 2)")
+    refine.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="mining worker processes (default 1); "
+                             "results byte-identical for any N")
+    refine.add_argument("--out", metavar="PATH",
+                        help="write the RefinementReport JSON here "
+                             "(default: stdout)")
+    refine.set_defaults(func=_cmd_refine)
 
     worker = sub.add_parser(
         "worker",

@@ -31,7 +31,12 @@ from repro.corpus.apis import (
     java_registry,
     python_registry,
 )
-from repro.corpus.generator import CorpusConfig, CorpusGenerator, GeneratedFile
+from repro.corpus.generator import (
+    CorpusConfig,
+    CorpusGenerator,
+    GeneratedFile,
+    derive_rng,
+)
 from repro.corpus.io import (
     BINARY_SUFFIXES,
     DEFAULT_SUFFIXES,
@@ -48,6 +53,7 @@ __all__ = [
     "ContainerRole",
     "CorpusConfig",
     "CorpusGenerator",
+    "derive_rng",
     "FluentRole",
     "GeneratedFile",
     "MiningReport",

@@ -23,6 +23,7 @@ The generator is fully deterministic given a seed.
 
 from __future__ import annotations
 
+import hashlib
 import random
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -43,6 +44,22 @@ from repro.ir.program import Program
 _STR_KEYS = ["cfg", "name", "user", "id", "path", "data", "cache", "token",
              "value", "item", "host", "port"]
 _SECTIONS = ["core", "net", "ui", "db"]
+
+
+def derive_rng(seed: int, *tokens: object) -> random.Random:
+    """A private RNG stream keyed by ``(seed, *tokens)``.
+
+    Callers that emit code concurrently (the active-learning
+    synthesizer runs one emitter per candidate) must not share one
+    sequential ``random.Random`` — interleaved draws would make the
+    output depend on scheduling.  Deriving each stream from a stable
+    hash of its identity tokens makes every stream independent of both
+    the others and the order in which they are consumed.  Python's
+    builtin ``hash()`` is salted per process, so the digest comes from
+    SHA-256 instead.
+    """
+    digest = hashlib.sha256(repr((seed,) + tokens).encode("utf-8")).digest()
+    return random.Random(int.from_bytes(digest[:8], "big"))
 
 
 @dataclass(frozen=True)
@@ -258,6 +275,44 @@ class _JavaGen:
             return False
         return sig.returns in ("java.lang.Object", "?") \
             and sig.returns != vt.fqn
+
+    def load_repeat(self, cls: ApiClassModel, same_key: bool = True) -> None:
+        """Store once, read back twice: the container-side RetSame
+        idiom.  ``same_key=True`` reads the same key both times with
+        consistent use (aliasing path); ``same_key=False`` reads two
+        different keys used differently (the discriminating
+        non-aliasing path)."""
+        role = cls.role
+        assert isinstance(role, ContainerRole)
+        w, rng = self.writer, self.rng
+        vt = self.registry.value_type(rng.choice(cls.value_types))
+        generics = self._generics(cls, vt)
+        recv = self.instance(cls, generics)
+        if recv is None:
+            return
+        self.used_classes.append(cls.fqn)
+        value_expr, setup = self.value_expr(vt)
+        for line in setup:
+            w.emit(line)
+        vvar = w.fresh("v")
+        w.emit(f"{vt.fqn} {vvar} = {value_expr};")
+        key = self.key_literal(role.key_kind)
+        w.emit(f"{recv}.{role.store}({self._store_args(role, key, vvar)});")
+
+        def load(k: str) -> str:
+            expr = f"{recv}.{role.load}({self._load_args(role, k)})"
+            if self._load_needs_cast(cls, vt):
+                expr = f"(({vt.fqn}) {expr})"
+            return expr
+
+        a = w.fresh("a")
+        w.emit(f"{vt.fqn} {a} = {load(key)};")
+        self.consume(a, vt, rng.randrange(1, self.config.max_reuse + 1))
+        self._noise_lines(rng.randrange(0, 2))
+        key2 = key if same_key else self.key_literal(role.key_kind)
+        b = w.fresh("b")
+        w.emit(f"{vt.fqn} {b} = {load(key2)};")
+        self.consume(b, vt, rng.randrange(1, 3))
 
     def reader_repeat(self, cls: ApiClassModel) -> None:
         role = cls.role
@@ -545,6 +600,43 @@ class _PythonGen:
             w.emit(f"{out} = {load}")
             self.consume(out, vt, rng.randrange(1, 3))
 
+    def load_repeat(self, cls: ApiClassModel, same_key: bool = True) -> None:
+        """Store once, read back twice (see the Java twin)."""
+        role = cls.role
+        assert isinstance(role, ContainerRole)
+        w, rng = self.writer, self.rng
+        recv = self.instance(cls)
+        if recv is None:
+            return
+        self.used_classes.append(cls.fqn)
+        vt = self.registry.value_type(rng.choice(cls.value_types))
+        vvar = w.fresh("val")
+        w.emit(f"{vvar} = {self.value_expr(vt)}")
+        keys = [self.key_literal(role.key_kind)
+                for _ in range(role.store_nargs - 1)]
+        if role.subscript:
+            w.emit(f"{recv}[{keys[0]}] = {vvar}")
+        else:
+            args = list(keys)
+            args.insert(role.value_pos - 1, vvar)
+            w.emit(f"{recv}.{role.store}({', '.join(args)})")
+
+        def load(ks: List[str]) -> str:
+            if role.subscript:
+                return f"{recv}[{ks[0]}]"
+            return f"{recv}.{role.load}({', '.join(ks)})"
+
+        a = w.fresh("a")
+        w.emit(f"{a} = {load(keys)}")
+        self.consume(a, vt, rng.randrange(1, self.config.max_reuse + 1))
+        self._noise_lines(rng.randrange(0, 2))
+        keys2 = list(keys)
+        if not same_key:
+            keys2[0] = self.key_literal(role.key_kind)
+        b = w.fresh("b")
+        w.emit(f"{b} = {load(keys2)}")
+        self.consume(b, vt, rng.randrange(1, 3))
+
     def reader_repeat(self, cls: ApiClassModel) -> None:
         role = cls.role
         assert isinstance(role, ReaderRole)
@@ -695,6 +787,18 @@ class CorpusGenerator:
     def generate(self) -> List[GeneratedFile]:
         rng = random.Random(self.config.seed)
         return [self.generate_file(i, rng) for i in range(self.config.n_files)]
+
+    def generate_one(self, index: int) -> GeneratedFile:
+        """Generate file ``index`` from its own derived RNG stream.
+
+        Unlike :meth:`generate` — whose shared sequential RNG makes
+        each file depend on every earlier draw — the stream here is
+        keyed only by ``(seed, index)``, so files can be produced in
+        any order (or concurrently) with identical bytes.
+        """
+        return self.generate_file(
+            index, derive_rng(self.config.seed, "file", index)
+        )
 
     # ------------------------------------------------------------------
 

@@ -324,6 +324,112 @@ def test_generation_drift_reports_gained_lost_shifted(tmp_path):
 
 
 # ----------------------------------------------------------------------
+# long histories: many generations with interleaved compactions
+
+
+def _generation_specs(g):
+    """A rotating spec set whose scores shift every generation."""
+    specs = [RetSame(f"C{(g + i) % 5}.load") for i in range(3)]
+    scores = {s: round(0.5 + ((g + i) % 10) / 20, 6)
+              for i, s in enumerate(specs)}
+    return SpecSet(specs), scores
+
+
+def _grow_history(store, n, compact_every=None):
+    for g in range(n):
+        store.put_program(_program(g, (g,)))
+        drift = store.record_generation(*_generation_specs(g))
+        assert drift.generation == store.generation
+        if compact_every and (g + 1) % compact_every == 0:
+            store.compact()
+
+
+def test_long_history_replay_is_idempotent(tmp_path):
+    with StatsStore(tmp_path, "e" * 64) as store:
+        _grow_history(store, 60, compact_every=7)
+        generation = store.generation
+        last_drift = store.record_generation(*_generation_specs(59))
+
+    def state_of(s):
+        return (len(s), s.generation,
+                sorted(s.programs),
+                {fp: s.get(fp).samples for fp in s.programs})
+
+    reopened = StatsStore(tmp_path, "e" * 64)
+    assert reopened.recovery.clean
+    assert reopened.generation == generation + 1
+    first_state = state_of(reopened)
+    # replaying the same final specs produces zero drift: the recorded
+    # baseline survived 60 generations and 8 compactions
+    replay = reopened.record_generation(*_generation_specs(59))
+    assert not replay.changed
+    assert replay.n_unchanged == last_drift.n_unchanged \
+        + len(last_drift.gained) + len(last_drift.shifted)
+    reopened.compact()
+    reopened.close()
+    # a compaction right after recovery changes nothing observable
+    again = StatsStore(tmp_path, "e" * 64)
+    assert state_of(again)[0:2] == (first_state[0], first_state[1] + 1)
+    assert state_of(again)[2:] == first_state[2:]
+    again.close()
+
+
+def test_long_history_journal_stays_bounded(tmp_path):
+    # auto-compaction keeps the journal near the configured budget no
+    # matter how many generations accumulate
+    budget = 16 << 10
+    store = StatsStore(tmp_path, "e" * 64, compact_bytes=budget)
+    high_water = 0
+    for g in range(50):
+        store.put_program(_program(g, tuple(range(g % 7))))
+        store.record_generation(*_generation_specs(g))
+        store.maybe_compact()
+        high_water = max(high_water, store.journal_bytes)
+    # one generation's worth of slack above the budget, not unbounded
+    assert high_water < budget + (8 << 10)
+    assert (store.directory / SNAPSHOT_NAME).exists()
+    store.close()
+    reopened = StatsStore(tmp_path, "e" * 64)
+    assert len(reopened) == 50 and reopened.generation == 50
+    reopened.close()
+
+
+@pytest.mark.parametrize("spec", [
+    "write:" + SNAPSHOT_NAME + ":64",
+    "pre-fsync:" + SNAPSHOT_NAME,
+    "pre-rename:" + SNAPSHOT_NAME,
+    "post-rename:" + SNAPSHOT_NAME,
+])
+def test_mid_compaction_crash_loses_no_generation(tmp_path, spec):
+    store = StatsStore(tmp_path, "e" * 64)
+    _grow_history(store, 52, compact_every=13)
+    expected_programs = sorted(store.programs)
+    expected_generation = store.generation
+
+    install_crash_plan(CrashPlan.parse(spec))
+    with pytest.raises(SimulatedCrash):
+        store.compact()
+    install_crash_plan(None)
+    store.close()
+
+    reopened = StatsStore(tmp_path, "e" * 64)
+    assert sorted(reopened.programs) == expected_programs
+    assert reopened.generation == expected_generation
+    # the drift baseline survived too: replaying the last generation's
+    # specs reports zero change
+    assert not reopened.record_generation(*_generation_specs(51)).changed
+    # and the store still accepts new generations cleanly
+    drift = reopened.record_generation(*_generation_specs(52))
+    assert drift.generation == expected_generation + 2
+    reopened.compact()
+    reopened.close()
+    final = StatsStore(tmp_path, "e" * 64)
+    assert final.generation == expected_generation + 2
+    assert len(final) == 52
+    final.close()
+
+
+# ----------------------------------------------------------------------
 # cache integrity (CRC trailer)
 
 
