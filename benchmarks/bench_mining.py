@@ -8,11 +8,13 @@ everything in ``BENCH_mining.json`` at the repository root.
 Two caveats are recorded rather than papered over:
 
 * parallel speedup is bounded by the machine: on a single-core
-  container the 4-worker run is *slower* than sequential (pool +
-  pickling overhead with zero extra compute), so the speedup assertion
-  only applies when the host actually has ≥4 CPUs.  ``cpu_count`` is
-  part of the JSON record so downstream readers can interpret the
-  numbers;
+  container the 4-worker run cannot beat sequential by much, so the
+  *default* ≥2× speedup assertion only applies when the host actually
+  has ≥4 CPUs.  ``cpu_count`` is part of the JSON record so
+  downstream readers can interpret the numbers.  Under
+  ``--assert-floors`` the configured parallel floor is gated
+  *unconditionally* — the CI floor of 0.9 says "dispatch overhead is
+  bounded even with zero extra compute", which must hold on any box;
 * what must hold on *any* machine — and is asserted unconditionally —
   is that worker count never changes the learned specifications, and
   that a warm cache eliminates re-analysis entirely.
@@ -20,6 +22,7 @@ Two caveats are recorded rather than papered over:
 
 from __future__ import annotations
 
+import gc
 import json
 import os
 import time
@@ -126,9 +129,18 @@ def _mine(programs, jobs, cache_dir=None, resident=True):
     engine = MiningEngine(mining=MiningConfig(
         jobs=jobs, cache_dir=str(cache_dir) if cache_dir else None,
         resident=resident))
-    start = time.perf_counter()
-    learned = engine.learn(programs)
-    elapsed = time.perf_counter() - start
+    # benchmark hygiene: everything retained by earlier runs (specs,
+    # reports, the corpus) would otherwise be re-scanned by every gen-2
+    # collection *inside* the timed region, so later configurations
+    # measure slower than earlier ones on identical work
+    gc.collect()
+    gc.freeze()
+    try:
+        start = time.perf_counter()
+        learned = engine.learn(programs)
+        elapsed = time.perf_counter() - start
+    finally:
+        gc.unfreeze()
     return learned, elapsed
 
 
@@ -150,9 +162,14 @@ def _mine_distributed(programs, n_workers):
         thread.start()
     try:
         engine = MiningEngine(mining=MiningConfig(), coordinator=coordinator)
-        start = time.perf_counter()
-        learned = engine.learn(programs)
-        elapsed = time.perf_counter() - start
+        gc.collect()
+        gc.freeze()
+        try:
+            start = time.perf_counter()
+            learned = engine.learn(programs)
+            elapsed = time.perf_counter() - start
+        finally:
+            gc.unfreeze()
     finally:
         coordinator.close()
         for thread in workers:
@@ -167,8 +184,18 @@ def test_mining_throughput(benchmark, tmp_path, floors):
 
     def measure():
         runs = {}
-        for jobs in (1, 2, 4):
+        # the parallel floor gates the jobs1/jobs4 *ratio*, where one
+        # scheduler hiccup on either side swamps the pool overhead
+        # being measured; the workload is deterministic, so interleave
+        # the two gated configurations (any slow drift of the host hits
+        # both) and keep each one's best of two runs
+        best = {}
+        for jobs in (1, 4, 1, 4):
             learned, elapsed = _mine(programs, jobs)
+            if jobs not in best or elapsed < best[jobs][1]:
+                best[jobs] = (learned, elapsed)
+        best[2] = _mine(programs, 2)
+        for jobs, (learned, elapsed) in sorted(best.items()):
             runs[jobs] = {
                 "seconds": elapsed,
                 "specs": specs_to_json(learned.specs, learned.scores),
@@ -286,6 +313,10 @@ def test_mining_throughput(benchmark, tmp_path, floors):
     # the cache can only pay for the analyze phase; training and
     # extraction are per-run, so assert the phase, not total wall-clock
     assert runs["warm_cache"]["mining"]["cache_hit_rate"] == 1.0
+    # a fully-cached run takes the samples-sidecar path: no bundle is
+    # unpickled, re-packed, or shipped anywhere on the warm path
+    assert runs["warm_cache"]["mining"]["n_bundles_shipped"] == 0
+    assert runs["warm_cache"]["mining"]["n_sample_hits"] == N_FILES
     # parallel speedup needs parallel hardware; on fewer cores the
     # jobs4 number measures pool overhead, not the engine
     if cpu_count >= 4:
@@ -294,14 +325,20 @@ def test_mining_throughput(benchmark, tmp_path, floors):
         assert record["speedup_jobs2"] >= 1.2
 
     # opt-in floors (--assert-floors): gate on the configured minimums
+    # on every machine — a slow runner loosens a floor explicitly via
+    # the command line or env, never by silently skipping the gate
     if floors.enabled:
         assert record["warm_cache_speedup"] >= floors.warm_cache_speedup, (
             f"warm cache speedup {record['warm_cache_speedup']}× below "
             f"floor {floors.warm_cache_speedup}×")
-        if cpu_count >= 4:
-            assert record["speedup_jobs4"] >= floors.parallel_speedup, (
-                f"parallel speedup {record['speedup_jobs4']}× below "
-                f"floor {floors.parallel_speedup}×")
+        assert record["speedup_jobs4"] >= floors.parallel_speedup, (
+            f"parallel speedup {record['speedup_jobs4']}× below "
+            f"floor {floors.parallel_speedup}×")
+        assert (record["seconds_extract_resident"]
+                <= record["seconds_extract_resident_off"] * 1.05), (
+            f"resident extract {record['seconds_extract_resident']}s "
+            f"slower than cache-only "
+            f"{record['seconds_extract_resident_off']}s")
 
 
 # ----------------------------------------------------------------------

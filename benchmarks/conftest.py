@@ -48,14 +48,15 @@ def pytest_addoption(parser):
         "--assert-floors", action="store_true", default=False,
         help="fail benchmarks whose ratios miss the configured floors")
     group.addoption(
-        "--floor-warm-cache-speedup", type=float, default=2.0,
+        "--floor-warm-cache-speedup", type=float, default=1.05,
         metavar="RATIO",
-        help="minimum cold/warm wall-clock ratio (default: 2.0)")
+        help="minimum cold/warm wall-clock ratio (default: 1.05)")
     group.addoption(
-        "--floor-parallel-speedup", type=float, default=1.5,
+        "--floor-parallel-speedup", type=float, default=0.9,
         metavar="RATIO",
-        help="minimum sequential/jobs4 wall-clock ratio; only gated "
-             "on hosts with >= 4 CPUs (default: 1.5)")
+        help="minimum sequential/jobs4 wall-clock ratio, gated on "
+             "every host — below 1.0 it bounds dispatch overhead "
+             "rather than demanding parallel hardware (default: 0.9)")
     group.addoption(
         "--floor-refine-resolved", type=float, default=1.0,
         metavar="N",

@@ -155,7 +155,8 @@ def _make_coordinator(args: argparse.Namespace):
 
 
 def _print_mining(mining) -> None:
-    hit = f"{100.0 * mining.cache_hit_rate:.0f}%"
+    rate = mining.cache_hit_rate
+    hit = "n/a: ephemeral cache" if rate is None else f"{100.0 * rate:.0f}%"
     print(f"mining: {mining.n_programs} programs / {mining.n_shards} "
           f"shard(s) / {mining.jobs} job(s) in {mining.seconds_total:.2f}s "
           f"({mining.programs_per_second:.1f} programs/s)")
@@ -269,10 +270,24 @@ def _cmd_learn(args: argparse.Namespace) -> int:
           "selection)...")
     config = PipelineConfig(runtime=_runtime_config(args))
     coordinator = _make_coordinator(args) if args.distributed else None
+    profiler = None
+    if getattr(args, "profile_out", None):
+        import cProfile
+
+        profiler = cProfile.Profile()
     try:
-        learned = MiningEngine(
-            config, _mining_config(args), coordinator
-        ).learn(programs)
+        engine = MiningEngine(config, _mining_config(args), coordinator)
+        if profiler is not None:
+            profiler.enable()
+            try:
+                learned = engine.learn(programs)
+            finally:
+                profiler.disable()
+                profiler.dump_stats(args.profile_out)
+                print(f"profile written to {args.profile_out} "
+                      f"(inspect with: python -m pstats {args.profile_out})")
+        else:
+            learned = engine.learn(programs)
     finally:
         if coordinator is not None:
             coordinator.close()
@@ -667,6 +682,12 @@ def _add_learn_arguments(learn: argparse.ArgumentParser) -> None:
     learn.add_argument("--quarantine-out", metavar="PATH",
                        help="write the quarantine manifest (JSON) of "
                             "programs that failed every analysis tier")
+    learn.add_argument("--profile-out", metavar="PATH",
+                       help="profile the learn pipeline with cProfile "
+                            "and dump the stats here (inspect with "
+                            "python -m pstats); covers the coordinator "
+                            "process only — worker time shows up as "
+                            "pipe waits")
     learn.add_argument("--strict", action="store_true",
                        help="fail fast on the first per-program failure "
                             "instead of degrading and quarantining "

@@ -40,7 +40,7 @@ import struct
 import zlib
 from dataclasses import dataclass, replace
 from pathlib import Path
-from typing import FrozenSet, List, Optional, Sequence, Tuple
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 
 from repro.ir.printer import format_program
 from repro.ir.program import Program
@@ -54,6 +54,10 @@ CACHE_SCHEMA = 2
 
 BUNDLE_SUFFIX = ".bundle.pkl"
 QUARANTINE_SUFFIX = ".quarantine.json"
+#: sidecar of already-encoded training samples next to a bundle entry:
+#: a warm re-run absorbs a program's statistics from it without
+#: unpickling the bundle or re-running sampling/feature hashing
+SAMPLES_SUFFIX = ".samples.pkl"
 
 # trailer appended to every bundle entry: magic + crc32(payload)
 TRAILER_MAGIC = b"USPC"
@@ -102,6 +106,22 @@ class CacheHit:
 
     bundle: Optional[GraphBundle] = None
     entry: Optional[QuarantineEntry] = None
+
+
+@dataclass(frozen=True)
+class CachedSamples:
+    """One program's sample sidecar: encoded samples + graph counts.
+
+    Everything the analyze phase needs from a warm program *except*
+    the bundle itself (which only the extract phase reads, straight
+    from its own cache entry).  Samples are position-independent only
+    for source-named programs (``bundle_seed`` keys on the source), so
+    sidecars exist only for those.
+    """
+
+    samples: Tuple
+    n_events: int
+    n_edges: int
 
 
 class CacheEntryVanished(RuntimeError):
@@ -179,10 +199,83 @@ class AnalysisCache:
     def load_bundle_by_key(self, cache_key: str) -> Optional[GraphBundle]:
         return self._load_bundle(self.directory / f"{cache_key}{BUNDLE_SUFFIX}")
 
+    def load_bundle_payload(self, cache_key: str) -> Optional[bytes]:
+        """The CRC-verified raw pickle bytes of a bundle entry.
+
+        For forwarding a cached bundle verbatim (the extract healer's
+        shipment): the caller gets exactly the bytes ``store_bundle``
+        pickled, integrity-checked but *not* unpickled, so shipping
+        skips the decode→re-encode round trip.  None on miss/damage
+        (damage is quarantined like any other read).
+        """
+        return self._read_verified(
+            self.directory / f"{cache_key}{BUNDLE_SUFFIX}"
+        )
+
     def has_bundle(self, program_fp: str) -> bool:
         """Whether a bundle entry exists on disk (one stat, no load)."""
         cache_key = self.key_of(program_fp)
         return (self.directory / f"{cache_key}{BUNDLE_SUFFIX}").exists()
+
+    def verify_bundle(self, program_fp: str) -> bool:
+        """Whether a bundle entry is present *and* passes its CRC.
+
+        The warm analyze fast path takes a program's statistics from
+        the samples sidecar without unpickling the bundle — but the
+        extract phase will still need that bundle, so damage must be
+        detected (and the entry quarantined, forcing re-analysis) here,
+        not deferred to a mid-extract healing round trip.  One read +
+        crc32, no object construction.
+        """
+        cache_key = self.key_of(program_fp)
+        return self._read_verified(
+            self.directory / f"{cache_key}{BUNDLE_SUFFIX}"
+        ) is not None
+
+    # ------------------------------------------------------------------
+    # sample sidecars (the warm analyze fast path)
+
+    def store_samples(
+        self, program_fp: str, samples: Sequence, n_events: int,
+        n_edges: int,
+    ) -> str:
+        """Persist one program's encoded samples next to its bundle."""
+        cache_key = self.key_of(program_fp)
+        payload = pickle.dumps(
+            (tuple(samples), int(n_events), int(n_edges)),
+            protocol=pickle.HIGHEST_PROTOCOL,
+        )
+        payload += _TRAILER.pack(TRAILER_MAGIC, zlib.crc32(payload)
+                                 & 0xFFFFFFFF)
+        atomic_write_bytes(
+            self.directory / f"{cache_key}{SAMPLES_SUFFIX}", payload
+        )
+        return cache_key
+
+    def load_samples(self, program_fp: str) -> Optional[CachedSamples]:
+        """One program's sample sidecar, or None (miss/damage).
+
+        A hit refreshes the recency of the sidecar *and* its bundle:
+        the warm path never opens the bundle during analyze, but the
+        extract phase still needs it, so both must survive LRU sweeps
+        together.
+        """
+        cache_key = self.key_of(program_fp)
+        path = self.directory / f"{cache_key}{SAMPLES_SUFFIX}"
+        payload = self._read_verified(path)
+        if payload is None:
+            return None
+        try:
+            samples, n_events, n_edges = pickle.loads(payload)
+        except Exception:
+            self._quarantine_corrupt(path)
+            return None
+        if not isinstance(samples, tuple):
+            self._quarantine_corrupt(path)
+            return None
+        self._touch(path)
+        self._touch(self.directory / f"{cache_key}{BUNDLE_SUFFIX}")
+        return CachedSamples(samples, n_events, n_edges)
 
     # ------------------------------------------------------------------
 
@@ -210,7 +303,8 @@ class AnalysisCache:
 
     def _entry_files(self) -> List[Path]:
         return [
-            p for suffix in (BUNDLE_SUFFIX, QUARANTINE_SUFFIX)
+            p for suffix in (BUNDLE_SUFFIX, QUARANTINE_SUFFIX,
+                             SAMPLES_SUFFIX)
             for p in self.directory.glob(f"*{suffix}")
         ]
 
@@ -250,37 +344,51 @@ class AnalysisCache:
         """Delete least-recently-used entries until the cache fits.
 
         Recency is entry mtime — refreshed on every lookup hit, so a
-        warm working set survives and cold entries go first.  Entries
-        whose cache key is pinned (``pinned`` argument or :meth:`pin`)
-        are skipped even if the budget is still exceeded — an in-flight
-        run's working set outranks the byte budget, which is restored
-        by the unpinned sweep at the end of the run.  Returns the
-        number of entries evicted.  Concurrent misses of unlinked
-        files degrade to recomputes, never errors.
+        warm working set survives and cold entries go first.  An entry
+        is every file sharing one cache key (bundle plus its samples
+        sidecar): they are touched together, evicted together, and
+        counted once — a sidecar without its bundle (or vice versa) is
+        dead weight.  Entries whose cache key is pinned (``pinned``
+        argument or :meth:`pin`) are skipped even if the budget is
+        still exceeded — an in-flight run's working set outranks the
+        byte budget, which is restored by the unpinned sweep at the end
+        of the run.  Returns the number of entries evicted.  Concurrent
+        misses of unlinked files degrade to recomputes, never errors.
         """
         protected = self._pinned | set(pinned)
-        entries: List[Tuple[float, str, int, Path]] = []
+        grouped: Dict[str, List[Tuple[float, int, Path]]] = {}
         for path in self._entry_files():
             try:
                 stat = path.stat()
             except OSError:
                 continue
-            # name tiebreak: deterministic order when mtimes collide
-            entries.append((stat.st_mtime, path.name, stat.st_size, path))
-        total = sum(size for _, _, size, _ in entries)
+            grouped.setdefault(path.name.split(".", 1)[0], []).append(
+                (stat.st_mtime, stat.st_size, path)
+            )
+        # key tiebreak: deterministic order when entry mtimes collide
+        entries = sorted(
+            (max(m for m, _, _ in files), key, files)
+            for key, files in grouped.items()
+        )
+        total = sum(
+            size for _, _, files in entries for _, size, _ in files
+        )
         evicted = 0
-        for _, name, size, path in sorted(entries):
+        for _, cache_key, files in entries:
             if total <= max_bytes:
                 break
-            cache_key = name.split(".", 1)[0]
             if cache_key in protected:
                 continue
-            try:
-                path.unlink()
-            except OSError:
-                continue
-            total -= size
-            evicted += 1
+            removed = False
+            for _, size, path in files:
+                try:
+                    path.unlink()
+                except OSError:
+                    continue
+                total -= size
+                removed = True
+            if removed:
+                evicted += 1
         return evicted
 
     def _touch(self, path: Path) -> None:
@@ -312,15 +420,16 @@ class AnalysisCache:
         except OSError:
             pass
 
-    def _load_bundle(self, path: Path) -> Optional[GraphBundle]:
-        """Load + integrity-check one bundle entry.
+    def _read_verified(self, path: Path) -> Optional[bytes]:
+        """Read one CRC-trailed entry; its payload bytes, or None.
 
-        The CRC trailer is verified before unpickling, so a truncated
-        or bit-flipped entry is detected up front instead of surfacing
-        as an arbitrary unpickle exception (or worse, a silently wrong
-        object).  Damage of any kind is treated as a miss: the entry is
-        deleted, counted in :attr:`n_corrupt`, and the caller
-        re-analyses.  Only the file being absent is a plain miss.
+        The CRC trailer is verified before the payload is handed out,
+        so a truncated or bit-flipped entry is detected up front
+        instead of surfacing as an arbitrary unpickle exception (or
+        worse, a silently wrong object).  Damage of any kind is
+        treated as a miss: the entry is deleted, counted in
+        :attr:`n_corrupt`, and the caller recomputes.  Only the file
+        being absent is a plain miss.
         """
         try:
             data = path.read_bytes()
@@ -336,6 +445,13 @@ class AnalysisCache:
         if magic != TRAILER_MAGIC or crc != (zlib.crc32(payload)
                                              & 0xFFFFFFFF):
             self._quarantine_corrupt(path)
+            return None
+        return payload
+
+    def _load_bundle(self, path: Path) -> Optional[GraphBundle]:
+        """Load + integrity-check one bundle entry (see _read_verified)."""
+        payload = self._read_verified(path)
+        if payload is None:
             return None
         try:
             bundle = pickle.loads(payload)

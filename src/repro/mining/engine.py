@@ -44,10 +44,14 @@ codes 3/4 survive parallelism and supervision).
 
 from __future__ import annotations
 
+import hashlib
 import multiprocessing
+import os
+import pickle
 import shutil
 import tempfile
 import time
+import zlib
 from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import (
@@ -74,7 +78,7 @@ from repro.model.model import (
     member_configs,
     train_members,
 )
-from repro.runtime.checkpoint import program_key
+from repro.runtime.checkpoint import atomic_write_bytes, program_key
 from repro.runtime.errors import WorkerCrash
 from repro.runtime.executor import (
     CorpusExecutor,
@@ -221,6 +225,9 @@ class AnalyzeTask:
     chaos: Optional[ChaosPlan] = None
     #: publish analysed bundles into the worker's residency registry
     resident: bool = False
+    #: the cache dir is a run-private spill that dies with the run —
+    #: skip warm-run accelerators (sample sidecars) nothing will read
+    ephemeral: bool = False
 
 
 @dataclass(frozen=True)
@@ -232,7 +239,13 @@ class ExtractTask:
     fingerprint: str
     shard_id: int
     refs: Tuple[Tuple[str, Optional[str]], ...]
-    model: EventPairModel
+    #: the broadcast model, inline (distributed runs) — or None with
+    #: ``model_ref`` set (local runs), so N shard tasks do not ship N
+    #: copies of the same multi-megabyte pickle through the pipes
+    model: Optional[EventPairModel]
+    #: ``(path, digest)`` of the model pickle written once to the cache
+    #: dir; workers memoise the loaded model per digest
+    model_ref: Optional[Tuple[str, str]] = None
     #: label of the worker whose residency holds this shard's bundles
     #: (a scheduling hint — any worker can run the task via the cache)
     affinity: Optional[str] = None
@@ -256,6 +269,7 @@ def _analyze_shard(
     bundle_sink: Optional[Dict[str, GraphBundle]] = None,
     before=None,
     residency: Optional[BundleResidency] = None,
+    ephemeral: bool = False,
 ) -> ShardPartial:
     """Analyse one shard: cache lookups, then the executor over misses.
 
@@ -274,9 +288,14 @@ def _analyze_shard(
     partial = ShardPartial.empty(shard_id)
     metrics = partial.metrics[0]
     group = residency_group(fingerprint, shard_id)
+    # an ephemeral spill with residency keeps bundles in worker memory:
+    # writing each one to disk up front is wasted work on the happy
+    # path, so bundles spill lazily (on capacity eviction) and a worker
+    # crash falls back to the healer's re-analysis repair
+    lazy_spill = ephemeral and residency is not None
 
     def absorb(index: int, key: str, bundle: GraphBundle,
-               cache_key: Optional[str]) -> None:
+               cache_key: Optional[str], fp: Optional[str]) -> None:
         samples = collect_bundle_samples(
             bundle,
             config.feature,
@@ -284,10 +303,11 @@ def _analyze_shard(
             config.negative_ratio,
             bundle_seed(config.seed, bundle.program.source, index),
         )
-        partial.stats.add(key, [
+        encoded = [
             encode_sample(s.feature, s.label, config.feature)
             for s in samples
-        ])
+        ]
+        partial.stats.add(key, encoded)
         partial.bundle_refs.append((key, cache_key))
         partial.program_meta[key] = (
             len(bundle.graph.events), bundle.graph.edge_count
@@ -295,14 +315,51 @@ def _analyze_shard(
         metrics.n_samples += len(samples)
         metrics.n_events += len(bundle.graph.events)
         metrics.n_edges += bundle.graph.edge_count
+        if (cache is not None and fp is not None and not ephemeral
+                and bundle.program.source is not None):
+            # sidecar the encoded samples so the next warm run absorbs
+            # them without reloading the bundle or re-encoding
+            # (source-less programs are skipped: their sample seed is
+            # positional, so the sidecar would not survive reordering;
+            # ephemeral spill dirs are skipped: there is no next run)
+            cache.store_samples(
+                fp, encoded, len(bundle.graph.events),
+                bundle.graph.edge_count,
+            )
         if bundle_sink is not None:
             bundle_sink[key] = bundle
         if residency is not None:
-            residency.publish(group, key, bundle)
+            for _, evicted in residency.publish(group, key, bundle):
+                if lazy_spill and cache is not None:
+                    # a capacity-evicted bundle leaves memory before
+                    # extraction consumed it: demote it to the spill
+                    # cache so the extract phase can still reload it
+                    cache.store_bundle(
+                        program_fingerprint(evicted.program), evicted
+                    )
 
     pending: List[Tuple[int, str, Program, Optional[str]]] = []
     for index, key, program in items:
         fp = program_fingerprint(program) if cache is not None else None
+        if (cache is not None and program.source is not None):
+            side = cache.load_samples(fp)
+            if side is not None and cache.verify_bundle(fp):
+                # fully warm: statistics come straight from the
+                # sidecar — no bundle unpickle, no sampling, no
+                # feature hashing, no residency publish (the extract
+                # phase reads the bundle from its cache entry)
+                partial.outcomes.append(ProgramOutcome(
+                    key=key, source=program.source, tier=TIER_CACHE,
+                    cached=True,
+                ))
+                partial.stats.add(key, list(side.samples))
+                partial.bundle_refs.append((key, cache.key_of(fp)))
+                partial.program_meta[key] = (side.n_events, side.n_edges)
+                metrics.n_samples += len(side.samples)
+                metrics.n_events += side.n_events
+                metrics.n_edges += side.n_edges
+                metrics.n_sample_hits += 1
+                continue
         hit = cache.lookup(fp, key) if cache is not None else None
         if hit is None:
             pending.append((index, key, program, fp))
@@ -312,7 +369,7 @@ def _analyze_shard(
                 key=key, source=program.source, tier=TIER_CACHE, cached=True,
             ))
             absorb(index, key, hit.bundle,
-                   cache.key_of(fp) if fp is not None else None)
+                   cache.key_of(fp) if fp is not None else None, fp)
         else:
             partial.outcomes.append(ProgramOutcome(
                 key=key, source=program.source, cached=True,
@@ -332,11 +389,13 @@ def _analyze_shard(
         def sink(outcome, bundle, entry) -> None:
             index, fp = by_key[outcome.key]
             if bundle is not None:
-                cache_key = (
-                    cache.store_bundle(fp, bundle) if cache is not None
-                    else None
-                )
-                absorb(index, outcome.key, bundle, cache_key)
+                if cache is None:
+                    cache_key = None
+                elif lazy_spill:
+                    cache_key = cache.key_of(fp)
+                else:
+                    cache_key = cache.store_bundle(fp, bundle)
+                absorb(index, outcome.key, bundle, cache_key, fp)
             elif entry is not None and cache is not None:
                 cache.store_quarantine(fp, entry)
             if not outcome.resumed:
@@ -458,7 +517,52 @@ def _supervised_analyze(payload: AnalyzeTask, attempt: int) -> ShardPartial:
         payload.config, payload.shard_id, payload.items,
         payload.cache_dir, payload.fingerprint, before=before,
         residency=process_residency() if payload.resident else None,
+        ephemeral=payload.ephemeral,
     )
+
+
+class ModelRefVanished(RuntimeError):
+    """A worker could not load the broadcast model file.
+
+    Raised by :func:`_resolve_model` when the ``model_ref`` path is
+    unreadable or fails its digest check (a concurrent run sharing the
+    cache dir replaced it, an eviction raced the read).  Healable: the
+    scheduler's healer re-attaches the model inline and requeues.
+    """
+
+    def __init__(self, detail: str) -> None:
+        self.detail = detail
+        super().__init__(detail)
+
+    def __reduce__(self):
+        return (type(self), (self.detail,))
+
+
+#: per-process memo of the broadcast model, keyed by digest; one entry
+#: only — a worker serves one run (and so one model) at a time
+_MODEL_MEMO: Dict[str, EventPairModel] = {}
+
+
+def _resolve_model(payload: ExtractTask) -> EventPairModel:
+    """The payload's model: inline, memoised, or loaded from its ref."""
+    if payload.model is not None:
+        return payload.model
+    path, digest = payload.model_ref
+    model = _MODEL_MEMO.get(digest)
+    if model is not None:
+        return model
+    try:
+        raw = Path(path).read_bytes()
+    except OSError as err:
+        raise ModelRefVanished(f"model broadcast {path}: {err}")
+    if hashlib.sha256(raw).hexdigest()[:16] != digest:
+        raise ModelRefVanished(f"model broadcast {path}: digest mismatch")
+    model = pickle.loads(raw)
+    if not isinstance(model, EventPairModel):
+        raise ModelRefVanished(f"model broadcast {path}: wrong type")
+    _MODEL_MEMO.clear()
+    _MODEL_MEMO[digest] = model
+    return model
 
 
 def _supervised_extract(
@@ -469,7 +573,8 @@ def _supervised_extract(
         if payload.chaos is not None else None
     )
     return _extract_shard(
-        payload.config, payload.shard_id, payload.refs, payload.model,
+        payload.config, payload.shard_id, payload.refs,
+        _resolve_model(payload),
         payload.cache_dir, payload.fingerprint,
         residency=process_residency() if payload.resident else None,
         shipped=unpack_shipment(payload.shipped) if payload.shipped
@@ -620,11 +725,30 @@ class MiningEngine:
             )
             supervisor = self.coordinator
         elif supervised:
+            # coalescing floor: pack small shard tasks until one frame
+            # carries ~a worker's fair share of the corpus, so dispatch
+            # round trips scale with jobs, not shards.  Chaos runs keep
+            # one task per frame — fault injection (and the tests
+            # asserting its exact attempt counts) target single tasks.
+            batch = 0
+            if self.mining.supervision.chaos is None:
+                batch = max(1, -(-len(programs) // jobs))
+            # the pool never oversubscribes the host: extra CPU-bound
+            # workers on a smaller machine only add fork, broadcast and
+            # timeshare overhead.  Shard count (and therefore results)
+            # still follows --jobs — specs are byte-identical for any
+            # worker count by construction.  Chaos runs keep the full
+            # pool: fault injection targets the requested worker
+            # topology (kill one worker, lose one worker's tasks).
+            pool_jobs = max(1, min(jobs, os.cpu_count() or jobs))
+            if self.mining.supervision.chaos is not None:
+                pool_jobs = jobs
             supervisor = ShardSupervisor(
-                self.mining.resolve_context(), jobs,
+                self.mining.resolve_context(), pool_jobs,
                 self.mining.supervision,
                 strict=self.config.runtime.strict,
                 ledger=ledger,
+                batch_programs=batch,
             )
         units: List[Unit] = [
             (index, program_key(program, index), program)
@@ -701,7 +825,8 @@ class MiningEngine:
                     "analyze",
                     [(sid, AnalyzeTask(self.config, cache_dir,
                                        fingerprint, sid, tuple(items),
-                                       chaos, resident))
+                                       chaos, resident,
+                                       ephemeral=spill is not None))
                      for sid, items in tasks],
                     runner=_supervised_analyze,
                     splitter=_split_analyze,
@@ -760,16 +885,63 @@ class MiningEngine:
                 for sid, refs in sorted(refs_by_shard.items())
                 if refs
             ]
+            model_ref: Optional[Tuple[str, str]] = None
+            model_broadcast_bytes = 0
+            if supervisor is not None and not distributed and cache_dir:
+                # broadcast the model by reference: one pickle on disk
+                # instead of a copy of the model in every task frame
+                # (remote daemons keep the inline copy — they may not
+                # share a filesystem with the coordinator).  Extraction
+                # only scores, so the broadcast drops the optimiser
+                # state — half the bytes to hash, write and unpickle.
+                raw_model = pickle.dumps(
+                    model.scoring_clone(),
+                    protocol=pickle.HIGHEST_PROTOCOL,
+                )
+                digest = hashlib.sha256(raw_model).hexdigest()[:16]
+                model_path = Path(cache_dir) / f"model-{digest}.pkl"
+                if not model_path.exists():
+                    atomic_write_bytes(model_path, raw_model)
+                for stale in Path(cache_dir).glob("model-*.pkl"):
+                    if stale.name != model_path.name:
+                        try:
+                            stale.unlink()
+                        except OSError:
+                            pass
+                model_broadcast_bytes = len(raw_model)
+                model_ref = (str(model_path), digest)
             if supervisor is not None:
-                results = supervisor.run_phase(
-                    "extract",
-                    [(sid, ExtractTask(
+                healer = self._heal_extract(
+                    cache_dir, fingerprint, unit_programs, heal_counts,
+                    model=model,
+                )
+                payloads = []
+                for sid, refs in extract_tasks:
+                    payload = ExtractTask(
                         self.config, cache_dir, fingerprint, sid,
-                        tuple(refs), model,
+                        tuple(refs),
+                        model=None if model_ref is not None else model,
+                        model_ref=model_ref,
                         affinity=supervisor.owner_of(sid),
                         resident=resident, chaos=chaos,
-                    ))
-                     for sid, refs in extract_tasks],
+                    )
+                    if (spill is not None and resident
+                            and not supervisor.owner_alive(sid)):
+                        # lazy spill keeps bundles only in the analyse
+                        # owner's memory; if that process died, nothing
+                        # holds them — heal the payload up front (ship
+                        # restored bundles) instead of letting the
+                        # first attempt fail on a vanished entry
+                        healed = healer(
+                            payload,
+                            CacheEntryVanished(list(refs), cache_dir),
+                        )
+                        if healed is not None:
+                            payload = healed
+                    payloads.append((sid, payload))
+                results = supervisor.run_phase(
+                    "extract",
+                    payloads,
                     runner=_supervised_extract,
                     splitter=_split_extract,
                     poisoner=self._poison_extract(
@@ -777,9 +949,7 @@ class MiningEngine:
                         unit_programs,
                     ),
                     validator=_valid_extraction,
-                    healer=self._heal_extract(
-                        cache_dir, fingerprint, unit_programs, heal_counts,
-                    ),
+                    healer=healer,
                 )
             else:
                 results = []
@@ -860,6 +1030,13 @@ class MiningEngine:
             store_generation=store.generation if store is not None else None,
             drift=drift.to_dict() if drift is not None else None,
             cache_dir=budget_dir,
+            cache_ephemeral=(spill is not None),
+            dispatch=(
+                supervisor.dispatch.to_dict()
+                if supervisor is not None
+                and hasattr(supervisor, "dispatch") else None
+            ),
+            model_broadcast_bytes=model_broadcast_bytes,
         )
         return LearnedSpecs(
             specs, scores, extraction, model, self.config,
@@ -1023,6 +1200,7 @@ class MiningEngine:
         fingerprint: str,
         unit_programs: Dict[str, Program],
         heal_counts: Dict[str, int],
+        model: Optional[EventPairModel] = None,
     ):
         """Build the extract-phase healer for the scheduler.
 
@@ -1031,12 +1209,19 @@ class MiningEngine:
         cache (it may have reappeared — another worker's write, or the
         eviction raced the read) or **re-analysed** from the program
         source, then packed onto the payload as a shipment the retried
-        task can extract from directly.  Returns the repaired payload,
-        or None when the failure is not healable — then the ordinary
-        retry/bisect/poison ladder takes over.
+        task can extract from directly.  A :class:`ModelRefVanished`
+        failure (the broadcast model file went away under a worker) is
+        healed by re-attaching the model inline.  Returns the repaired
+        payload, or None when the failure is not healable — then the
+        ordinary retry/bisect/poison ladder takes over.
         """
 
         def heal(payload: ExtractTask, err: BaseException):
+            if isinstance(err, ModelRefVanished):
+                if payload.model is not None or model is None:
+                    # already inline: healing again cannot help
+                    return None
+                return replace(payload, model=model, model_ref=None)
             if not isinstance(err, CacheEntryVanished):
                 return None
             already = dict(payload.shipped)
@@ -1045,14 +1230,33 @@ class MiningEngine:
                 # about cache entries, so healing again cannot help
                 # (and refusing keeps the heal loop bounded)
                 return None
-            restored = self._restore_bundles(
-                err, cache_dir, fingerprint, unit_programs, heal_counts
-            )
-            if restored is None:
-                return None
             shipped = dict(already)
-            for key, bundle in restored.items():
-                shipped[key] = pack_bundle(bundle)
+            cache = (
+                AnalysisCache(cache_dir, fingerprint) if cache_dir else None
+            )
+            missing: List[Tuple[str, str]] = []
+            for key, cache_key in err.refs:
+                # fast path: ship the cache's CRC-verified pickle bytes
+                # as-is (wire format of pack_bundle, minus the
+                # decode→re-encode round trip in the parent)
+                raw = (
+                    cache.load_bundle_payload(cache_key)
+                    if cache is not None and cache_key else None
+                )
+                if raw is not None:
+                    shipped[key] = zlib.compress(raw, 6)
+                    heal_counts["shipped"] += 1
+                else:
+                    missing.append((key, cache_key))
+            if missing:
+                restored = self._restore_bundles(
+                    CacheEntryVanished(missing, cache_dir),
+                    cache_dir, fingerprint, unit_programs, heal_counts,
+                )
+                if restored is None:
+                    return None
+                for key, bundle in restored.items():
+                    shipped[key] = pack_bundle(bundle)
             return replace(
                 payload, shipped=tuple(sorted(shipped.items()))
             )
@@ -1213,6 +1417,9 @@ class MiningEngine:
         store_generation: Optional[int] = None,
         drift: Optional[Dict[str, object]] = None,
         cache_dir: Optional[str] = None,
+        cache_ephemeral: bool = False,
+        dispatch: Optional[Dict[str, object]] = None,
+        model_broadcast_bytes: int = 0,
     ) -> MiningReport:
         def total(attr: str) -> int:
             return sum(getattr(m, attr) for m in merged.metrics)
@@ -1250,6 +1457,10 @@ class MiningEngine:
             n_cache_corrupt=total("n_cache_corrupt"),
             store_generation=store_generation,
             drift=drift,
+            cache_ephemeral=cache_ephemeral,
+            dispatch=dispatch,
+            model_broadcast_bytes=model_broadcast_bytes,
+            n_sample_hits=total("n_sample_hits"),
         )
 
 

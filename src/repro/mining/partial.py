@@ -53,6 +53,9 @@ class ShardMetrics:
     n_events: int = 0  # event-graph nodes across the shard's bundles
     n_edges: int = 0  # event-graph edges (the event-pair count)
     n_samples: int = 0
+    #: cache hits whose encoded samples came from the pre-encoded
+    #: sidecar (skipping bundle unpickle + sampling + encoding)
+    n_sample_hits: int = 0
     seconds: float = 0.0
 
     def to_dict(self) -> Dict[str, object]:
@@ -68,6 +71,7 @@ class ShardMetrics:
             "n_events": self.n_events,
             "n_edges": self.n_edges,
             "n_samples": self.n_samples,
+            "n_sample_hits": self.n_sample_hits,
             "seconds": round(self.seconds, 6),
         }
 
@@ -132,7 +136,8 @@ class ShardPartial:
             for attr in ("n_programs", "n_analyzed", "n_cached",
                          "n_resumed", "n_from_store", "n_quarantined",
                          "n_cache_corrupt", "n_events",
-                         "n_edges", "n_samples", "seconds"):
+                         "n_edges", "n_samples", "n_sample_hits",
+                         "seconds"):
                 setattr(agg, attr, getattr(agg, attr) + getattr(m, attr))
         self.metrics = list(by_id.values())
         self.metrics.sort(key=lambda m: m.shard_id)
@@ -225,10 +230,29 @@ class MiningReport:
     #: SpecDrift.to_dict() vs the previous generation (None without a
     #: store; a first generation reports ``previous: None``)
     drift: Optional[Dict[str, object]] = None
+    #: whether the bundle cache was a run-private spill directory — no
+    #: entry can predate the run, so a hit rate is meaningless (the
+    #: report shows null instead of a misleading 0.0)
+    cache_ephemeral: bool = False
+    #: DispatchStats.to_dict() of the supervised scheduler (round
+    #: trips, batching, serialize/deserialize time, IPC bytes)
+    dispatch: Optional[Dict[str, object]] = None
+    #: size of the pickled model broadcast to extract workers by disk
+    #: ref (0 when the model was shipped inline in every task)
+    model_broadcast_bytes: int = 0
+    #: cache hits served from the pre-encoded samples sidecar
+    n_sample_hits: int = 0
 
     @property
-    def cache_hit_rate(self) -> float:
-        """Fraction of programs satisfied from the incremental cache."""
+    def cache_hit_rate(self) -> Optional[float]:
+        """Fraction of programs satisfied from the incremental cache.
+
+        None when the cache was a run-private spill directory: nothing
+        could possibly have been hit, so 0.0 would read as "the cache
+        did not work" rather than "there was no cache to hit".
+        """
+        if self.cache_ephemeral:
+            return None
         return self.n_cached / self.n_programs if self.n_programs else 0.0
 
     @property
@@ -254,7 +278,11 @@ class MiningReport:
             "n_events": self.n_events,
             "n_edges": self.n_edges,
             "n_samples": self.n_samples,
-            "cache_hit_rate": round(self.cache_hit_rate, 6),
+            "n_sample_hits": self.n_sample_hits,
+            "cache_hit_rate": (
+                round(self.cache_hit_rate, 6)
+                if self.cache_hit_rate is not None else None
+            ),
             "programs_per_second": round(self.programs_per_second, 6),
             "seconds_analyze": round(self.seconds_analyze, 6),
             "seconds_train": round(self.seconds_train, 6),
@@ -272,6 +300,8 @@ class MiningReport:
             "n_bundles_shipped": self.n_bundles_shipped,
             "n_from_store": self.n_from_store,
             "n_cache_corrupt": self.n_cache_corrupt,
+            "model_broadcast_bytes": self.model_broadcast_bytes,
+            "dispatch": self.dispatch,
             "store_generation": self.store_generation,
             "drift": self.drift,
             "cluster": self.cluster,

@@ -55,6 +55,7 @@ raises :class:`~repro.runtime.errors.WorkerCrash` /
 
 from __future__ import annotations
 
+import pickle
 import time
 from dataclasses import dataclass, field
 from multiprocessing.connection import wait as connection_wait
@@ -372,8 +373,11 @@ def _run_job(runner, payload, attempt: int) -> Tuple:
 def _pool_main(conn) -> None:
     """Task loop of one persistent pool worker (runs in the child).
 
-    Jobs arrive as ``(runner, payload, attempt)`` tuples over the
-    duplex pipe; ``None`` is the shutdown sentinel.  The process
+    Jobs arrive over the duplex pipe either as one ``(runner, payload,
+    attempt)`` tuple (the original protocol, still spoken by
+    :mod:`repro.serve.pool`) or as a coalesced ``("jobs", runner,
+    [(payload, attempt), ...])`` frame, answered with a list of one
+    message per entry; ``None`` is the shutdown sentinel.  The process
     persists across jobs *and phases* — that persistence is what keeps
     :func:`repro.mining.residency.process_residency` bundles alive
     from a shard's analyze task to its extract task.
@@ -385,24 +389,79 @@ def _pool_main(conn) -> None:
             return  # parent gone
         if job is None:
             return
-        runner, payload, attempt = job
-        message = _run_job(runner, payload, attempt)
+        if isinstance(job, tuple) and job and job[0] == "jobs":
+            _, runner, entries = job
+            message: object = [
+                _run_job(runner, payload, attempt)
+                for payload, attempt in entries
+            ]
+        else:
+            runner, payload, attempt = job
+            message = _run_job(runner, payload, attempt)
         try:
             conn.send(message)
         except (BrokenPipeError, EOFError, OSError):
             return
         except Exception as err:
             # unpicklable result: report instead of dying silently
+            fallback: object = ("error", RuntimeError(
+                f"unpicklable result: {err}"
+            ))
+            if isinstance(message, list):
+                fallback = [fallback] * len(message)
             try:
-                conn.send(("error", RuntimeError(
-                    f"unpicklable result: {err}"
-                )))
+                conn.send(fallback)
             except Exception:
                 return
 
 
 # ----------------------------------------------------------------------
 # parent side
+
+
+@dataclass
+class DispatchStats:
+    """Cheap per-run dispatch instrumentation of one supervisor.
+
+    Every counter is incremented on the parent side of the pipe, so
+    the numbers attribute *supervision overhead* (round trips, frame
+    serialisation, result revalidation, queue scans) separately from
+    the work the shards themselves do.  Folded into the
+    :class:`~repro.mining.partial.MiningReport` as ``dispatch``.
+    """
+
+    #: worker round trips (frames sent), vs tasks those frames carried
+    n_round_trips: int = 0
+    n_tasks_dispatched: int = 0
+    #: frames that coalesced >1 task / tasks riding such frames
+    n_batches: int = 0
+    n_tasks_batched: int = 0
+    #: pipe traffic, parent-side (task frames out, result frames in)
+    bytes_sent: int = 0
+    bytes_received: int = 0
+    #: parent-side pickle/unpickle wall-clock
+    seconds_serialize: float = 0.0
+    seconds_deserialize: float = 0.0
+    #: result-shape revalidations run vs skipped on the warm batch path
+    n_validations: int = 0
+    n_validations_skipped: int = 0
+    #: selections that skipped the 3-pass affinity scan outright
+    n_select_fast: int = 0
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "n_round_trips": self.n_round_trips,
+            "n_tasks_dispatched": self.n_tasks_dispatched,
+            "n_batches": self.n_batches,
+            "n_tasks_batched": self.n_tasks_batched,
+            "bytes_sent": self.bytes_sent,
+            "bytes_received": self.bytes_received,
+            "seconds_serialize": round(self.seconds_serialize, 6),
+            "seconds_deserialize": round(self.seconds_deserialize, 6),
+            "n_validations": self.n_validations,
+            "n_validations_skipped": self.n_validations_skipped,
+            "n_select_fast": self.n_select_fast,
+        }
 
 
 @dataclass
@@ -430,7 +489,9 @@ class _PoolWorker:
     generation: int
     process: object
     conn: object
-    current: Optional[_Task] = None
+    #: the in-flight frame: one task, or several coalesced into one
+    #: round trip (None when idle)
+    current: Optional[List[_Task]] = None
     started: float = 0.0
     deadline: Optional[float] = None
     allowed: Optional[float] = None  # the deadline in relative seconds
@@ -483,6 +544,7 @@ class TaskScheduler:
         self._healer: Optional[Callable] = None
         self.affinity_hits = 0
         self.affinity_misses = 0
+        self.dispatch = DispatchStats()
 
     # ------------------------------------------------------------------
 
@@ -516,6 +578,12 @@ class TaskScheduler:
     def owner_of(self, shard_id: int) -> Optional[str]:
         """The label of the worker that analysed ``shard_id``, if any."""
         return self._owners.get(shard_id)
+
+    def owner_alive(self, shard_id: int) -> bool:
+        """Whether ``shard_id``'s analyse owner can still serve its
+        residency.  Dispatchers that cannot tell report True — a wrong
+        answer only costs a vanished-entry retry through the healer."""
+        return self.owner_of(shard_id) is not None
 
     def _select_task(
         self,
@@ -684,6 +752,7 @@ class ShardSupervisor(TaskScheduler):
         ledger: Optional[FailureLedger] = None,
         clock: Callable[[], float] = time.monotonic,
         sleep: Callable[[float], None] = time.sleep,
+        batch_programs: int = 0,
     ) -> None:
         super().__init__(supervision, strict=strict, ledger=ledger,
                          clock=clock)
@@ -692,6 +761,12 @@ class ShardSupervisor(TaskScheduler):
         self._sleep = sleep
         self._workers: List[_PoolWorker] = []
         self._generation = 0
+        #: coalescing floor: first-attempt tasks are packed into one
+        #: round trip until the frame carries at least this many
+        #: programs (0 disables batching; the engine passes 0 whenever
+        #: chaos is active so fault injection still sees one task per
+        #: frame)
+        self.batch_programs = max(0, batch_programs)
 
     # ------------------------------------------------------------------
     # pool lifecycle
@@ -712,6 +787,18 @@ class ShardSupervisor(TaskScheduler):
     def _ensure_pool(self) -> None:
         while len(self._workers) < self.jobs:
             self._workers.append(self._spawn_worker(len(self._workers)))
+
+    def owner_alive(self, shard_id: int) -> bool:
+        """Whether the analysing generation of ``shard_id`` still runs.
+
+        A respawned slot carries a new generation label, so a shard
+        whose owner died reports False here — its bundles exist in no
+        process's residency any more.
+        """
+        owner = self.owner_of(shard_id)
+        return owner is not None and any(
+            worker.label == owner for worker in self._workers
+        )
 
     def _replace_worker(self, worker: _PoolWorker) -> None:
         """Respawn one slot after its process died or was killed.
@@ -823,6 +910,55 @@ class ShardSupervisor(TaskScheduler):
 
     # ------------------------------------------------------------------
 
+    def _pop_first_ready(
+        self, queue: List[_Task], now: float, label: str
+    ) -> Optional[_Task]:
+        """Fast selection: pop the oldest ready task, no affinity scan.
+
+        Valid only when every queued task's affinity is either unset or
+        this worker itself (checked by the caller): then pass 1/2 of
+        :meth:`_select_task` would pick the same task, and pass 3
+        (stealing) can never trigger, so the 3-pass scan is pure
+        overhead.  ``n_select_fast`` counts how often it was skipped.
+        """
+        if not queue or queue[0].ready_at > now:
+            return None
+        task = queue.pop(0)
+        if task.affinity is not None:
+            self.affinity_hits += 1
+        self.dispatch.n_select_fast += 1
+        return task
+
+    def _coalesce(
+        self, batch: List[_Task], queue: List[_Task], now: float,
+        label: str,
+    ) -> None:
+        """Pack more small first-attempt tasks into one worker frame.
+
+        Greedy over the (sorted) ready queue until the frame carries at
+        least ``batch_programs`` programs.  Only clean first attempts
+        ride along — retries keep their own frame so failures stay
+        attributable — and only tasks that would run on this worker
+        anyway (no affinity, or affinity to this very worker), so
+        batching never steals residency from a better-placed worker.
+        """
+        total = self._payload_size(batch[0].payload)
+        i = 0
+        while total < self.batch_programs and i < len(queue):
+            task = queue[i]
+            if task.ready_at > now:
+                break  # sorted: nothing ready past this point
+            if (task.attempt == 0
+                    and (task.affinity is None
+                         or task.affinity == label)):
+                queue.pop(i)
+                if task.affinity is not None:
+                    self.affinity_hits += 1
+                batch.append(task)
+                total += self._payload_size(task.payload)
+            else:
+                i += 1
+
     def _launch_ready(
         self,
         queue: List[_Task],
@@ -833,29 +969,56 @@ class ShardSupervisor(TaskScheduler):
         poisoner,
     ) -> None:
         queue.sort(key=lambda t: (t.ready_at, t.seq))
+        alive = self._alive_labels()
         for worker in list(self._workers):
             if not worker.idle or not queue:
                 continue
-            task = self._select_task(
-                queue, now, label=worker.label,
-                alive=self._alive_labels(),
-            )
+            # locally the residency `group` token never routes (only
+            # the dist coordinator advertises residency), so the full
+            # scan is needed only when some task is pinned elsewhere
+            if all(t.affinity is None or t.affinity == worker.label
+                   for t in queue):
+                task = self._pop_first_ready(queue, now, worker.label)
+            else:
+                task = self._select_task(
+                    queue, now, label=worker.label, alive=alive,
+                )
             if task is None:
                 break  # nothing ready yet (backoff cooldowns)
+            batch = [task]
+            if self.batch_programs > 0 and task.attempt == 0:
+                self._coalesce(batch, queue, now, worker.label)
+            if len(batch) == 1:
+                frame: object = (runner, task.payload, task.attempt)
+            else:
+                frame = ("jobs", runner,
+                         [(t.payload, t.attempt) for t in batch])
+            t0 = time.perf_counter()
+            data = pickle.dumps(frame)
+            self.dispatch.seconds_serialize += time.perf_counter() - t0
             try:
-                worker.conn.send((runner, task.payload, task.attempt))
+                # send_bytes of our own pickle: same wire format as
+                # conn.send, but the byte count becomes observable
+                worker.conn.send_bytes(data)
             except (OSError, ValueError):
                 # the worker died idle; replace the slot and put the
-                # task back untouched (the attempt never started)
-                task.ready_at = now
-                queue.append(task)
+                # tasks back untouched (the attempt never started)
+                for t in batch:
+                    t.ready_at = now
+                    queue.append(t)
                 queue.sort(key=lambda t: (t.ready_at, t.seq))
                 self._replace_worker(worker)
                 continue
-            allowed = self._deadlines.effective(
-                self._payload_size(task.payload)
-            )
-            worker.current = task
+            self.dispatch.n_round_trips += 1
+            self.dispatch.n_tasks_dispatched += len(batch)
+            self.dispatch.bytes_sent += len(data)
+            if len(batch) > 1:
+                self.dispatch.n_batches += 1
+                self.dispatch.n_tasks_batched += len(batch)
+            allowed = self._deadlines.effective(sum(
+                self._payload_size(t.payload) for t in batch
+            ))
+            worker.current = batch
             worker.started = now
             worker.allowed = allowed
             worker.deadline = (
@@ -897,56 +1060,110 @@ class ShardSupervisor(TaskScheduler):
         worker = self._worker_for(conn)
         if worker is None:
             return
-        task = worker.current
+        batch = worker.current
         seconds = now - worker.started
         try:
-            message = conn.recv()
+            buf = conn.recv_bytes()
         except (EOFError, OSError):
-            message = None
-        if message is None:
+            buf = None
+        if buf is None:
             # the process died: reap it for its exit code, respawn the
-            # slot, and fail the in-flight task (if any) as a crash
+            # slot, and fail the in-flight tasks (if any) as crashes
             self._kill_process(worker)
             exitcode = worker.process.exitcode
             self._replace_worker(worker)
-            if task is not None:
+            for task in batch or ():
                 self._failed(
                     task, OUTCOME_CRASH,
                     f"worker died without reporting (exit code {exitcode})",
                     seconds, now, queue, results, splitter, poisoner,
                 )
             return
-        if task is None:
+        self.dispatch.bytes_received += len(buf)
+        t0 = time.perf_counter()
+        try:
+            message: object = pickle.loads(buf)
+        except Exception:
+            message = ("undecodable-frame",)
+        self.dispatch.seconds_deserialize += time.perf_counter() - t0
+        if batch is None:
             return  # stray frame from an idle worker: ignore
         worker.current = None
         worker.deadline = None
-        if (isinstance(message, tuple) and len(message) == 2
-                and message[0] == "ok" and validator(message[1])):
-            straggler = (
-                worker.allowed is not None
-                and seconds > self.supervision.straggler_fraction
-                * worker.allowed
+        if len(batch) == 1:
+            replies: List[object] = [message]
+        elif isinstance(message, list) and len(message) == len(batch):
+            replies = message
+        else:
+            # a batched frame must answer with one message per task
+            replies = [("batch-shape-mismatch",)] * len(batch)
+        straggler = bool(
+            worker.allowed is not None
+            and seconds > self.supervision.straggler_fraction
+            * worker.allowed
+        )
+        any_ok = False
+        for index, (task, reply) in enumerate(zip(batch, replies)):
+            any_ok |= self._settle(
+                task, reply, index, seconds, straggler, worker.label,
+                now, queue, results, splitter, poisoner, validator,
             )
-            task.record.attempts.append(AttemptRecord(
-                attempt=task.attempt, outcome=OUTCOME_OK,
-                seconds=seconds, straggler=bool(straggler),
+        if any_ok:
+            self._deadlines.observe(seconds, sum(
+                self._payload_size(t.payload) for t in batch
             ))
-            self._deadlines.observe(
-                seconds, self._payload_size(task.payload)
-            )
-            self._note_owner(task, worker.label)
-            results.append(message[1])
-            return
-        if (isinstance(message, tuple) and len(message) == 2
-                and message[0] == "error"
-                and isinstance(message[1], BaseException)):
-            err = message[1]
+
+    def _settle(
+        self,
+        task: _Task,
+        reply: object,
+        index: int,
+        seconds: float,
+        straggler: bool,
+        label: str,
+        now: float,
+        queue: List[_Task],
+        results: List[object],
+        splitter,
+        poisoner,
+        validator,
+    ) -> bool:
+        """Fold one task's reply into results/retries; True on OK.
+
+        ``index`` is the task's position in its frame: the first reply
+        of every frame is shape-revalidated, later ones skip the
+        validator on the warm path — they were produced by the same
+        healthy worker in the same round trip, so one validation
+        vouches for the frame (strict mode and chaos runs keep
+        validating every reply).
+        """
+        if (isinstance(reply, tuple) and len(reply) == 2
+                and reply[0] == "ok"):
+            if (index == 0 or self.strict
+                    or self.supervision.chaos is not None):
+                self.dispatch.n_validations += 1
+                valid = validator(reply[1])
+            else:
+                self.dispatch.n_validations_skipped += 1
+                valid = True
+            if valid:
+                task.record.attempts.append(AttemptRecord(
+                    attempt=task.attempt, outcome=OUTCOME_OK,
+                    seconds=seconds, straggler=straggler,
+                ))
+                self._note_owner(task, label)
+                results.append(reply[1])
+                return True
+        elif (isinstance(reply, tuple) and len(reply) == 2
+                and reply[0] == "error"
+                and isinstance(reply[1], BaseException)):
+            err = reply[1]
             task.record.attempts.append(AttemptRecord(
                 attempt=task.attempt, outcome=OUTCOME_ERROR,
                 seconds=seconds, error=f"{type(err).__name__}: {err}",
             ))
             if self._heal(task, err, now, queue):
-                return  # repaired payload requeued; no budget consumed
+                return False  # repaired payload requeued; no budget used
             if self.strict:
                 # fail fast with the worker's typed error intact
                 # (exit codes 3/4 survive supervision)
@@ -956,12 +1173,13 @@ class ShardSupervisor(TaskScheduler):
                 seconds, now, queue, results, splitter, poisoner,
                 recorded=True,
             )
-            return
+            return False
         self._failed(
             task, OUTCOME_CORRUPT,
             "worker result failed validation (corrupt payload)",
             seconds, now, queue, results, splitter, poisoner,
         )
+        return False
 
     def _reap_deadlines(
         self,
@@ -983,16 +1201,17 @@ class ShardSupervisor(TaskScheduler):
                     splitter, poisoner, validator,
                 )
                 continue
-            task = worker.current
+            batch = worker.current
             allowed = worker.allowed
             started = worker.started
             self._replace_worker(worker)
-            self._failed(
-                task, OUTCOME_TIMEOUT,
-                f"shard deadline of {allowed:g}s exceeded",
-                now - started, now, queue, results,
-                splitter, poisoner,
-            )
+            for task in batch or ():
+                self._failed(
+                    task, OUTCOME_TIMEOUT,
+                    f"shard deadline of {allowed:g}s exceeded",
+                    now - started, now, queue, results,
+                    splitter, poisoner,
+                )
 
     # ------------------------------------------------------------------
 

@@ -207,8 +207,24 @@ def encode_sample(feature: PairFeature, label: int,
                          encode_feature(feature, config), label)
 
 
+#: Interned token hashes.  Corpus token vocabularies are small (tens of
+#: thousands of strings) but each token is re-hashed for every pair it
+#: appears in; memoising the crc32+mod turns the hot encode loop into
+#: dict lookups over pre-interned keys.  Bounded so adversarial corpora
+#: cannot grow it without limit.
+_HASH_MEMO: Dict[Tuple[int, str], int] = {}
+_HASH_MEMO_MAX = 1 << 20
+
+
 def _hash_token(token: str, dim: int) -> int:
-    return zlib.crc32(token.encode("utf-8")) % dim
+    key = (dim, token)
+    hashed = _HASH_MEMO.get(key)
+    if hashed is None:
+        if len(_HASH_MEMO) >= _HASH_MEMO_MAX:
+            _HASH_MEMO.clear()
+        hashed = zlib.crc32(token.encode("utf-8")) % dim
+        _HASH_MEMO[key] = hashed
+    return hashed
 
 
 def encode_feature(feature: PairFeature,

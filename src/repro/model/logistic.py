@@ -20,6 +20,13 @@ from repro.model.features import EncodedSample
 SparseExample = Tuple[Tuple[int, ...], int]  # (active indices, label 0/1)
 
 
+def as_index_array(indices: Sequence[int]) -> np.ndarray:
+    """The int64 index array of one sparse example (idempotent)."""
+    if isinstance(indices, np.ndarray):
+        return indices
+    return np.fromiter(indices, dtype=np.int64, count=len(indices))
+
+
 @dataclass
 class SufficientStats:
     """Mergeable sufficient statistics of the event-pair training set.
@@ -60,6 +67,49 @@ class SufficientStats:
 
     def __len__(self) -> int:
         return self.n_samples
+
+    # ------------------------------------------------------------------
+    # pickling: shard partials carry these across the worker result
+    # pipes.  Pickling tens of thousands of EncodedSample objects pays
+    # a per-object opcode tax on both ends; instead each program block
+    # is packed into a handful of flat numpy buffers (interned position
+    # keys, labels, per-sample index counts, concatenated indices) and
+    # the samples are rebuilt — field-identical — on unpickle.
+
+    def __getstate__(self) -> Dict:
+        packed = {}
+        for key, samples in self.blocks.items():
+            uniq: Dict[Tuple[str, str], int] = {}
+            kid = np.empty(len(samples), dtype=np.int32)
+            labels = np.empty(len(samples), dtype=np.int8)
+            counts = np.empty(len(samples), dtype=np.int64)
+            for i, s in enumerate(samples):
+                kid[i] = uniq.setdefault(s.position_key, len(uniq))
+                labels[i] = s.label
+                counts[i] = len(s.indices)
+            flat = np.empty(int(counts.sum()), dtype=np.int64)
+            pos = 0
+            for s in samples:
+                n = len(s.indices)
+                flat[pos:pos + n] = as_index_array(s.indices)
+                pos += n
+            packed[key] = (list(uniq), kid, labels, counts, flat)
+        return {"packed": packed}
+
+    def __setstate__(self, state: Dict) -> None:
+        if "blocks" in state:  # legacy object-list pickles
+            self.blocks = state["blocks"]
+            return
+        self.blocks = {}
+        for key, (uniq, kid, labels, counts, flat) in \
+                state["packed"].items():
+            splits = np.split(flat, np.cumsum(counts[:-1])) \
+                if len(counts) else []
+            self.blocks[key] = [
+                EncodedSample(uniq[k], tuple(part.tolist()), label)
+                for k, label, part in zip(
+                    kid.tolist(), labels.tolist(), splits)
+            ]
 
     def __repr__(self) -> str:
         return (f"<SufficientStats {self.n_samples} samples / "
@@ -108,7 +158,12 @@ class LogisticRegression:
 
     def partial_fit(self, indices: Sequence[int], label: int) -> float:
         """One Adagrad step; returns the example's log-loss before update."""
-        idx = np.fromiter(indices, dtype=np.int64)
+        if self._grad_sq is None:  # resumed scoring clone: fresh optimiser
+            self._grad_sq = np.full(self.dim, 1e-8, dtype=np.float64)
+        if isinstance(indices, np.ndarray):
+            idx = indices
+        else:
+            idx = np.fromiter(indices, dtype=np.int64)
         p = _sigmoid(float(self.weights[idx].sum()))
         gradient = p - label  # dLoss/dz for each active binary feature
         self._grad_sq[idx] += gradient * gradient
@@ -122,15 +177,35 @@ class LogisticRegression:
         """Multi-epoch SGD over a shuffled copy; returns per-epoch mean loss."""
         rng = random.Random(self.config.seed)
         order = list(range(len(examples)))
+        # Hash indices → int64 arrays once, not once per epoch × member:
+        # the Adagrad step's arithmetic sees identical values either way.
+        prepared = [as_index_array(indices) for indices, _ in examples]
         losses: List[float] = []
         for _ in range(self.config.epochs):
             rng.shuffle(order)
             total = 0.0
             for i in order:
-                indices, label = examples[i]
-                total += self.partial_fit(indices, label)
+                total += self.partial_fit(prepared[i], examples[i][1])
             losses.append(total / max(1, len(examples)))
         return losses
+
+    def scoring_clone(self) -> "LogisticRegression":
+        """A scoring-only view of this model for cheap broadcast.
+
+        Shares the weight vector (no copy) and drops the Adagrad
+        accumulator, which prediction never reads — its sparse state
+        pickles to roughly half the bytes of the full model.  The
+        unpickled clone scores identically and can even resume training
+        (``partial_fit`` re-seeds a fresh accumulator on demand), it
+        just loses the optimiser history.
+        """
+        clone = object.__new__(LogisticRegression)
+        clone.dim = self.dim
+        clone.config = self.config
+        clone.weights = self.weights
+        clone._grad_sq = None
+        clone.n_trained = self.n_trained
+        return clone
 
     # ------------------------------------------------------------------
     # pickling: the dense weight/accumulator vectors are almost entirely
@@ -140,16 +215,32 @@ class LogisticRegression:
     # instead of 2 × dim × 8 bytes per member.
 
     def __getstate__(self) -> Dict:
+        # Sparse state is kept as flat numpy arrays: pickling an array is
+        # one buffer copy, where the old list-of-python-numbers form paid
+        # tolist() plus a per-element opcode on both ends of every
+        # broadcast.  __setstate__ still accepts the legacy list form.
         nz = np.nonzero(self.weights)[0]
-        gz = np.nonzero(self._grad_sq != 1e-8)[0]
+        wv = self.weights[nz]
+        if self._grad_sq is None:  # scoring_clone: no optimiser state
+            gz = None
+            gv = None
+        else:
+            gz = np.nonzero(self._grad_sq != 1e-8)[0]
+            gv = self._grad_sq[gz]
+        # hashed dimensions fit comfortably in 32-bit indices; the cast
+        # is lossless and halves the index payload of every broadcast
+        if self.dim <= np.iinfo(np.int32).max:
+            nz = nz.astype(np.int32)
+            if gz is not None:
+                gz = gz.astype(np.int32)
         return {
             "dim": self.dim,
             "config": self.config,
             "n_trained": self.n_trained,
-            "w_idx": nz.tolist(),
-            "w_val": self.weights[nz].tolist(),
-            "g_idx": gz.tolist(),
-            "g_val": self._grad_sq[gz].tolist(),
+            "w_idx": nz,
+            "w_val": wv,
+            "g_idx": gz,
+            "g_val": gv,
         }
 
     def __setstate__(self, state: Dict) -> None:
@@ -158,8 +249,14 @@ class LogisticRegression:
         self.n_trained = state["n_trained"]
         self.weights = np.zeros(self.dim, dtype=np.float64)
         self.weights[state["w_idx"]] = state["w_val"]
-        self._grad_sq = np.full(self.dim, 1e-8, dtype=np.float64)
-        self._grad_sq[state["g_idx"]] = state["g_val"]
+        if state["g_idx"] is None:
+            # a broadcast scoring clone: skip the dense accumulator
+            # rebuild entirely (prediction never reads it; the first
+            # partial_fit re-seeds it on demand)
+            self._grad_sq = None
+        else:
+            self._grad_sq = np.full(self.dim, 1e-8, dtype=np.float64)
+            self._grad_sq[state["g_idx"]] = state["g_val"]
 
     def __repr__(self) -> str:
         nnz = int(np.count_nonzero(self.weights))

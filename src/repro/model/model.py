@@ -19,7 +19,12 @@ from repro.model.features import (
     encode_feature,
     encode_sample,
 )
-from repro.model.logistic import LogisticRegression, SparseExample, TrainConfig
+from repro.model.logistic import (
+    LogisticRegression,
+    SparseExample,
+    TrainConfig,
+    as_index_array,
+)
 
 PositionKey = Tuple[str, str]
 
@@ -120,7 +125,10 @@ class EventPairModel:
         grouped: Dict[PositionKey, List[SparseExample]] = defaultdict(list)
         all_examples: List[SparseExample] = []
         for sample in samples:
-            example = (sample.indices, sample.label)
+            # One index-array conversion per unique sample, shared by the
+            # per-key ensemble and the fallback across every epoch/member
+            # (previously re-converted on each of the ~36 SGD visits).
+            example = (as_index_array(sample.indices), sample.label)
             grouped[sample.position_key].append(example)
             all_examples.append(example)
         configs = self._member_configs()
@@ -131,6 +139,23 @@ class EventPairModel:
         self.n_samples = len(samples)
 
     # ------------------------------------------------------------------
+
+    def scoring_clone(self) -> "EventPairModel":
+        """A prediction-only copy for broadcast to mining workers.
+
+        Member weight vectors are shared (no copies); only the Adagrad
+        accumulators — dead weight for scoring — are dropped, roughly
+        halving the serialized model.  ``predict`` is bit-identical.
+        """
+        clone = EventPairModel(
+            self.feature_config, self.train_config, self.n_members)
+        clone._models = {
+            key: [m.scoring_clone() for m in members]
+            for key, members in self._models.items()
+        }
+        clone._fallback = [m.scoring_clone() for m in self._fallback]
+        clone.n_samples = self.n_samples
+        return clone
 
     def predict(self, feature: PairFeature) -> float:
         """ϕ(ftr(e1, e2)) — edge probability in [0, 1]."""

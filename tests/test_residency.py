@@ -361,9 +361,13 @@ def test_vanished_cache_entries_are_healed_by_reanalysis(monkeypatch):
     programs = java_corpus(6)
     clean = learn(programs)
     # forked pool workers inherit the patch: every cache read misses,
-    # as if the eviction raced the extract phase on every entry
+    # as if the eviction raced the extract phase on every entry (both
+    # read entry points — the worker's bundle load and the healer's
+    # raw-bytes shipment — must miss for re-analysis to kick in)
     monkeypatch.setattr(
         AnalysisCache, "load_bundle_by_key", lambda self, key: None)
+    monkeypatch.setattr(
+        AnalysisCache, "load_bundle_payload", lambda self, key: None)
     learned = learn(programs, jobs=2, resident=False)
     assert specs_text(learned) == specs_text(clean)
     assert manifest_text(learned) == manifest_text(clean)

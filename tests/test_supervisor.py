@@ -328,6 +328,130 @@ def test_sequential_report_has_no_ledger():
 
 
 # ----------------------------------------------------------------------
+# dispatch batching (the coalescing floor) and its instrumentation
+
+
+def test_small_shards_coalesce_into_few_round_trips():
+    programs = java_corpus(n=16)
+    learned = learn(programs, jobs=2, shards=8)
+    dispatch = learned.mining.dispatch
+    assert dispatch is not None
+    # 8 analyze + 8 extract tasks, but the coalescing floor packs each
+    # worker's fair share of the corpus into one frame: at most
+    # jobs round trips per phase, not one per shard task
+    assert dispatch["n_tasks_dispatched"] == 16
+    assert dispatch["n_round_trips"] <= 2 * 2
+    assert dispatch["n_batches"] >= 2
+    assert dispatch["n_tasks_batched"] > dispatch["n_batches"]
+    # only the first reply of each healthy frame is shape-revalidated
+    assert dispatch["n_validations_skipped"] > 0
+    # pipe traffic and serialisation time are observable
+    assert dispatch["bytes_sent"] > 0 and dispatch["bytes_received"] > 0
+    assert learned.mining.to_dict()["dispatch"] == dispatch
+
+
+def test_batched_specs_byte_identical_to_sequential():
+    programs = java_corpus(n=12)
+    sequential = learn(programs)
+    batched = learn(programs, jobs=4)
+    assert specs_text(batched) == specs_text(sequential)
+    assert batched.mining.ledger.clean
+    assert batched.mining.dispatch["n_batches"] >= 1
+
+
+def test_chaos_disables_coalescing():
+    programs = java_corpus(n=8)
+    chaos = [ChaosSpec("corpus_00003", "kill", until_attempt=1)]
+    learned = learn(programs, jobs=2, chaos=chaos)
+    dispatch = learned.mining.dispatch
+    # fault injection targets single tasks; every frame stays singleton
+    # so the chaos tests' exact attempt counts keep meaning something
+    assert dispatch["n_batches"] == 0
+    assert dispatch["n_validations_skipped"] == 0
+
+
+def test_affinity_fast_path_skips_selection_scan():
+    programs = java_corpus(n=8)
+    # one supervised worker: every task's affinity can only name this
+    # worker (or nothing), steals are impossible, and the 3-pass scan
+    # must short-circuit on every single dispatch
+    learned = learn(programs, jobs=1, shards=4, shard_deadline=60.0)
+    dispatch = learned.mining.dispatch
+    assert dispatch["n_round_trips"] > 0
+    assert dispatch["n_select_fast"] == dispatch["n_round_trips"]
+    # with several workers the extract queue mixes affinities, so only
+    # some dispatches (the unpinned analyze phase) stay on the fast
+    # path — but it must still fire
+    mixed = learn(programs, jobs=2, shards=4).mining.dispatch
+    assert 0 < mixed["n_select_fast"] <= mixed["n_round_trips"]
+
+
+# ----------------------------------------------------------------------
+# cache hit-rate reporting (ephemeral spill vs a real cache dir)
+
+
+def test_spill_cache_hit_rate_is_null_not_zero():
+    programs = java_corpus(n=4)
+    learned = learn(programs, jobs=2)  # no cache dir: private spill
+    assert learned.mining.cache_ephemeral is True
+    assert learned.mining.cache_hit_rate is None
+    assert learned.mining.to_dict()["cache_hit_rate"] is None
+
+
+def test_real_cache_dir_still_reports_hit_rate(tmp_path):
+    programs = java_corpus(n=4)
+    cold = learn(programs, jobs=2, cache_dir=tmp_path)
+    assert cold.mining.cache_ephemeral is False
+    assert cold.mining.cache_hit_rate == 0.0  # cold but real: 0.0 is true
+    warm = learn(programs, jobs=2, cache_dir=tmp_path)
+    assert warm.mining.cache_hit_rate == 1.0
+    assert specs_text(warm) == specs_text(cold)
+
+
+# ----------------------------------------------------------------------
+# the warm analyze fast path (pre-encoded sample sidecars)
+
+
+def test_warm_run_absorbs_samples_from_sidecar(tmp_path):
+    programs = java_corpus(n=6)
+    cold = learn(programs, cache_dir=tmp_path)
+    assert cold.mining.n_sample_hits == 0
+    warm = learn(programs, cache_dir=tmp_path)
+    assert warm.mining.n_analyzed == 0
+    assert warm.mining.n_cached == len(programs)
+    # statistics came from the sidecars: no bundle was unpickled and
+    # nothing was re-sampled or re-encoded during analyze
+    assert warm.mining.n_sample_hits == len(programs)
+    assert specs_text(warm) == specs_text(cold)
+
+
+def test_sidecar_warm_specs_match_for_parallel_jobs(tmp_path):
+    programs = java_corpus(n=8)
+    cold = learn(programs, cache_dir=tmp_path)
+    warm = learn(programs, jobs=4, cache_dir=tmp_path)
+    assert warm.mining.n_sample_hits == len(programs)
+    assert specs_text(warm) == specs_text(cold)
+
+
+def test_damaged_sidecar_degrades_to_bundle_reload(tmp_path):
+    from repro.mining.cache import SAMPLES_SUFFIX
+
+    programs = java_corpus(n=3)
+    cold = learn(programs, cache_dir=tmp_path)
+    sidecars = sorted(tmp_path.glob(f"*{SAMPLES_SUFFIX}"))
+    assert len(sidecars) == 3
+    data = bytearray(sidecars[0].read_bytes())
+    data[len(data) // 2] ^= 0xFF
+    sidecars[0].write_bytes(bytes(data))
+    warm = learn(programs, cache_dir=tmp_path)
+    # the damaged sidecar is quarantined; its program falls back to the
+    # bundle-reload path, the other two stay on the fast path
+    assert warm.mining.n_sample_hits == 2
+    assert warm.mining.n_cached == 3
+    assert specs_text(warm) == specs_text(cold)
+
+
+# ----------------------------------------------------------------------
 # acceptance: chaos on a 100-program corpus
 
 
